@@ -1,0 +1,337 @@
+//! Structural fault collapsing: equivalence and dominance over the
+//! classical stuck-at fault list.
+//!
+//! Two stuck-at faults are *equivalent* when every test for one detects
+//! the other; fault `f` *dominates* `g` when every test for `g` detects
+//! `f`. ATPG only needs one representative per equivalence class and may
+//! drop dominating faults. The classical structural rules per gate (for
+//! fully specified, single-output cells) are applied through the truth
+//! table, so they work for arbitrary complex gates:
+//!
+//! * input `i` stuck-at-`v` is equivalent to the output stuck-at-`w` when
+//!   forcing input `i` to `v` makes the gate output constantly `w`
+//!   regardless of the other inputs (the generalized controlling-value
+//!   rule: a NAND input sa0 ≡ output sa1, …).
+//!
+//! Collapsing is applied fanout-free-region style: equivalences chain
+//! through gates; each class keeps its topologically deepest
+//! representative.
+
+use std::collections::HashMap;
+
+use icd_faultsim::GateFault;
+use icd_logic::Lv;
+use icd_netlist::{Circuit, NetId};
+
+/// A collapsed stuck-at fault list.
+#[derive(Debug, Clone)]
+pub struct CollapsedFaults {
+    /// One representative fault per equivalence class.
+    pub representatives: Vec<GateFault>,
+    /// Class id for every (net, value) fault, indexed `net * 2 + value`.
+    class_of: Vec<u32>,
+    classes: usize,
+}
+
+impl CollapsedFaults {
+    /// Number of equivalence classes (== `representatives.len()`).
+    pub fn num_classes(&self) -> usize {
+        self.classes
+    }
+
+    /// The class a stuck-at fault belongs to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the net id is out of range for the collapsed circuit.
+    pub fn class_of(&self, net: NetId, value: bool) -> usize {
+        self.class_of[net.index() * 2 + usize::from(value)] as usize
+    }
+
+    /// Whether two stuck-at faults are structurally equivalent.
+    pub fn equivalent(&self, a: (NetId, bool), b: (NetId, bool)) -> bool {
+        self.class_of(a.0, a.1) == self.class_of(b.0, b.1)
+    }
+}
+
+/// Union-find with path compression.
+struct Dsu {
+    parent: Vec<u32>,
+}
+
+impl Dsu {
+    fn new(n: usize) -> Self {
+        Dsu {
+            parent: (0..n as u32).collect(),
+        }
+    }
+
+    fn find(&mut self, x: u32) -> u32 {
+        let mut root = x;
+        while self.parent[root as usize] != root {
+            root = self.parent[root as usize];
+        }
+        let mut cur = x;
+        while self.parent[cur as usize] != root {
+            let next = self.parent[cur as usize];
+            self.parent[cur as usize] = root;
+            cur = next;
+        }
+        root
+    }
+
+    fn union(&mut self, a: u32, b: u32) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[ra as usize] = rb;
+        }
+    }
+}
+
+/// Collapses the full stuck-at fault list of `circuit` by structural
+/// equivalence.
+///
+/// The output-side fault of each equivalence relation is kept as the
+/// class representative (deeper in the circuit, closer to the observe
+/// points), except for classes containing an observe point, whose output
+/// fault wins.
+pub fn collapse_stuck_at(circuit: &Circuit) -> CollapsedFaults {
+    let n = circuit.num_nets();
+    let mut dsu = Dsu::new(n * 2);
+    let id = |net: NetId, value: bool| (net.index() * 2 + usize::from(value)) as u32;
+
+    for gate in circuit.gates() {
+        let table = circuit.gate_type(gate).table();
+        let inputs = circuit.gate_inputs(gate);
+        let out = circuit.gate_output(gate);
+        // Fanout-free chaining only: an input fault is equivalent to the
+        // output fault when the input net has a single consumer.
+        for (i, &input_net) in inputs.iter().enumerate() {
+            if circuit.fanout(input_net).len() != 1 {
+                continue;
+            }
+            for v in [false, true] {
+                // Is the output constant when input i is forced to v?
+                let mut constant: Option<Lv> = None;
+                let mut is_constant = true;
+                let k = inputs.len();
+                for combo in 0..(1usize << k) {
+                    if (combo >> i) & 1 != usize::from(v) {
+                        continue;
+                    }
+                    let bits: Vec<bool> = (0..k).map(|j| (combo >> j) & 1 == 1).collect();
+                    let o = table.eval_bits(&bits);
+                    match constant {
+                        None => constant = Some(o),
+                        Some(prev) if prev == o => {}
+                        Some(_) => {
+                            is_constant = false;
+                            break;
+                        }
+                    }
+                }
+                if is_constant {
+                    if let Some(w) = constant.and_then(Lv::to_bool) {
+                        dsu.union(id(input_net, v), id(out, w));
+                    }
+                }
+            }
+        }
+    }
+
+    // Build classes, keeping the representative with the greatest level
+    // (closest to the outputs).
+    let depth = |net: NetId| -> u32 {
+        circuit
+            .driver(net)
+            .map(|g| circuit.gate_level(g) + 1)
+            .unwrap_or(0)
+    };
+    let mut class_index: HashMap<u32, u32> = HashMap::new();
+    let mut class_of = vec![0u32; n * 2];
+    let mut best: Vec<(u32, NetId, bool)> = Vec::new();
+    for net in circuit.nets() {
+        for v in [false, true] {
+            let root = dsu.find(id(net, v));
+            let next = class_index.len() as u32;
+            let class = *class_index.entry(root).or_insert(next);
+            class_of[net.index() * 2 + usize::from(v)] = class;
+            let d = depth(net);
+            if class as usize == best.len() {
+                best.push((d, net, v));
+            } else if d > best[class as usize].0 {
+                best[class as usize] = (d, net, v);
+            }
+        }
+    }
+    let representatives = best
+        .iter()
+        .map(|&(_, net, value)| GateFault::StuckAt { net, value })
+        .collect();
+    CollapsedFaults {
+        representatives,
+        class_of,
+        classes: class_index.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icd_logic::TruthTable;
+    use icd_netlist::{CircuitBuilder, GateType, Library};
+
+    fn lib() -> Library {
+        let mut lib = Library::new();
+        lib.insert(
+            GateType::new("INV", ["A"], TruthTable::from_fn(1, |b| !b[0])).unwrap(),
+        )
+        .unwrap();
+        lib.insert(
+            GateType::new(
+                "NAND2",
+                ["A", "B"],
+                TruthTable::from_fn(2, |b| !(b[0] & b[1])),
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        lib
+    }
+
+    #[test]
+    fn inverter_chain_collapses_to_two_classes() {
+        // a -> INV -> INV -> y: all faults collapse onto y's two faults.
+        let lib = lib();
+        let mut b = CircuitBuilder::new("c", &lib);
+        let a = b.add_input("a");
+        let m = b.add_gate("INV", &[a], None).unwrap();
+        let y = b.add_gate("INV", &[m], None).unwrap();
+        b.mark_output(y, "y");
+        let c = b.finish().unwrap();
+        let collapsed = collapse_stuck_at(&c);
+        assert_eq!(collapsed.num_classes(), 2);
+        // a sa0 ≡ m sa1 ≡ y sa0.
+        assert!(collapsed.equivalent((a, false), (m, true)));
+        assert!(collapsed.equivalent((a, false), (y, false)));
+        assert!(!collapsed.equivalent((a, false), (y, true)));
+    }
+
+    #[test]
+    fn nand_controlling_input_collapses_with_output() {
+        let lib = lib();
+        let mut bld = CircuitBuilder::new("c", &lib);
+        let a = bld.add_input("a");
+        let b = bld.add_input("b");
+        let y = bld.add_gate("NAND2", &[a, b], None).unwrap();
+        bld.mark_output(y, "y");
+        let c = bld.finish().unwrap();
+        let collapsed = collapse_stuck_at(&c);
+        // a sa0 ≡ b sa0 ≡ y sa1; a sa1, b sa1, y sa0 each alone.
+        assert!(collapsed.equivalent((a, false), (b, false)));
+        assert!(collapsed.equivalent((a, false), (y, true)));
+        assert!(!collapsed.equivalent((a, true), (b, true)));
+        assert_eq!(collapsed.num_classes(), 4);
+    }
+
+    #[test]
+    fn fanout_stems_do_not_collapse() {
+        // a feeds two inverters: a's faults must stay separate from the
+        // branch faults.
+        let lib = lib();
+        let mut b = CircuitBuilder::new("c", &lib);
+        let a = b.add_input("a");
+        let y1 = b.add_gate("INV", &[a], None).unwrap();
+        let y2 = b.add_gate("INV", &[a], None).unwrap();
+        b.mark_output(y1, "y1");
+        b.mark_output(y2, "y2");
+        let c = b.finish().unwrap();
+        let collapsed = collapse_stuck_at(&c);
+        assert!(!collapsed.equivalent((a, false), (y1, true)));
+        assert!(!collapsed.equivalent((a, false), (y2, true)));
+        assert_eq!(collapsed.num_classes(), 6);
+    }
+
+    #[test]
+    fn representatives_cover_every_class_once() {
+        let lib = lib();
+        let mut bld = CircuitBuilder::new("c", &lib);
+        let a = bld.add_input("a");
+        let b = bld.add_input("b");
+        let m = bld.add_gate("NAND2", &[a, b], None).unwrap();
+        let y = bld.add_gate("INV", &[m], None).unwrap();
+        bld.mark_output(y, "y");
+        let c = bld.finish().unwrap();
+        let collapsed = collapse_stuck_at(&c);
+        assert_eq!(collapsed.representatives.len(), collapsed.num_classes());
+        let mut seen = std::collections::BTreeSet::new();
+        for f in &collapsed.representatives {
+            let GateFault::StuckAt { net, value } = *f else {
+                panic!("collapsed list holds stuck-at faults");
+            };
+            assert!(seen.insert(collapsed.class_of(net, value)));
+        }
+    }
+
+    #[test]
+    fn collapsing_shrinks_realistic_circuits() {
+        // Our flat net model has no separate fanout-branch faults (the
+        // classical big win of collapsing), so only single-fanout chains
+        // merge; the reduction is modest but must be real and sound.
+        use icd_netlist::generator;
+        let cells = icd_cells::CellLibrary::standard();
+        let logic = cells.logic_library();
+        let cfg = generator::circuit_a();
+        let c = generator::generate(&cfg, &logic).unwrap();
+        let collapsed = collapse_stuck_at(&c);
+        let full = 2 * c.num_nets();
+        assert!(
+            collapsed.num_classes() < full,
+            "no reduction: {} of {}",
+            collapsed.num_classes(),
+            full
+        );
+        assert_eq!(collapsed.representatives.len(), collapsed.num_classes());
+    }
+
+    #[test]
+    fn collapsed_classes_are_behaviourally_equivalent() {
+        // Soundness: faults merged into one class are detected by exactly
+        // the same patterns.
+        use icd_netlist::generator;
+        let lib = lib();
+        let cfg = generator::GeneratorConfig {
+            name: "col".into(),
+            gates: 40,
+            primary_inputs: 5,
+            primary_outputs: 5,
+            flip_flops: 0,
+            scan_chains: 0,
+            seed: 77,
+        };
+        let c = generator::generate(&cfg, &lib).unwrap();
+        let patterns: Vec<icd_logic::Pattern> = (0..32u32)
+            .map(|i| {
+                icd_logic::Pattern::from_bits((0..5).map(move |k| (i >> k) & 1 == 1))
+            })
+            .collect();
+        let good = icd_faultsim::good_simulate(&c, &patterns).unwrap();
+        let collapsed = collapse_stuck_at(&c);
+        // Group faults by class and compare detection vectors.
+        let mut by_class: std::collections::HashMap<usize, Vec<Vec<bool>>> = Default::default();
+        for net in c.nets() {
+            for v in [false, true] {
+                let det = icd_faultsim::detects(&c, &good, &GateFault::stuck_at(net, v));
+                by_class
+                    .entry(collapsed.class_of(net, v))
+                    .or_default()
+                    .push(det);
+            }
+        }
+        for (class, dets) in by_class {
+            for d in &dets[1..] {
+                assert_eq!(d, &dets[0], "class {class} is not test-equivalent");
+            }
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! Test pattern generation — the "commercial ATPG tool" substitute.
+//!
+//! The paper generates its experiment test sets with a commercial ATPG
+//! targeting transition faults (test lengths 25 and 500 for circuits A and
+//! B, §4.1) and stuck-at/transition/bridging sets for the silicon circuits
+//! (Table 6). This crate reproduces that capability:
+//!
+//! * [`podem`] — a complete (up to a backtrack limit) PODEM implementation
+//!   for single stuck-at faults over arbitrary truth-table gates.
+//! * [`justify`] — PODEM's justification half: find a pattern that sets one
+//!   net to a value (used to build the launch half of transition pairs).
+//! * [`transition_pair`] — a two-pattern (launch, capture) test for a
+//!   transition fault, applied as consecutive patterns of the ordered
+//!   sequence.
+//! * [`generate_test_set`] — the production flow: random patterns, fault
+//!   simulation to measure and compact, deterministic PODEM top-off for
+//!   the hard faults, padded or truncated to the target length.
+//!
+//! # Example
+//!
+//! ```
+//! use icd_atpg::podem;
+//! use icd_faultsim::GateFault;
+//! use icd_logic::TruthTable;
+//! use icd_netlist::{CircuitBuilder, GateType, Library};
+//!
+//! let mut lib = Library::new();
+//! lib.insert(GateType::new("AND2", ["A", "B"], TruthTable::from_fn(2, |b| b[0] & b[1]))?)?;
+//! let mut b = CircuitBuilder::new("c", &lib);
+//! let a = b.add_input("a");
+//! let c = b.add_input("c");
+//! let y = b.add_gate("AND2", &[a, c], None)?;
+//! b.mark_output(y, "y");
+//! let circuit = b.finish()?;
+//!
+//! // y stuck-at-0 needs a=c=1.
+//! let p = podem(&circuit, &GateFault::stuck_at(y, false), 1000).expect("testable");
+//! assert_eq!(p.to_string(), "11");
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod collapse;
+mod podem;
+mod testgen;
+
+pub use collapse::{collapse_stuck_at, CollapsedFaults};
+pub use podem::{justify, podem, transition_pair};
+pub use testgen::{
+    fault_coverage, random_patterns, generate_test_set, FaultKind, TestSetConfig,
+};

@@ -1,0 +1,457 @@
+use icd_faultsim::GateFault;
+use icd_logic::{Lv, Pattern};
+use icd_netlist::{Circuit, NetId};
+
+/// Simulates the circuit in three-valued logic under a primary-input
+/// assignment, optionally forcing one net (the faulty machine).
+fn simulate(
+    circuit: &Circuit,
+    pi_values: &[Lv],
+    force: Option<(NetId, Lv)>,
+) -> Vec<Lv> {
+    let mut values = vec![Lv::U; circuit.num_nets()];
+    for (i, &net) in circuit.inputs().iter().enumerate() {
+        values[net.index()] = pi_values[i];
+    }
+    if let Some((net, v)) = force {
+        values[net.index()] = v;
+    }
+    let mut ins: Vec<Lv> = Vec::with_capacity(8);
+    for &gate in circuit.topo_order() {
+        let out = circuit.gate_output(gate);
+        if let Some((forced_net, _)) = force {
+            if out == forced_net {
+                continue; // the fault dominates its driver
+            }
+        }
+        ins.clear();
+        ins.extend(
+            circuit
+                .gate_inputs(gate)
+                .iter()
+                .map(|&n| values[n.index()]),
+        );
+        values[out.index()] = circuit
+            .gate_type(gate)
+            .table()
+            .eval(&ins)
+            .expect("arity checked at construction");
+    }
+    values
+}
+
+/// Whether a difference at some D-frontier output can still reach an
+/// output through not-yet-settled nets.
+fn x_path_exists(circuit: &Circuit, good: &[Lv], faulty: &[Lv], from: &[NetId]) -> bool {
+    let open = |n: NetId| good[n.index()] == Lv::U || faulty[n.index()] == Lv::U;
+    let outputs: std::collections::HashSet<usize> =
+        circuit.outputs().iter().map(|n| n.index()).collect();
+    let mut seen = vec![false; circuit.num_nets()];
+    let mut stack: Vec<NetId> = from.to_vec();
+    for n in &stack {
+        seen[n.index()] = true;
+    }
+    while let Some(net) = stack.pop() {
+        if outputs.contains(&net.index()) {
+            return true;
+        }
+        for &g in circuit.fanout(net) {
+            let out = circuit.gate_output(g);
+            if !seen[out.index()] && open(out) {
+                seen[out.index()] = true;
+                stack.push(out);
+            }
+        }
+    }
+    false
+}
+
+/// D-frontier: gates with a conflicting input whose output has not settled
+/// to a (known, equal) pair yet.
+fn d_frontier(circuit: &Circuit, good: &[Lv], faulty: &[Lv]) -> Vec<icd_netlist::GateId> {
+    let mut frontier = Vec::new();
+    for gate in circuit.gates() {
+        let out = circuit.gate_output(gate);
+        let go = good[out.index()];
+        let fo = faulty[out.index()];
+        let output_open = go == Lv::U || fo == Lv::U;
+        if !output_open {
+            continue;
+        }
+        let has_diff_input = circuit
+            .gate_inputs(gate)
+            .iter()
+            .any(|&n| good[n.index()].conflicts_with(faulty[n.index()]));
+        if has_diff_input {
+            frontier.push(gate);
+        }
+    }
+    frontier
+}
+
+/// Backtraces an objective `(net, value)` to a primary-input assignment.
+fn backtrace(circuit: &Circuit, good: &[Lv], mut net: NetId, mut value: Lv) -> Option<(usize, Lv)> {
+    loop {
+        let Some(gate) = circuit.driver(net) else {
+            // Reached a primary input.
+            let pi = circuit.inputs().iter().position(|&n| n == net)?;
+            return Some((pi, value));
+        };
+        let table = circuit.gate_type(gate).table();
+        let inputs = circuit.gate_inputs(gate);
+        let j = inputs
+            .iter()
+            .position(|&n| good[n.index()] == Lv::U)?;
+        // Choose the value for input j that makes `value` reachable.
+        let mut chosen = None;
+        let mut ins: Vec<Lv> = inputs.iter().map(|&n| good[n.index()]).collect();
+        for w in [Lv::One, Lv::Zero] {
+            ins[j] = w;
+            let out = table.eval(&ins).expect("arity ok");
+            if out == value {
+                chosen = Some(w);
+                break;
+            }
+            if out == Lv::U && chosen.is_none() {
+                chosen = Some(w);
+            }
+        }
+        let w = chosen.unwrap_or(Lv::One);
+        net = inputs[j];
+        value = w;
+    }
+}
+
+enum Goal {
+    DetectStuckAt { net: NetId, stuck: bool },
+    Justify { net: NetId, value: Lv },
+}
+
+fn podem_engine(circuit: &Circuit, goal: &Goal, max_backtracks: usize) -> Option<Pattern> {
+    let num_pis = circuit.inputs().len();
+    let mut pi_values = vec![Lv::U; num_pis];
+    // Decision stack: (pi index, value, already flipped).
+    let mut stack: Vec<(usize, Lv, bool)> = Vec::new();
+    let mut backtracks = 0usize;
+
+    loop {
+        let good = simulate(circuit, &pi_values, None);
+        let (success, failed, objective) = match goal {
+            Goal::Justify { net, value } => {
+                let cur = good[net.index()];
+                if cur == *value {
+                    (true, false, None)
+                } else if cur.conflicts_with(*value) {
+                    (false, true, None)
+                } else {
+                    (false, false, Some((*net, *value)))
+                }
+            }
+            Goal::DetectStuckAt { net, stuck } => {
+                let stuck_lv = Lv::from(*stuck);
+                let faulty = simulate(circuit, &pi_values, Some((*net, stuck_lv)));
+                let detected = circuit
+                    .outputs()
+                    .iter()
+                    .any(|&o| good[o.index()].conflicts_with(faulty[o.index()]));
+                if detected {
+                    (true, false, None)
+                } else if good[net.index()] == stuck_lv {
+                    (false, true, None) // can never excite on this branch
+                } else if good[net.index()] == Lv::U {
+                    (false, false, Some((*net, !stuck_lv)))
+                } else {
+                    // Excited: pick a D-frontier gate to propagate through.
+                    let frontier = d_frontier(circuit, &good, &faulty);
+                    if frontier.is_empty() {
+                        (false, true, None)
+                    } else {
+                        let fronts: Vec<NetId> = frontier
+                            .iter()
+                            .map(|&g| circuit.gate_output(g))
+                            .collect();
+                        if !x_path_exists(circuit, &good, &faulty, &fronts) {
+                            (false, true, None)
+                        } else {
+                            let gate = frontier[0];
+                            let table = circuit.gate_type(gate).table();
+                            let inputs = circuit.gate_inputs(gate);
+                            let j = inputs
+                                .iter()
+                                .position(|&n| good[n.index()] == Lv::U);
+                            match j {
+                                None => (false, true, None),
+                                Some(j) => {
+                                    // Prefer the value that exposes the
+                                    // difference at the gate output.
+                                    let mut gi: Vec<Lv> =
+                                        inputs.iter().map(|&n| good[n.index()]).collect();
+                                    let mut fi: Vec<Lv> =
+                                        inputs.iter().map(|&n| faulty[n.index()]).collect();
+                                    let mut want = Lv::One;
+                                    for w in [Lv::One, Lv::Zero] {
+                                        gi[j] = w;
+                                        fi[j] = w;
+                                        let go = table.eval(&gi).expect("arity");
+                                        let fo = table.eval(&fi).expect("arity");
+                                        if go.conflicts_with(fo) {
+                                            want = w;
+                                            break;
+                                        }
+                                    }
+                                    (false, false, Some((inputs[j], want)))
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        };
+
+        if success {
+            return Some(Pattern::new(pi_values));
+        }
+        if failed {
+            // Backtrack: flip the most recent unflipped decision.
+            loop {
+                match stack.pop() {
+                    None => return None,
+                    Some((pi, v, flipped)) => {
+                        pi_values[pi] = Lv::U;
+                        if !flipped {
+                            backtracks += 1;
+                            if backtracks > max_backtracks {
+                                return None;
+                            }
+                            let nv = !v;
+                            pi_values[pi] = nv;
+                            stack.push((pi, nv, true));
+                            break;
+                        }
+                    }
+                }
+            }
+            continue;
+        }
+
+        let (net, value) = objective.expect("no success, no failure: objective exists");
+        match backtrace(circuit, &simulate(circuit, &pi_values, None), net, value) {
+            Some((pi, w)) => {
+                pi_values[pi] = w;
+                stack.push((pi, w, false));
+            }
+            None => {
+                // Cannot backtrace: treat as failure.
+                loop {
+                    match stack.pop() {
+                        None => return None,
+                        Some((pi, v, flipped)) => {
+                            pi_values[pi] = Lv::U;
+                            if !flipped {
+                                backtracks += 1;
+                                if backtracks > max_backtracks {
+                                    return None;
+                                }
+                                let nv = !v;
+                                pi_values[pi] = nv;
+                                stack.push((pi, nv, true));
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// PODEM test generation for a single stuck-at fault.
+///
+/// Returns a (possibly partially specified) pattern that detects the fault
+/// at some circuit output, or `None` when the fault is untestable or the
+/// backtrack limit is exceeded.
+///
+/// # Panics
+///
+/// Panics if `fault` is not a stuck-at fault — transition tests are built
+/// from stuck-at tests by [`transition_pair`].
+pub fn podem(circuit: &Circuit, fault: &GateFault, max_backtracks: usize) -> Option<Pattern> {
+    let GateFault::StuckAt { net, value } = *fault else {
+        panic!("podem targets stuck-at faults; use transition_pair for delay faults");
+    };
+    podem_engine(
+        circuit,
+        &Goal::DetectStuckAt { net, stuck: value },
+        max_backtracks,
+    )
+}
+
+/// Finds a pattern that justifies `net = value` (no propagation
+/// requirement), or `None` when impossible within the backtrack limit.
+pub fn justify(
+    circuit: &Circuit,
+    net: NetId,
+    value: bool,
+    max_backtracks: usize,
+) -> Option<Pattern> {
+    podem_engine(
+        circuit,
+        &Goal::Justify {
+            net,
+            value: Lv::from(value),
+        },
+        max_backtracks,
+    )
+}
+
+/// Builds a two-pattern (launch, capture) test for a transition fault:
+/// the launch pattern sets the slow net to its initial value, the capture
+/// pattern launches the transition and propagates the late value to an
+/// output. Applied as consecutive patterns of the ordered test sequence.
+///
+/// # Panics
+///
+/// Panics if `fault` is not a transition fault.
+pub fn transition_pair(
+    circuit: &Circuit,
+    fault: &GateFault,
+    max_backtracks: usize,
+) -> Option<(Pattern, Pattern)> {
+    let (net, initial) = match *fault {
+        GateFault::SlowToRise { net } => (net, false),
+        GateFault::SlowToFall { net } => (net, true),
+        _ => panic!("transition_pair targets transition faults"),
+    };
+    // Capture: detect net stuck-at-initial (sets net to !initial and
+    // propagates it). Launch: justify net = initial.
+    let capture = podem(circuit, &GateFault::stuck_at(net, initial), max_backtracks)?;
+    let launch = justify(circuit, net, initial, max_backtracks)?;
+    Some((launch, capture))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icd_logic::TruthTable;
+    use icd_netlist::{CircuitBuilder, GateType, Library};
+
+    fn lib() -> Library {
+        let mut lib = Library::new();
+        lib.insert(
+            GateType::new("INV", ["A"], TruthTable::from_fn(1, |b| !b[0])).unwrap(),
+        )
+        .unwrap();
+        lib.insert(
+            GateType::new(
+                "AND2",
+                ["A", "B"],
+                TruthTable::from_fn(2, |b| b[0] & b[1]),
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        lib.insert(
+            GateType::new(
+                "OR2",
+                ["A", "B"],
+                TruthTable::from_fn(2, |b| b[0] | b[1]),
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        lib
+    }
+
+    /// y = (a & b) | (!a & c) — a mux-like circuit with reconvergence.
+    fn mux_circuit(lib: &Library) -> Circuit {
+        let mut bld = CircuitBuilder::new("mux", lib);
+        let a = bld.add_input("a");
+        let b = bld.add_input("b");
+        let c = bld.add_input("c");
+        let an = bld.add_gate("INV", &[a], None).unwrap();
+        let t1 = bld.add_gate("AND2", &[a, b], None).unwrap();
+        let t2 = bld.add_gate("AND2", &[an, c], None).unwrap();
+        let y = bld.add_gate("OR2", &[t1, t2], None).unwrap();
+        bld.mark_output(y, "y");
+        bld.finish().unwrap()
+    }
+
+    fn check_detects(circuit: &Circuit, fault: &GateFault, pattern: &Pattern) {
+        // Fill unknowns with 0 and verify by simulation.
+        let filled = Pattern::new(
+            pattern
+                .iter()
+                .map(|&v| if v == Lv::U { Lv::Zero } else { v }),
+        );
+        let good = icd_faultsim::good_simulate(circuit, &[filled]).unwrap();
+        assert!(
+            icd_faultsim::detects_any(circuit, &good, fault),
+            "pattern {pattern} does not detect {fault}"
+        );
+    }
+
+    #[test]
+    fn podem_finds_tests_for_all_stuck_at_faults() {
+        let lib = lib();
+        let c = mux_circuit(&lib);
+        for fault in icd_faultsim::enumerate_stuck_at(&c) {
+            let p = podem(&c, &fault, 10_000);
+            // Every stuck-at fault in this small irredundant circuit is
+            // testable.
+            let p = p.unwrap_or_else(|| panic!("no test for {fault}"));
+            check_detects(&c, &fault, &p);
+        }
+    }
+
+    #[test]
+    fn justify_sets_internal_net() {
+        let lib = lib();
+        let c = mux_circuit(&lib);
+        // Justify the inverter output to 1 (needs a = 0).
+        let an = c.gate_output(c.topo_order()[0]);
+        let p = justify(&c, an, true, 1000).unwrap();
+        assert_eq!(p[0], Lv::Zero);
+    }
+
+    #[test]
+    fn transition_pair_launches_and_captures() {
+        let lib = lib();
+        let c = mux_circuit(&lib);
+        let y = c.outputs()[0];
+        let fault = GateFault::SlowToRise { net: y };
+        let (launch, capture) = transition_pair(&c, &fault, 10_000).unwrap();
+        // Simulate the two-pattern sequence and check detection.
+        let fill = |p: &Pattern| {
+            Pattern::new(p.iter().map(|&v| if v == Lv::U { Lv::Zero } else { v }))
+        };
+        let pats = vec![fill(&launch), fill(&capture)];
+        let good = icd_faultsim::good_simulate(&c, &pats).unwrap();
+        let det = icd_faultsim::detects(&c, &good, &fault);
+        assert_eq!(det, vec![false, true]);
+    }
+
+    #[test]
+    fn untestable_fault_returns_none() {
+        let lib = lib();
+        // y = a & !a  == constant 0: stuck-at-0 at y is untestable.
+        let mut bld = CircuitBuilder::new("const", &lib);
+        let a = bld.add_input("a");
+        let an = bld.add_gate("INV", &[a], None).unwrap();
+        let y = bld.add_gate("AND2", &[a, an], None).unwrap();
+        bld.mark_output(y, "y");
+        let c = bld.finish().unwrap();
+        let y_net = c.outputs()[0];
+        assert!(podem(&c, &GateFault::stuck_at(y_net, false), 10_000).is_none());
+        // ... while stuck-at-1 is detected by any pattern.
+        assert!(podem(&c, &GateFault::stuck_at(y_net, true), 10_000).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "stuck-at")]
+    fn podem_rejects_transition_faults() {
+        let lib = lib();
+        let c = mux_circuit(&lib);
+        let y = c.outputs()[0];
+        let _ = podem(&c, &GateFault::SlowToRise { net: y }, 10);
+    }
+}

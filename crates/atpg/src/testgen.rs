@@ -1,0 +1,298 @@
+use icd_faultsim::{detects, good_simulate, GateFault};
+use icd_logic::{Lv, Pattern};
+use icd_netlist::Circuit;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::{podem, transition_pair};
+
+/// Which fault model a test set targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Single stuck-at faults.
+    StuckAt,
+    /// Transition (slow-to-rise / slow-to-fall) faults.
+    Transition,
+}
+
+/// Configuration for [`generate_test_set`].
+#[derive(Debug, Clone)]
+pub struct TestSetConfig {
+    /// Exact number of patterns to produce (the paper's test lengths: 25,
+    /// 500, 1000, 1055).
+    pub target_length: usize,
+    /// Targeted fault model.
+    pub kind: FaultKind,
+    /// Random patterns generated before compaction / top-off.
+    pub random_patterns: usize,
+    /// Whether to run deterministic PODEM top-off for undetected faults.
+    /// Disable on multi-million-gate circuits where random patterns are the
+    /// realistic choice.
+    pub podem_topoff: bool,
+    /// Cap on the number of faults considered (seeded sample); `None`
+    /// targets the full fault list.
+    pub max_faults: Option<usize>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl TestSetConfig {
+    /// A sensible configuration targeting transition faults — the paper's
+    /// §4.1 setup ("test sets target transition fault models").
+    pub fn transition(target_length: usize, seed: u64) -> Self {
+        TestSetConfig {
+            target_length,
+            kind: FaultKind::Transition,
+            random_patterns: target_length * 2,
+            podem_topoff: true,
+            max_faults: Some(4000),
+            seed,
+        }
+    }
+
+    /// A stuck-at-targeted configuration.
+    pub fn stuck_at(target_length: usize, seed: u64) -> Self {
+        TestSetConfig {
+            target_length,
+            kind: FaultKind::StuckAt,
+            random_patterns: target_length * 2,
+            podem_topoff: true,
+            max_faults: Some(4000),
+            seed,
+        }
+    }
+}
+
+/// Generates `count` uniformly random fully specified patterns.
+pub fn random_patterns(circuit: &Circuit, count: usize, seed: u64) -> Vec<Pattern> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let width = circuit.inputs().len();
+    (0..count)
+        .map(|_| Pattern::from_bits((0..width).map(|_| rng.random_bool(0.5))))
+        .collect()
+}
+
+fn fill_unknowns(pattern: &Pattern, rng: &mut StdRng) -> Pattern {
+    Pattern::new(pattern.iter().map(|&v| {
+        if v == Lv::U {
+            Lv::from(rng.random_bool(0.5))
+        } else {
+            v
+        }
+    }))
+}
+
+fn fault_list(circuit: &Circuit, kind: FaultKind, cap: Option<usize>, seed: u64) -> Vec<GateFault> {
+    let mut faults = match kind {
+        // Structural equivalence collapsing: one representative per class.
+        FaultKind::StuckAt => crate::collapse_stuck_at(circuit).representatives,
+        FaultKind::Transition => icd_faultsim::enumerate_transitions(circuit),
+    };
+    if let Some(cap) = cap {
+        if faults.len() > cap {
+            let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed);
+            faults.shuffle(&mut rng);
+            faults.truncate(cap);
+        }
+    }
+    faults
+}
+
+/// Fraction of `faults` detected by the ordered pattern sequence.
+///
+/// # Panics
+///
+/// Panics if the patterns are malformed for the circuit.
+pub fn fault_coverage(circuit: &Circuit, patterns: &[Pattern], faults: &[GateFault]) -> f64 {
+    if faults.is_empty() {
+        return 1.0;
+    }
+    let good = good_simulate(circuit, patterns).expect("well-formed patterns");
+    let detected = faults
+        .iter()
+        .filter(|f| detects(circuit, &good, f).iter().any(|&d| d))
+        .count();
+    detected as f64 / faults.len() as f64
+}
+
+/// Generates an ordered test set of exactly `config.target_length` fully
+/// specified patterns: a seeded random phase, greedy useless-pattern
+/// removal (stuck-at only — dropping patterns would change the transition
+/// pairing of an ordered sequence), deterministic PODEM top-off for the
+/// remaining undetected faults, then padding/truncation to the target
+/// length.
+///
+/// # Panics
+///
+/// Panics if the circuit has no inputs.
+pub fn generate_test_set(circuit: &Circuit, config: &TestSetConfig) -> Vec<Pattern> {
+    assert!(
+        !circuit.inputs().is_empty(),
+        "cannot generate tests for a circuit without inputs"
+    );
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let faults = fault_list(circuit, config.kind, config.max_faults, config.seed);
+
+    let mut patterns = random_patterns(circuit, config.random_patterns, config.seed ^ 0xabcd);
+    let mut undetected: Vec<GateFault> = Vec::new();
+
+    if patterns.is_empty() {
+        undetected = faults.clone();
+    } else {
+        let good = good_simulate(circuit, &patterns).expect("random patterns are well-formed");
+        match config.kind {
+            FaultKind::StuckAt => {
+                // Greedy selection: keep each pattern only if it is the
+                // first detector of some fault.
+                let mut keep = vec![false; patterns.len()];
+                for fault in &faults {
+                    let det = detects(circuit, &good, fault);
+                    match det.iter().position(|&d| d) {
+                        Some(t) => keep[t] = true,
+                        None => undetected.push(*fault),
+                    }
+                }
+                patterns = patterns
+                    .into_iter()
+                    .zip(keep)
+                    .filter_map(|(p, k)| k.then_some(p))
+                    .collect();
+            }
+            FaultKind::Transition => {
+                // Ordered sequence: no compaction, only coverage analysis.
+                for fault in &faults {
+                    if !detects(circuit, &good, fault).iter().any(|&d| d) {
+                        undetected.push(*fault);
+                    }
+                }
+            }
+        }
+    }
+
+    if config.podem_topoff {
+        for fault in &undetected {
+            if patterns.len() >= config.target_length {
+                break;
+            }
+            match config.kind {
+                FaultKind::StuckAt => {
+                    if let Some(p) = podem(circuit, fault, 2000) {
+                        patterns.push(fill_unknowns(&p, &mut rng));
+                    }
+                }
+                FaultKind::Transition => {
+                    if let Some((launch, capture)) = transition_pair(circuit, fault, 2000) {
+                        patterns.push(fill_unknowns(&launch, &mut rng));
+                        patterns.push(fill_unknowns(&capture, &mut rng));
+                    }
+                }
+            }
+        }
+    }
+
+    // Normalize to the target length.
+    patterns.truncate(config.target_length);
+    let missing = config.target_length - patterns.len();
+    if missing > 0 {
+        patterns.extend(random_patterns(circuit, missing, config.seed ^ 0xffff));
+    }
+    patterns
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icd_logic::TruthTable;
+    use icd_netlist::{CircuitBuilder, GateType, Library};
+
+    fn lib() -> Library {
+        let mut lib = Library::new();
+        lib.insert(
+            GateType::new("INV", ["A"], TruthTable::from_fn(1, |b| !b[0])).unwrap(),
+        )
+        .unwrap();
+        lib.insert(
+            GateType::new(
+                "NAND2",
+                ["A", "B"],
+                TruthTable::from_fn(2, |b| !(b[0] & b[1])),
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        lib
+    }
+
+    /// A small tree of NAND gates.
+    fn circuit(lib: &Library) -> Circuit {
+        let mut bld = CircuitBuilder::new("tree", lib);
+        let pis: Vec<_> = (0..4).map(|i| bld.add_input(&format!("a{i}"))).collect();
+        let x = bld.add_gate("NAND2", &[pis[0], pis[1]], None).unwrap();
+        let y = bld.add_gate("NAND2", &[pis[2], pis[3]], None).unwrap();
+        let z = bld.add_gate("NAND2", &[x, y], None).unwrap();
+        bld.mark_output(z, "z");
+        bld.finish().unwrap()
+    }
+
+    #[test]
+    fn random_patterns_are_deterministic_and_specified() {
+        let lib = lib();
+        let c = circuit(&lib);
+        let a = random_patterns(&c, 10, 42);
+        let b = random_patterns(&c, 10, 42);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|p| p.is_fully_specified()));
+    }
+
+    #[test]
+    fn stuck_at_set_reaches_full_coverage() {
+        let lib = lib();
+        let c = circuit(&lib);
+        let cfg = TestSetConfig::stuck_at(16, 7);
+        let pats = generate_test_set(&c, &cfg);
+        assert_eq!(pats.len(), 16);
+        let faults = icd_faultsim::enumerate_stuck_at(&c);
+        let cov = fault_coverage(&c, &pats, &faults);
+        assert!(
+            cov > 0.99,
+            "stuck-at coverage {cov} should be complete on this tree"
+        );
+    }
+
+    #[test]
+    fn transition_set_detects_most_transitions() {
+        let lib = lib();
+        let c = circuit(&lib);
+        let cfg = TestSetConfig::transition(25, 3);
+        let pats = generate_test_set(&c, &cfg);
+        assert_eq!(pats.len(), 25);
+        let faults = icd_faultsim::enumerate_transitions(&c);
+        let cov = fault_coverage(&c, &pats, &faults);
+        assert!(cov > 0.8, "transition coverage {cov} too low");
+    }
+
+    #[test]
+    fn target_length_is_exact_even_without_topoff() {
+        let lib = lib();
+        let c = circuit(&lib);
+        let cfg = TestSetConfig {
+            target_length: 9,
+            kind: FaultKind::StuckAt,
+            random_patterns: 0,
+            podem_topoff: false,
+            max_faults: Some(10),
+            seed: 1,
+        };
+        let pats = generate_test_set(&c, &cfg);
+        assert_eq!(pats.len(), 9);
+        assert!(pats.iter().all(|p| p.is_fully_specified()));
+    }
+
+    #[test]
+    fn coverage_of_empty_fault_list_is_one() {
+        let lib = lib();
+        let c = circuit(&lib);
+        assert_eq!(fault_coverage(&c, &random_patterns(&c, 4, 0), &[]), 1.0);
+    }
+}

@@ -1,0 +1,105 @@
+//! Property-based tests for test generation: PODEM's patterns must
+//! actually detect their target faults under any completion of the
+//! unspecified inputs.
+
+use icd_atpg::{justify, podem, transition_pair};
+use icd_cells::CellLibrary;
+use icd_faultsim::{detects_any, good_simulate, GateFault, ternary_simulate};
+use icd_logic::{Lv, Pattern};
+use icd_netlist::{generator, Circuit};
+use proptest::prelude::*;
+
+fn random_circuit(seed: u64, gates: usize) -> Circuit {
+    let cells = CellLibrary::standard();
+    let logic = cells.logic_library();
+    let cfg = generator::GeneratorConfig {
+        name: format!("p{seed}"),
+        gates,
+        primary_inputs: 5,
+        primary_outputs: 5,
+        flip_flops: 0,
+        scan_chains: 0,
+        seed,
+    };
+    generator::generate(&cfg, &logic).expect("generates")
+}
+
+fn fill(pattern: &Pattern, with: bool) -> Pattern {
+    Pattern::new(pattern.iter().map(|&v| {
+        if v == Lv::U {
+            Lv::from(with)
+        } else {
+            v
+        }
+    }))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Whenever PODEM produces a pattern, the pattern detects the fault —
+    /// for both the all-zeros and all-ones completion of the unspecified
+    /// positions (PODEM's success condition is completion-independent).
+    #[test]
+    fn podem_patterns_detect_their_fault(seed in any::<u64>(), gates in 5usize..40) {
+        let circuit = random_circuit(seed, gates);
+        // Test a handful of stuck-at faults on gate outputs.
+        for g in circuit.gates().take(6) {
+            let net = circuit.gate_output(g);
+            for value in [false, true] {
+                let fault = GateFault::stuck_at(net, value);
+                if let Some(p) = podem(&circuit, &fault, 4000) {
+                    for completion in [false, true] {
+                        let filled = fill(&p, completion);
+                        let good = good_simulate(&circuit, &[filled]).expect("simulates");
+                        prop_assert!(
+                            detects_any(&circuit, &good, &fault),
+                            "{fault} not detected by {p} (fill {completion})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Whenever `justify` produces a pattern, the net really takes the
+    /// requested value.
+    #[test]
+    fn justify_sets_the_requested_value(seed in any::<u64>(), gates in 5usize..40) {
+        let circuit = random_circuit(seed, gates);
+        for g in circuit.gates().take(6) {
+            let net = circuit.gate_output(g);
+            for value in [false, true] {
+                if let Some(p) = justify(&circuit, net, value, 4000) {
+                    let vals = ternary_simulate(&circuit, &p).expect("simulates");
+                    prop_assert_eq!(
+                        vals[net.index()],
+                        Lv::from(value),
+                        "justify({}, {}) produced {}",
+                        circuit.net_name(net),
+                        value,
+                        p
+                    );
+                }
+            }
+        }
+    }
+
+    /// Whenever a transition pair is produced, applying (launch, capture)
+    /// consecutively detects the transition fault.
+    #[test]
+    fn transition_pairs_detect_their_fault(seed in any::<u64>(), gates in 5usize..40) {
+        let circuit = random_circuit(seed, gates);
+        for g in circuit.gates().take(4) {
+            let net = circuit.gate_output(g);
+            for fault in [GateFault::SlowToRise { net }, GateFault::SlowToFall { net }] {
+                if let Some((launch, capture)) = transition_pair(&circuit, &fault, 4000) {
+                    let pats = vec![fill(&launch, false), fill(&capture, false)];
+                    let good = good_simulate(&circuit, &pats).expect("simulates");
+                    let det = icd_faultsim::detects(&circuit, &good, &fault);
+                    prop_assert!(det[1], "{fault} not detected by its pair");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! Transistor-level CPT benchmarks: backward trace vs brute-force oracle,
+//! across cell complexity (the paper's "negligible computational time"
+//! claim, §1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use icd_cells::CellLibrary;
+use icd_core::{critical_oracle, transistor_cpt};
+use icd_logic::Lv;
+
+fn inputs_for(cell: &icd_switch::CellNetlist) -> Vec<Lv> {
+    (0..cell.num_inputs())
+        .map(|i| Lv::from(i % 2 == 1))
+        .collect()
+}
+
+fn bench_trace_vs_oracle(c: &mut Criterion) {
+    let cells = CellLibrary::standard();
+    let mut group = c.benchmark_group("cpt");
+    for name in ["AO7SVTX1", "AO8DHVTX1", "AN2BHVTX8", "MUX21HVTX6"] {
+        let cell = cells.get(name).expect("exists").netlist().clone();
+        let inputs = inputs_for(&cell);
+        group.bench_with_input(
+            BenchmarkId::new("trace", name),
+            &(&cell, &inputs),
+            |b, (cell, inputs)| {
+                b.iter(|| transistor_cpt(cell, inputs).expect("traces"));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("oracle", name),
+            &(&cell, &inputs),
+            |b, (cell, inputs)| {
+                b.iter(|| critical_oracle(cell, inputs).expect("enumerates"));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20);
+    targets = bench_trace_vs_oracle
+}
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! The circuit-C comparison (Fig. 14) as a benchmark: effect-cause CPT
+//! diagnosis (2 simulations per pattern, `O(1)` in the defect count)
+//! versus building the defect/fault dictionaries (`O(n²)` serial
+//! injections dominated by the bridging pairs).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use icd_cells::CellLibrary;
+use icd_core::{diagnose, LocalTest};
+use icd_defects::{build_defect_dictionary, build_fault_dictionary};
+
+fn bench_ablation(c: &mut Criterion) {
+    let cells = CellLibrary::standard();
+    let mut group = c.benchmark_group("dictionary_ablation");
+    group.sample_size(20);
+    for name in ["AO7SVTX1", "AO8DHVTX1", "AO9SVTX1"] {
+        let cell = cells.get(name).expect("exists").netlist().clone();
+        let n = cell.num_inputs();
+        let vector = |i: usize| -> Vec<bool> { (0..n).map(|k| (i >> k) & 1 == 1).collect() };
+        let lfp: Vec<LocalTest> = (0..3).map(|i| LocalTest::static_vector(vector(i))).collect();
+        let lpp: Vec<LocalTest> = (3..9)
+            .map(|i| LocalTest::static_vector(vector(i % (1 << n))))
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::new("cpt_diagnose", name),
+            &(&cell, &lfp, &lpp),
+            |b, (cell, lfp, lpp)| {
+                b.iter(|| diagnose(cell, lfp, lpp).expect("diagnoses"));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("defect_dictionary_build", name),
+            &cell,
+            |b, cell| {
+                b.iter(|| build_defect_dictionary(cell).expect("builds"));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("fault_dictionary_build", name),
+            &cell,
+            |b, cell| {
+                b.iter(|| build_fault_dictionary(cell).expect("builds"));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20);
+    targets = bench_ablation
+}
+criterion_main!(benches);

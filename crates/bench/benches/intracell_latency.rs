@@ -1,0 +1,46 @@
+//! The paper's §4.1 runtime claim: "the CPU time required for the
+//! intra-cell diagnosis is lower than 1 sec". This benchmark measures the
+//! complete diagnosis (CPT per pattern, intersections, vindication,
+//! allocation) per cell with paper-sized local pattern sets (≈3 lfp,
+//! ≈6 lpp).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use icd_cells::{CellLibrary, TABLE5_CELL_NAMES};
+use icd_core::{diagnose, LocalTest};
+
+fn local_sets(inputs: usize) -> (Vec<LocalTest>, Vec<LocalTest>) {
+    // Paper-sized sets: about 3 failing and 6 passing local patterns.
+    let vector = |i: usize| -> Vec<bool> { (0..inputs).map(|k| (i >> k) & 1 == 1).collect() };
+    let lfp = (0..3).map(|i| LocalTest::static_vector(vector(i))).collect();
+    let lpp = (3..9)
+        .map(|i| LocalTest::static_vector(vector(i % (1 << inputs))))
+        .collect();
+    (lfp, lpp)
+}
+
+fn bench_diagnose(c: &mut Criterion) {
+    let cells = CellLibrary::standard();
+    let mut group = c.benchmark_group("intracell_diagnose");
+    for name in TABLE5_CELL_NAMES {
+        let cell = cells.get(name).expect("exists").netlist().clone();
+        let (lfp, lpp) = local_sets(cell.num_inputs());
+        group.bench_with_input(
+            BenchmarkId::from_parameter(name),
+            &(&cell, &lfp, &lpp),
+            |b, (cell, lfp, lpp)| {
+                b.iter(|| diagnose(cell, lfp, lpp).expect("diagnoses"));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20);
+    targets = bench_diagnose
+}
+criterion_main!(benches);

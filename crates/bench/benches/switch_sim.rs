@@ -1,0 +1,41 @@
+//! Switch-level simulator benchmarks: steady-state evaluation and
+//! truth-table extraction across the standard cells.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use icd_cells::CellLibrary;
+use icd_switch::Forcing;
+
+fn bench_solve(c: &mut Criterion) {
+    let cells = CellLibrary::standard();
+    let mut group = c.benchmark_group("switch_solve");
+    for name in ["INVHVTX1", "AO8DHVTX1", "AN2BHVTX8", "MUX21HVTX6"] {
+        let cell = cells.get(name).expect("exists").netlist().clone();
+        let bits = vec![true; cell.num_inputs()];
+        group.bench_with_input(BenchmarkId::from_parameter(name), &cell, |b, cell| {
+            b.iter(|| cell.solve_bits(&bits, &Forcing::none()).expect("solves"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_truth_table(c: &mut Criterion) {
+    let cells = CellLibrary::standard();
+    let mut group = c.benchmark_group("switch_truth_table");
+    for name in ["AO7SVTX1", "AO8DHVTX1", "AO9SVTX1"] {
+        let cell = cells.get(name).expect("exists").netlist().clone();
+        group.bench_with_input(BenchmarkId::from_parameter(name), &cell, |b, cell| {
+            b.iter(|| cell.truth_table().expect("extracts"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20);
+    targets = bench_solve, bench_truth_table
+}
+criterion_main!(benches);

@@ -1,0 +1,12 @@
+//! Regenerates the circuit-C case studies (Fig. 13: inter-cell defect;
+//! Fig. 14: dictionary comparison).
+fn main() {
+    let scale = icd_bench::RunScale::from_args();
+    match icd_bench::silicon::circuit_c_report(scale) {
+        Ok(s) => print!("{s}"),
+        Err(e) => {
+            eprintln!("circuit_c failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

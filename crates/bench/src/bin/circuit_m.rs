@@ -1,0 +1,11 @@
+//! Regenerates the circuit-M case study (Fig. 12: multiple open defect).
+fn main() {
+    let scale = icd_bench::RunScale::from_args();
+    match icd_bench::silicon::circuit_m_report(scale) {
+        Ok((s, _)) => print!("{s}"),
+        Err(e) => {
+            eprintln!("circuit_m failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,10 @@
+//! Regenerates the Fig.-1 defect behaviour classes (D1-D4 sweep).
+fn main() {
+    match icd_bench::figures::fig1_defect_classes() {
+        Ok(s) => print!("{s}"),
+        Err(e) => {
+            eprintln!("fig1 failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,10 @@
+//! Regenerates the Fig.-4 local-pattern taxonomy demonstration.
+fn main() {
+    match icd_bench::figures::fig4_taxonomy() {
+        Ok(s) => print!("{s}"),
+        Err(e) => {
+            eprintln!("fig4 failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,10 @@
+//! Regenerates the Figs.-6-8 CPT walkthrough on AO8DHVTX1 under "0111".
+fn main() {
+    match icd_bench::figures::fig6_walkthrough() {
+        Ok(s) => print!("{s}"),
+        Err(e) => {
+            eprintln!("fig6 failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,10 @@
+//! Runs the multiple-defect (no-assumptions) experiment.
+fn main() {
+    match icd_bench::multi::multiplet_report() {
+        Ok(s) => print!("{s}"),
+        Err(e) => {
+            eprintln!("multiplet failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

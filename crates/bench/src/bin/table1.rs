@@ -1,0 +1,12 @@
+//! Regenerates Table 1 (circuit characteristics). Pass `--full` for
+//! paper-scale sizes.
+fn main() {
+    let scale = icd_bench::RunScale::from_args();
+    match icd_bench::tables::table1(scale) {
+        Ok(s) => print!("{s}"),
+        Err(e) => {
+            eprintln!("table1 failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

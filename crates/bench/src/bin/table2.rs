@@ -1,0 +1,10 @@
+//! Regenerates Table 2 (injected-defect diagnosis on circuit A).
+fn main() {
+    match icd_bench::tables::table2() {
+        Ok(s) => print!("{s}"),
+        Err(e) => {
+            eprintln!("table2 failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

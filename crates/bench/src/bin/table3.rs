@@ -1,0 +1,10 @@
+//! Regenerates Table 3 (injected-defect diagnosis on circuit A).
+fn main() {
+    match icd_bench::tables::table3() {
+        Ok(s) => print!("{s}"),
+        Err(e) => {
+            eprintln!("table3 failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,10 @@
+//! Regenerates Table 4 (injected-defect diagnosis on circuit A).
+fn main() {
+    match icd_bench::tables::table4() {
+        Ok(s) => print!("{s}"),
+        Err(e) => {
+            eprintln!("table4 failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

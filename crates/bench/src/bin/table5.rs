@@ -1,0 +1,12 @@
+//! Regenerates Table 5 (the extensive random defect campaign). Pass
+//! `--full` for the larger campaign.
+fn main() {
+    let scale = icd_bench::RunScale::from_args();
+    match icd_bench::tables::table5(scale) {
+        Ok((s, _)) => print!("{s}"),
+        Err(e) => {
+            eprintln!("table5 failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,12 @@
+//! Regenerates Table 6 (silicon circuit characteristics). Pass `--full`
+//! for paper-scale sizes.
+fn main() {
+    let scale = icd_bench::RunScale::from_args();
+    match icd_bench::tables::table6(scale) {
+        Ok(s) => print!("{s}"),
+        Err(e) => {
+            eprintln!("table6 failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,12 @@
+//! Regenerates Table 7 (circuit H silicon case studies H1-H3). Pass
+//! `--full` for paper-scale sizes.
+fn main() {
+    let scale = icd_bench::RunScale::from_args();
+    match icd_bench::silicon::table7(scale) {
+        Ok((s, _)) => print!("{s}"),
+        Err(e) => {
+            eprintln!("table7 failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,342 @@
+//! The AND-OR(-invert) family the paper's experiments centre on.
+//!
+//! Internal net names follow the ones the paper's tables reveal (`N16`,
+//! `N113`, `N55`, `Net118`, …) so that case studies read like the original.
+
+use icd_switch::{CellNetlist, CellNetlistBuilder};
+
+use crate::library::StdCell;
+
+fn build(b: CellNetlistBuilder) -> CellNetlist {
+    b.finish().expect("statically correct cell netlist")
+}
+
+/// `AO7SVTX1`: AOI21, `Z = !(A | (B & C))` (6 transistors).
+///
+/// Table 2 injects `N16` stuck-at-1 here; `N16` is the pull-up node whose
+/// logic value tracks `!A`, which is why the paper reports `Input A Sa0` as
+/// an equivalent candidate.
+pub(crate) fn ao7svtx1() -> StdCell {
+    let mut b = CellNetlistBuilder::new("AO7SVTX1");
+    let a = b.input("A");
+    let bi = b.input("B");
+    let c = b.input("C");
+    let z = b.output("Z");
+    let n16 = b.net("N16");
+    let n17 = b.net("N17");
+    // Pull-up: !A & !(B & C)  =>  A in series with (B || C).
+    b.pmos("P0", a, b.vdd(), n16);
+    b.pmos("P1", bi, n16, z);
+    b.pmos("P2", c, n16, z);
+    // Pull-down: A || (B & C).
+    b.nmos("N3", a, b.gnd(), z);
+    b.nmos("N4", bi, z, n17);
+    b.nmos("N5", c, n17, b.gnd());
+    StdCell::new(build(b), |i| !(i[0] | (i[1] & i[2])))
+}
+
+/// `AO7NHVTX1`: AOI21 (alternative drive flavour), `Z = !(A | (B & C))`
+/// (6 transistors, nMOS named `N0..N2`, pMOS `P3..P5`, pull-up node `N50`).
+///
+/// Table 4 injects a delay defect on `N2D` (the drain of `N2`); Table 3 the
+/// bridge `N50`–`Gc` (gate net of input C).
+pub(crate) fn ao7nhvtx1() -> StdCell {
+    let mut b = CellNetlistBuilder::new("AO7NHVTX1");
+    let a = b.input("A");
+    let bi = b.input("B");
+    let c = b.input("C");
+    let z = b.output("Z");
+    let n50 = b.net("N50");
+    let n51 = b.net("N51");
+    b.nmos("N0", a, b.gnd(), z);
+    b.nmos("N1", bi, z, n51);
+    b.nmos("N2", c, n51, b.gnd());
+    b.pmos("P3", a, b.vdd(), n50);
+    b.pmos("P4", bi, n50, z);
+    b.pmos("P5", c, n50, z);
+    StdCell::new(build(b), |i| !(i[0] | (i[1] & i[2])))
+}
+
+/// `AO7HVTX1`: AOI21, `Z = !(A | (B & C))` (6 transistors, `T1..T6`,
+/// pull-up node `Net61`).
+///
+/// This is the suspect cell of the paper's silicon case studies H2 (metal-1
+/// bridge of `Net61` to GND) and circuit M (multiple open contacts).
+pub(crate) fn ao7hvtx1() -> StdCell {
+    let mut b = CellNetlistBuilder::new("AO7HVTX1");
+    let a = b.input("A");
+    let bi = b.input("B");
+    let c = b.input("C");
+    let z = b.output("Z");
+    let net61 = b.net("Net61");
+    let net62 = b.net("Net62");
+    b.pmos("T1", a, b.vdd(), net61);
+    b.pmos("T2", bi, net61, z);
+    b.pmos("T3", c, net61, z);
+    b.nmos("T4", a, b.gnd(), z);
+    b.nmos("T5", bi, z, net62);
+    b.nmos("T6", c, net62, b.gnd());
+    StdCell::new(build(b), |i| !(i[0] | (i[1] & i[2])))
+}
+
+/// `NR3ASVTX1`: NOR3 with inverted first input, `Z = A & !B & !C`
+/// (8 transistors; inverter output `N022`, pull-up nodes `N029`, `N030`).
+///
+/// Table 2 injects `N022` stuck-at-0 here and reports `N029` / `Input A`
+/// stuck-at-1 as equivalents.
+pub(crate) fn nr3asvtx1() -> StdCell {
+    let mut b = CellNetlistBuilder::new("NR3ASVTX1");
+    let a = b.input("A");
+    let bi = b.input("B");
+    let c = b.input("C");
+    let z = b.output("Z");
+    let n022 = b.net("N022");
+    let n029 = b.net("N029");
+    let n030 = b.net("N030");
+    // Inverter on A.
+    b.pmos("P0", a, b.vdd(), n022);
+    b.nmos("N1", a, b.gnd(), n022);
+    // NOR3(N022, B, C).
+    b.pmos("P2", n022, b.vdd(), n029);
+    b.pmos("P3", bi, n029, n030);
+    b.pmos("P4", c, n030, z);
+    b.nmos("N5", n022, b.gnd(), z);
+    b.nmos("N6", bi, b.gnd(), z);
+    b.nmos("N7", c, b.gnd(), z);
+    StdCell::new(build(b), |i| i[0] & !i[1] & !i[2])
+}
+
+/// `AO6CHVTX4`: non-inverting OA21, `Z = (A | B) & C` (8 transistors;
+/// first-stage nodes `N109`, `N113`, stage output `N125`).
+///
+/// Table 2 injects `N113` stuck-at-0; Table 3 the bridges `N113`–`N109` and
+/// `N113`–`N125`.
+pub(crate) fn ao6chvtx4() -> StdCell {
+    let mut b = CellNetlistBuilder::new("AO6CHVTX4");
+    let a = b.input("A");
+    let bi = b.input("B");
+    let c = b.input("C");
+    let z = b.output("Z");
+    let n109 = b.net("N109");
+    let n113 = b.net("N113");
+    let n125 = b.net("N125");
+    // Stage 1: OAI21, N125 = !((A | B) & C).
+    b.nmos("N0", c, n125, n113);
+    b.nmos("N1", a, n113, b.gnd());
+    b.nmos("N2", bi, n113, b.gnd());
+    b.pmos("P3", a, b.vdd(), n109);
+    b.pmos("P4", bi, n109, n125);
+    b.pmos("P5", c, b.vdd(), n125);
+    // Stage 2: inverter.
+    b.pmos("P6", n125, b.vdd(), z);
+    b.nmos("N7", n125, b.gnd(), z);
+    StdCell::new(build(b), |i| (i[0] | i[1]) & i[2])
+}
+
+/// `AO5NHVTX1`: non-inverting AO21, `Z = (A & B) | C` (8 transistors;
+/// first-stage output `N55`, pull-down node `N71`, pull-up node `N72`).
+///
+/// Table 2 injects `N71` stuck-at-0; Table 3 the bridge `N55`–`A`; Table 4 a
+/// delay defect on `N0D` whose suspects are `N0, N1, P7, Net55, Z`.
+pub(crate) fn ao5nhvtx1() -> StdCell {
+    let mut b = CellNetlistBuilder::new("AO5NHVTX1");
+    let a = b.input("A");
+    let bi = b.input("B");
+    let c = b.input("C");
+    let z = b.output("Z");
+    let n55 = b.net("N55");
+    let n71 = b.net("N71");
+    let n72 = b.net("N72");
+    // Stage 1: AOI21, N55 = !((A & B) | C).
+    b.nmos("N0", a, n55, n71);
+    b.nmos("N1", bi, n71, b.gnd());
+    b.nmos("N2", c, n55, b.gnd());
+    b.pmos("P4", a, b.vdd(), n72);
+    b.pmos("P5", bi, b.vdd(), n72);
+    b.pmos("P6", c, n72, n55);
+    // Stage 2: inverter.
+    b.pmos("P7", n55, b.vdd(), z);
+    b.nmos("N3", n55, b.gnd(), z);
+    StdCell::new(build(b), |i| (i[0] & i[1]) | i[2])
+}
+
+/// `AO8DHVTX1`: the paper's running example (Figs. 1, 6–8). Four inputs,
+/// ten transistors `T1..T10`, internal nets `Net88`, `Net106`, `Net110`,
+/// `Net118`. Reconstruction with `Z = D & (A | (B & C))`: an AOI first
+/// stage driving `Net118`, then an output inverter — which preserves the
+/// paper's defect stories (D1: `Net118` shorted to ground pins the output;
+/// D4: a resistive open on `Net118` delays the output transistors' gates;
+/// D3: a bridge across the `Net110`/`Net106` pull-down stack).
+pub(crate) fn ao8dhvtx1() -> StdCell {
+    let mut b = CellNetlistBuilder::new("AO8DHVTX1");
+    let a = b.input("A");
+    let bi = b.input("B");
+    let c = b.input("C");
+    let d = b.input("D");
+    let z = b.output("Z");
+    let net88 = b.net("Net88");
+    let net106 = b.net("Net106");
+    let net110 = b.net("Net110");
+    let net118 = b.net("Net118");
+    // Stage 1 pull-up: !D | (!A & (!B | !C)).
+    b.pmos("T1", a, b.vdd(), net88);
+    b.pmos("T2", bi, net88, net118);
+    b.pmos("T3", c, net88, net118);
+    b.pmos("T4", d, b.vdd(), net118);
+    // Stage 1 pull-down: D & (A | (B & C)).
+    b.nmos("T7", d, net118, net110);
+    b.nmos("T8", a, net110, b.gnd());
+    b.nmos("T9", bi, net110, net106);
+    b.nmos("T10", c, net106, b.gnd());
+    // Stage 2: output inverter.
+    b.pmos("T5", net118, b.vdd(), z);
+    b.nmos("T6", net118, b.gnd(), z);
+    StdCell::new(build(b), |i| i[3] & (i[0] | (i[1] & i[2])))
+}
+
+/// `AO9SVTX1`: AOI221, `Z = !((A & B) | (C & D) | E)` (10 transistors;
+/// pull-down nodes `N22`, `N31`, pull-up nodes `Net8`, `Net9`).
+///
+/// Table 3 injects the bridge `N22`–`N31`; Table 4 a delay defect on `P4S`
+/// with suspects `Z, Net9, P4`.
+pub(crate) fn ao9svtx1() -> StdCell {
+    let mut b = CellNetlistBuilder::new("AO9SVTX1");
+    let a = b.input("A");
+    let bi = b.input("B");
+    let c = b.input("C");
+    let d = b.input("D");
+    let e = b.input("E");
+    let z = b.output("Z");
+    let n22 = b.net("N22");
+    let n31 = b.net("N31");
+    let net8 = b.net("Net8");
+    let net9 = b.net("Net9");
+    b.nmos("N5", a, z, n22);
+    b.nmos("N6", bi, n22, b.gnd());
+    b.nmos("N7", c, z, n31);
+    b.nmos("N8", d, n31, b.gnd());
+    b.nmos("N9", e, z, b.gnd());
+    b.pmos("P0", a, b.vdd(), net8);
+    b.pmos("P1", bi, b.vdd(), net8);
+    b.pmos("P2", c, net8, net9);
+    b.pmos("P3", d, net8, net9);
+    b.pmos("P4", e, net9, z);
+    StdCell::new(build(b), |i| !((i[0] & i[1]) | (i[2] & i[3]) | i[4]))
+}
+
+/// `AOI22HVTX2`: `Z = !((A & B) | (C & D))` (8 transistors; pull-down
+/// nodes `N80`, `N81`, pull-up node `N82`).
+pub(crate) fn aoi22hvtx2() -> StdCell {
+    let mut b = CellNetlistBuilder::new("AOI22HVTX2");
+    let a = b.input("A");
+    let bi = b.input("B");
+    let c = b.input("C");
+    let d = b.input("D");
+    let z = b.output("Z");
+    let n80 = b.net("N80");
+    let n81 = b.net("N81");
+    let n82 = b.net("N82");
+    b.nmos("N0", a, z, n80);
+    b.nmos("N1", bi, n80, b.gnd());
+    b.nmos("N2", c, z, n81);
+    b.nmos("N3", d, n81, b.gnd());
+    b.pmos("P4", a, b.vdd(), n82);
+    b.pmos("P5", bi, b.vdd(), n82);
+    b.pmos("P6", c, n82, z);
+    b.pmos("P7", d, n82, z);
+    StdCell::new(build(b), |i| !((i[0] & i[1]) | (i[2] & i[3])))
+}
+
+/// `OAI22HVTX1`: `Z = !((A | B) & (C | D))` (8 transistors; pull-up
+/// nodes `N90`, `N91`, pull-down node `N92`).
+pub(crate) fn oai22hvtx1() -> StdCell {
+    let mut b = CellNetlistBuilder::new("OAI22HVTX1");
+    let a = b.input("A");
+    let bi = b.input("B");
+    let c = b.input("C");
+    let d = b.input("D");
+    let z = b.output("Z");
+    let n90 = b.net("N90");
+    let n91 = b.net("N91");
+    let n92 = b.net("N92");
+    b.pmos("P0", a, b.vdd(), n90);
+    b.pmos("P1", bi, n90, z);
+    b.pmos("P2", c, b.vdd(), n91);
+    b.pmos("P3", d, n91, z);
+    b.nmos("N4", a, z, n92);
+    b.nmos("N5", bi, z, n92);
+    b.nmos("N6", c, n92, b.gnd());
+    b.nmos("N7", d, n92, b.gnd());
+    StdCell::new(build(b), |i| !((i[0] | i[1]) & (i[2] | i[3])))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transistor_counts_match_paper_complexity() {
+        assert_eq!(ao7svtx1().netlist().num_transistors(), 6); // Table 5: 6
+        assert_eq!(ao7nhvtx1().netlist().num_transistors(), 6); // Table 5: 6
+        assert_eq!(ao7hvtx1().netlist().num_transistors(), 6);
+        assert_eq!(nr3asvtx1().netlist().num_transistors(), 8); // Table 5: 7
+        assert_eq!(ao6chvtx4().netlist().num_transistors(), 8); // Table 5: 8
+        assert_eq!(ao5nhvtx1().netlist().num_transistors(), 8); // Table 5: 9
+        assert_eq!(ao8dhvtx1().netlist().num_transistors(), 10); // Fig. 6: 10
+        assert_eq!(ao9svtx1().netlist().num_transistors(), 10); // Table 5: 10
+    }
+
+    #[test]
+    fn netlists_match_reference_functions() {
+        for cell in [
+            ao7svtx1(),
+            ao7nhvtx1(),
+            ao7hvtx1(),
+            nr3asvtx1(),
+            ao6chvtx4(),
+            ao5nhvtx1(),
+            ao8dhvtx1(),
+            ao9svtx1(),
+        ] {
+            cell.assert_consistent();
+        }
+    }
+
+    #[test]
+    fn paper_net_names_exist() {
+        assert!(ao7svtx1().netlist().find_net("N16").is_some());
+        assert!(nr3asvtx1().netlist().find_net("N022").is_some());
+        assert!(nr3asvtx1().netlist().find_net("N029").is_some());
+        assert!(ao6chvtx4().netlist().find_net("N113").is_some());
+        assert!(ao6chvtx4().netlist().find_net("N109").is_some());
+        assert!(ao6chvtx4().netlist().find_net("N125").is_some());
+        assert!(ao5nhvtx1().netlist().find_net("N55").is_some());
+        assert!(ao5nhvtx1().netlist().find_net("N71").is_some());
+        assert!(ao7hvtx1().netlist().find_net("Net61").is_some());
+        for net in ["Net88", "Net106", "Net110", "Net118"] {
+            assert!(ao8dhvtx1().netlist().find_net(net).is_some());
+        }
+        for tr in ["T1", "T5", "T10"] {
+            assert!(ao8dhvtx1().netlist().find_transistor(tr).is_some());
+        }
+        assert!(ao9svtx1().netlist().find_net("N22").is_some());
+        assert!(ao9svtx1().netlist().find_net("N31").is_some());
+        assert!(ao9svtx1().netlist().find_transistor("P4").is_some());
+        assert!(ao7nhvtx1().netlist().find_transistor("N2").is_some());
+    }
+
+    #[test]
+    fn ao8d_evaluates_one_under_0111() {
+        use icd_switch::{Forcing, Lv};
+        // The walkthrough stimulus of Figs. 6-8: ABCD = 0111 sets Z = 1.
+        let cell = ao8dhvtx1();
+        let v = cell
+            .netlist()
+            .solve_bits(&[false, true, true, true], &Forcing::none())
+            .unwrap();
+        assert_eq!(v.value(cell.netlist().output()), Lv::One);
+        // Net118 is the inverted first-stage function: 0 here.
+        let net118 = cell.netlist().find_net("Net118").unwrap();
+        assert_eq!(v.value(net118), Lv::Zero);
+    }
+}

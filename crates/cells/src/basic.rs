@@ -1,0 +1,154 @@
+//! Elementary cells: inverter, buffer, NAND, NOR.
+
+use icd_switch::CellNetlist;
+use icd_switch::CellNetlistBuilder;
+
+use crate::library::StdCell;
+
+fn build(b: CellNetlistBuilder) -> CellNetlist {
+    b.finish().expect("statically correct cell netlist")
+}
+
+/// `INVHVTX1`: `Z = !A` (2 transistors).
+pub(crate) fn invhvtx1() -> StdCell {
+    let mut b = CellNetlistBuilder::new("INVHVTX1");
+    let a = b.input("A");
+    let z = b.output("Z");
+    b.pmos("P0", a, b.vdd(), z);
+    b.nmos("N1", a, b.gnd(), z);
+    StdCell::new(build(b), |i| !i[0])
+}
+
+/// `BFHVTX2`: buffer `Z = A` (4 transistors, two inverter stages).
+pub(crate) fn bfhvtx2() -> StdCell {
+    let mut b = CellNetlistBuilder::new("BFHVTX2");
+    let a = b.input("A");
+    let z = b.output("Z");
+    let w = b.net("N10");
+    b.pmos("P0", a, b.vdd(), w);
+    b.nmos("N1", a, b.gnd(), w);
+    b.pmos("P2", w, b.vdd(), z);
+    b.nmos("N3", w, b.gnd(), z);
+    StdCell::new(build(b), |i| i[0])
+}
+
+/// `ND2HVTX1`: `Z = !(A & B)` (4 transistors).
+pub(crate) fn nd2hvtx1() -> StdCell {
+    let mut b = CellNetlistBuilder::new("ND2HVTX1");
+    let a = b.input("A");
+    let bi = b.input("B");
+    let z = b.output("Z");
+    let s1 = b.net("N10");
+    b.pmos("P0", a, b.vdd(), z);
+    b.pmos("P1", bi, b.vdd(), z);
+    b.nmos("N2", a, z, s1);
+    b.nmos("N3", bi, s1, b.gnd());
+    StdCell::new(build(b), |i| !(i[0] & i[1]))
+}
+
+/// `NR2HVTX1`: `Z = !(A | B)` (4 transistors).
+pub(crate) fn nr2hvtx1() -> StdCell {
+    let mut b = CellNetlistBuilder::new("NR2HVTX1");
+    let a = b.input("A");
+    let bi = b.input("B");
+    let z = b.output("Z");
+    let s1 = b.net("N10");
+    b.pmos("P0", a, b.vdd(), s1);
+    b.pmos("P1", bi, s1, z);
+    b.nmos("N2", a, b.gnd(), z);
+    b.nmos("N3", bi, b.gnd(), z);
+    StdCell::new(build(b), |i| !(i[0] | i[1]))
+}
+
+/// `ND3HVTX1`: `Z = !(A & B & C)` (6 transistors).
+pub(crate) fn nd3hvtx1() -> StdCell {
+    let mut b = CellNetlistBuilder::new("ND3HVTX1");
+    let a = b.input("A");
+    let bi = b.input("B");
+    let c = b.input("C");
+    let z = b.output("Z");
+    let s1 = b.net("N10");
+    let s2 = b.net("N11");
+    b.pmos("P0", a, b.vdd(), z);
+    b.pmos("P1", bi, b.vdd(), z);
+    b.pmos("P2", c, b.vdd(), z);
+    b.nmos("N3", a, z, s1);
+    b.nmos("N4", bi, s1, s2);
+    b.nmos("N5", c, s2, b.gnd());
+    StdCell::new(build(b), |i| !(i[0] & i[1] & i[2]))
+}
+
+/// `ND4HVTX1`: `Z = !(A & B & C & D)` (8 transistors).
+pub(crate) fn nd4hvtx1() -> StdCell {
+    let mut b = CellNetlistBuilder::new("ND4HVTX1");
+    let a = b.input("A");
+    let bi = b.input("B");
+    let c = b.input("C");
+    let d = b.input("D");
+    let z = b.output("Z");
+    let s1 = b.net("N10");
+    let s2 = b.net("N11");
+    let s3 = b.net("N12");
+    b.pmos("P0", a, b.vdd(), z);
+    b.pmos("P1", bi, b.vdd(), z);
+    b.pmos("P2", c, b.vdd(), z);
+    b.pmos("P3", d, b.vdd(), z);
+    b.nmos("N4", a, z, s1);
+    b.nmos("N5", bi, s1, s2);
+    b.nmos("N6", c, s2, s3);
+    b.nmos("N7", d, s3, b.gnd());
+    StdCell::new(build(b), |i| !(i[0] & i[1] & i[2] & i[3]))
+}
+
+/// `NR4HVTX1`: `Z = !(A | B | C | D)` (8 transistors).
+pub(crate) fn nr4hvtx1() -> StdCell {
+    let mut b = CellNetlistBuilder::new("NR4HVTX1");
+    let a = b.input("A");
+    let bi = b.input("B");
+    let c = b.input("C");
+    let d = b.input("D");
+    let z = b.output("Z");
+    let s1 = b.net("N10");
+    let s2 = b.net("N11");
+    let s3 = b.net("N12");
+    b.pmos("P0", a, b.vdd(), s1);
+    b.pmos("P1", bi, s1, s2);
+    b.pmos("P2", c, s2, s3);
+    b.pmos("P3", d, s3, z);
+    b.nmos("N4", a, b.gnd(), z);
+    b.nmos("N5", bi, b.gnd(), z);
+    b.nmos("N6", c, b.gnd(), z);
+    b.nmos("N7", d, b.gnd(), z);
+    StdCell::new(build(b), |i| !(i[0] | i[1] | i[2] | i[3]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transistor_counts() {
+        assert_eq!(invhvtx1().netlist().num_transistors(), 2);
+        assert_eq!(bfhvtx2().netlist().num_transistors(), 4);
+        assert_eq!(nd2hvtx1().netlist().num_transistors(), 4);
+        assert_eq!(nr2hvtx1().netlist().num_transistors(), 4);
+        assert_eq!(nd3hvtx1().netlist().num_transistors(), 6);
+        assert_eq!(nd4hvtx1().netlist().num_transistors(), 8);
+        assert_eq!(nr4hvtx1().netlist().num_transistors(), 8);
+    }
+
+    #[test]
+    fn netlists_match_reference_functions() {
+        for cell in [
+            invhvtx1(),
+            bfhvtx2(),
+            nd2hvtx1(),
+            nr2hvtx1(),
+            nd3hvtx1(),
+            nd4hvtx1(),
+            nr4hvtx1(),
+        ] {
+            cell.assert_consistent();
+        }
+    }
+}

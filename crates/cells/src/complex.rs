@@ -1,0 +1,201 @@
+//! Larger cells of the Table-5 experiment set: high-drive AND, a
+//! transmission-gate multiplexer, XOR and wide NAND/OR.
+
+use icd_switch::{CellNetlist, CellNetlistBuilder};
+
+use crate::library::StdCell;
+
+fn build(b: CellNetlistBuilder) -> CellNetlist {
+    b.finish().expect("statically correct cell netlist")
+}
+
+/// `AN2BHVTX8`: `Z = A & !B` with an 8× output stage (18 transistors:
+/// input inverter, NAND2, six-finger output inverter).
+///
+/// The parallel output fingers are electrically redundant — a defect on one
+/// finger is masked by its siblings, and critical path tracing never marks
+/// an individual finger's gate as critical. Together with the cell's tiny
+/// local pattern space (2 inputs → 4 patterns) this reproduces why the
+/// paper measures its worst resolution (4.1 candidates) here.
+pub(crate) fn an2bhvtx8() -> StdCell {
+    let mut b = CellNetlistBuilder::new("AN2BHVTX8");
+    let a = b.input("A");
+    let bi = b.input("B");
+    let z = b.output("Z");
+    let bn = b.net("N20");
+    let nw = b.net("N21");
+    let nx = b.net("N22");
+    // Inverter on B.
+    b.pmos("P0", bi, b.vdd(), bn);
+    b.nmos("N1", bi, b.gnd(), bn);
+    // NAND2(A, !B).
+    b.pmos("P2", a, b.vdd(), nw);
+    b.pmos("P3", bn, b.vdd(), nw);
+    b.nmos("N4", a, nw, nx);
+    b.nmos("N5", bn, nx, b.gnd());
+    // 8x drive: six parallel inverter fingers.
+    for i in 0..6 {
+        b.pmos(&format!("P{}", 6 + i), nw, b.vdd(), z);
+        b.nmos(&format!("N{}", 12 + i), nw, b.gnd(), z);
+    }
+    StdCell::new(build(b), |i| i[0] & !i[1])
+}
+
+/// `MUX21HVTX6`: transmission-gate 2:1 multiplexer, `Z = S ? B : A`
+/// (10 transistors: select inverter, two T-gates, two buffer stages).
+pub(crate) fn mux21hvtx6() -> StdCell {
+    let mut b = CellNetlistBuilder::new("MUX21HVTX6");
+    let a = b.input("A");
+    let bi = b.input("B");
+    let s = b.input("S");
+    let z = b.output("Z");
+    let sn = b.net("N30");
+    let m = b.net("N31");
+    let mb = b.net("N32");
+    // Select inverter.
+    b.pmos("P0", s, b.vdd(), sn);
+    b.nmos("N1", s, b.gnd(), sn);
+    // T-gate for A (selected when S = 0).
+    b.nmos("N2", sn, a, m);
+    b.pmos("P3", s, a, m);
+    // T-gate for B (selected when S = 1).
+    b.nmos("N4", s, bi, m);
+    b.pmos("P5", sn, bi, m);
+    // Two buffering inverters restore drive and polarity.
+    b.pmos("P6", m, b.vdd(), mb);
+    b.nmos("N7", m, b.gnd(), mb);
+    b.pmos("P8", mb, b.vdd(), z);
+    b.nmos("N9", mb, b.gnd(), z);
+    StdCell::new(build(b), |i| if i[2] { i[1] } else { i[0] })
+}
+
+/// `ND4ABCHVTX8`: `Z = !(!A & !B & !C & D)` — a NAND4 with the first three
+/// inputs inverted (14 transistors).
+pub(crate) fn nd4abchvtx8() -> StdCell {
+    let mut b = CellNetlistBuilder::new("ND4ABCHVTX8");
+    let a = b.input("A");
+    let bi = b.input("B");
+    let c = b.input("C");
+    let d = b.input("D");
+    let z = b.output("Z");
+    let an = b.net("N40");
+    let bn = b.net("N41");
+    let cn = b.net("N42");
+    let s1 = b.net("N43");
+    let s2 = b.net("N44");
+    let s3 = b.net("N45");
+    b.pmos("P0", a, b.vdd(), an);
+    b.nmos("N1", a, b.gnd(), an);
+    b.pmos("P2", bi, b.vdd(), bn);
+    b.nmos("N3", bi, b.gnd(), bn);
+    b.pmos("P4", c, b.vdd(), cn);
+    b.nmos("N5", c, b.gnd(), cn);
+    // NAND4(an, bn, cn, D).
+    b.pmos("P6", an, b.vdd(), z);
+    b.pmos("P7", bn, b.vdd(), z);
+    b.pmos("P8", cn, b.vdd(), z);
+    b.pmos("P9", d, b.vdd(), z);
+    b.nmos("N10", an, z, s1);
+    b.nmos("N11", bn, s1, s2);
+    b.nmos("N12", cn, s2, s3);
+    b.nmos("N13", d, s3, b.gnd());
+    StdCell::new(build(b), |i| !(!i[0] & !i[1] & !i[2] & i[3]))
+}
+
+/// `EOHVTX6`: exclusive-OR, `Z = A ^ B` (12 transistors: two input
+/// inverters and an AOI22 core).
+pub(crate) fn eohvtx6() -> StdCell {
+    let mut b = CellNetlistBuilder::new("EOHVTX6");
+    let a = b.input("A");
+    let bi = b.input("B");
+    let z = b.output("Z");
+    let an = b.net("N50");
+    let bn = b.net("N51");
+    let x1 = b.net("N52");
+    let x2 = b.net("N53");
+    let y1 = b.net("N54");
+    b.pmos("P0", a, b.vdd(), an);
+    b.nmos("N1", a, b.gnd(), an);
+    b.pmos("P2", bi, b.vdd(), bn);
+    b.nmos("N3", bi, b.gnd(), bn);
+    // AOI22 core: Z = !((A & B) | (!A & !B)).
+    b.nmos("N4", a, z, x1);
+    b.nmos("N5", bi, x1, b.gnd());
+    b.nmos("N6", an, z, x2);
+    b.nmos("N7", bn, x2, b.gnd());
+    b.pmos("P8", a, b.vdd(), y1);
+    b.pmos("P9", bi, b.vdd(), y1);
+    b.pmos("P10", an, y1, z);
+    b.pmos("P11", bn, y1, z);
+    StdCell::new(build(b), |i| i[0] ^ i[1])
+}
+
+/// `OR4ABCDHVTX4`: `Z = A | B | C | D` — NOR4 plus output inverter
+/// (10 transistors).
+pub(crate) fn or4abcdhvtx4() -> StdCell {
+    let mut b = CellNetlistBuilder::new("OR4ABCDHVTX4");
+    let a = b.input("A");
+    let bi = b.input("B");
+    let c = b.input("C");
+    let d = b.input("D");
+    let z = b.output("Z");
+    let w = b.net("N60");
+    let s1 = b.net("N61");
+    let s2 = b.net("N62");
+    let s3 = b.net("N63");
+    b.nmos("N0", a, b.gnd(), w);
+    b.nmos("N1", bi, b.gnd(), w);
+    b.nmos("N2", c, b.gnd(), w);
+    b.nmos("N3", d, b.gnd(), w);
+    b.pmos("P4", a, b.vdd(), s1);
+    b.pmos("P5", bi, s1, s2);
+    b.pmos("P6", c, s2, s3);
+    b.pmos("P7", d, s3, w);
+    b.pmos("P8", w, b.vdd(), z);
+    b.nmos("N9", w, b.gnd(), z);
+    StdCell::new(build(b), |i| i[0] | i[1] | i[2] | i[3])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transistor_counts() {
+        assert_eq!(an2bhvtx8().netlist().num_transistors(), 18); // Table 5: 18
+        assert_eq!(mux21hvtx6().netlist().num_transistors(), 10); // Table 5: 24
+        assert_eq!(nd4abchvtx8().netlist().num_transistors(), 14); // Table 5: 23
+        assert_eq!(eohvtx6().netlist().num_transistors(), 12); // Table 5: 26
+        assert_eq!(or4abcdhvtx4().netlist().num_transistors(), 10); // Table 5: 14
+    }
+
+    #[test]
+    fn netlists_match_reference_functions() {
+        for cell in [
+            an2bhvtx8(),
+            mux21hvtx6(),
+            nd4abchvtx8(),
+            eohvtx6(),
+            or4abcdhvtx4(),
+        ] {
+            cell.assert_consistent();
+        }
+    }
+
+    #[test]
+    fn mux_passes_both_data_paths() {
+        use icd_switch::{Forcing, Lv};
+        let cell = mux21hvtx6();
+        let nl = cell.netlist();
+        // S=0 selects A, S=1 selects B.
+        for (a, b, s, want) in [
+            (false, true, false, Lv::Zero),
+            (true, false, false, Lv::One),
+            (false, true, true, Lv::One),
+            (true, false, true, Lv::Zero),
+        ] {
+            let v = nl.solve_bits(&[a, b, s], &Forcing::none()).unwrap();
+            assert_eq!(v.value(nl.output()), want, "A={a} B={b} S={s}");
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! Transistor-level standard-cell library for the `icdiag` workspace.
+//!
+//! The paper evaluates its intra-cell diagnosis on cells of an ST
+//! Microelectronics 90 nm library (AO7SVTX1, NR3ASVTX1, AO8DHVTX1, …,
+//! Tables 2–5). The proprietary layouts are not available, so this crate
+//! provides *faithful-in-structure reconstructions*: static CMOS transistor
+//! netlists with the paper's cell names, input counts and — where the text
+//! reveals them — internal net names (`Net118`, `N113`, `N55`, `N022`, …)
+//! and transistor names (`T1…T10`, `N0…`, `P4…`).
+//!
+//! Every cell carries a *reference* boolean function; the test suite checks
+//! that the switch-level simulator derives exactly that function from the
+//! transistor netlist, so the two views can never drift apart.
+//!
+//! The paper's Fig. 1/6 netlist for `AO8DHVTX1` is internally inconsistent
+//! (see `DESIGN.md`); our reconstruction keeps its vocabulary — four inputs
+//! `A..D`, ten transistors `T1..T10`, internal nets `Net88`, `Net106`,
+//! `Net110`, `Net118` — with the well-defined function
+//! `Z = D & (A | (B & C))` built as an AOI stage plus output inverter.
+//!
+//! # Example
+//!
+//! ```
+//! use icd_cells::CellLibrary;
+//!
+//! let lib = CellLibrary::standard();
+//! let cell = lib.get("AO8DHVTX1").expect("cell exists");
+//! assert_eq!(cell.netlist().num_transistors(), 10);
+//! assert_eq!(cell.netlist().num_inputs(), 4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod aoi;
+mod basic;
+mod complex;
+pub mod sequential;
+mod library;
+
+pub use library::{CellLibrary, StdCell, TABLE5_CELL_NAMES};

@@ -1,0 +1,188 @@
+//! Sequential cells — the paper's first future-work item ("extend the
+//! proposed approach to handle scan flip-flops") at substrate level.
+//!
+//! These cells are *not* part of the combinational [`CellLibrary`]
+//! (critical path tracing as published is defined for combinational
+//! cells); they demonstrate that the switch-level engine's
+//! charge-retentive mode ([`CellNetlist::solve_sequence`]) simulates real
+//! latch and scan-flip-flop structures: transmission gates, keeper loops
+//! and two-phase master–slave operation.
+//!
+//! [`CellLibrary`]: crate::CellLibrary
+//! [`CellNetlist::solve_sequence`]: icd_switch::CellNetlist
+
+use icd_switch::{CellNetlist, CellNetlistBuilder, TNetId};
+
+/// Builds a transmission gate `a — b` controlled by `on_high` (nMOS gate)
+/// and `on_low` (pMOS gate): conducts when `on_high = 1` / `on_low = 0`.
+fn tgate(
+    b: &mut CellNetlistBuilder,
+    name: &str,
+    on_high: TNetId,
+    on_low: TNetId,
+    a: TNetId,
+    z: TNetId,
+) {
+    b.nmos(&format!("{name}N"), on_high, a, z);
+    b.pmos(&format!("{name}P"), on_low, a, z);
+}
+
+fn inverter(b: &mut CellNetlistBuilder, name: &str, input: TNetId, output: TNetId) {
+    let vdd = b.vdd();
+    let gnd = b.gnd();
+    b.pmos(&format!("{name}P"), input, vdd, output);
+    b.nmos(&format!("{name}N"), input, gnd, output);
+}
+
+/// `DLHVTX1`: a level-sensitive D latch, transparent while `CK = 1`,
+/// with a keeper loop holding the state while `CK = 0` (12 transistors).
+///
+/// Inputs: `D`, `CK`; output `Q`.
+pub fn dlhvtx1() -> CellNetlist {
+    let mut b = CellNetlistBuilder::new("DLHVTX1");
+    let d = b.input("D");
+    let ck = b.input("CK");
+    let q = b.output("Q");
+    let ckn = b.net("CKN");
+    let m = b.net("M");
+    let mb = b.net("MB");
+    let mf = b.net("MF");
+    inverter(&mut b, "ICK", ck, ckn);
+    // Input transmission gate: D -> M while CK = 1.
+    tgate(&mut b, "TGI", ck, ckn, d, m);
+    // Keeper: M -> MB -> MF, fed back while CK = 0.
+    inverter(&mut b, "I1", m, mb);
+    inverter(&mut b, "I2", mb, mf);
+    tgate(&mut b, "TGF", ckn, ck, mf, m);
+    // Output buffer.
+    inverter(&mut b, "IQ", mb, q);
+    b.finish().expect("statically correct latch netlist")
+}
+
+/// `SDFFHVTX1`: a positive-edge scan D flip-flop — scan mux (`SE`
+/// selecting `SI` over `D`), master latch transparent while `CK = 0`,
+/// slave latch transparent while `CK = 1` (26 transistors).
+///
+/// Inputs: `D`, `SI`, `SE`, `CK`; output `Q`.
+pub fn sdffhvtx1() -> CellNetlist {
+    let mut b = CellNetlistBuilder::new("SDFFHVTX1");
+    let d = b.input("D");
+    let si = b.input("SI");
+    let se = b.input("SE");
+    let ck = b.input("CK");
+    let q = b.output("Q");
+    let sen = b.net("SEN");
+    let ckn = b.net("CKN");
+    let din = b.net("DIN");
+    let m = b.net("M");
+    let mb = b.net("MB");
+    let mf = b.net("MF");
+    let s = b.net("S");
+    let sb = b.net("SB");
+    let sf = b.net("SF");
+    inverter(&mut b, "ISE", se, sen);
+    inverter(&mut b, "ICK", ck, ckn);
+    // Scan mux: DIN = SE ? SI : D.
+    tgate(&mut b, "TGD", sen, se, d, din);
+    tgate(&mut b, "TGS", se, sen, si, din);
+    // Master latch: transparent while CK = 0.
+    tgate(&mut b, "TGM", ckn, ck, din, m);
+    inverter(&mut b, "IM1", m, mb);
+    inverter(&mut b, "IM2", mb, mf);
+    tgate(&mut b, "TGMF", ck, ckn, mf, m);
+    // Slave latch: transparent while CK = 1.
+    tgate(&mut b, "TGSL", ck, ckn, mb, s);
+    inverter(&mut b, "IS1", s, sb);
+    inverter(&mut b, "IS2", sb, sf);
+    tgate(&mut b, "TGSF", ckn, ck, sf, s);
+    // Output buffer: S holds !D after the edge (the slave samples MB),
+    // so one inversion restores the captured polarity.
+    inverter(&mut b, "IQ", s, q);
+    b.finish().expect("statically correct flip-flop netlist")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icd_logic::Lv;
+    use icd_switch::Forcing;
+
+    fn seq(cell: &CellNetlist, steps: &[&[bool]]) -> Vec<Lv> {
+        let sequence: Vec<Vec<Lv>> = steps
+            .iter()
+            .map(|bits| bits.iter().copied().map(Lv::from).collect())
+            .collect();
+        cell.solve_sequence(&sequence, &Forcing::none())
+            .expect("sequence evaluates")
+            .iter()
+            .map(|vals| vals.value(cell.output()))
+            .collect()
+    }
+
+    #[test]
+    fn latch_is_transparent_high_and_holds_low() {
+        let latch = dlhvtx1();
+        assert_eq!(latch.num_transistors(), 12);
+        // Inputs: (D, CK).
+        let q = seq(
+            &latch,
+            &[
+                &[true, true],   // write 1: transparent
+                &[true, false],  // close: hold 1
+                &[false, false], // D changes while closed: still 1
+                &[false, true],  // open: follow D = 0
+                &[true, false],  // closed before D rose: hold 0
+            ],
+        );
+        assert_eq!(
+            q,
+            vec![Lv::One, Lv::One, Lv::One, Lv::Zero, Lv::Zero],
+            "latch sequence wrong: {q:?}"
+        );
+    }
+
+    #[test]
+    fn flip_flop_captures_on_the_rising_edge() {
+        let ff = sdffhvtx1();
+        assert_eq!(ff.num_transistors(), 26);
+        // Inputs: (D, SI, SE, CK). Functional mode: SE = 0.
+        let q = seq(
+            &ff,
+            &[
+                &[true, false, false, false],  // CK low: master samples D=1
+                &[true, false, false, true],   // rising edge: Q = 1
+                &[false, false, false, true],  // D changes, CK high: Q holds
+                &[false, false, false, false], // CK low: master samples D=0
+                &[true, false, false, true],   // rising edge: captures the 0
+            ],
+        );
+        assert_eq!(q[1], Lv::One, "rising edge must capture 1: {q:?}");
+        assert_eq!(q[2], Lv::One, "Q must hold while CK is high: {q:?}");
+        assert_eq!(q[4], Lv::Zero, "second edge must capture 0: {q:?}");
+    }
+
+    #[test]
+    fn scan_mode_shifts_si() {
+        let ff = sdffhvtx1();
+        // SE = 1: the scan input wins over D.
+        let q = seq(
+            &ff,
+            &[
+                &[false, true, true, false], // master samples SI=1 (D=0)
+                &[false, true, true, true],  // edge: Q = SI = 1
+            ],
+        );
+        assert_eq!(q[1], Lv::One, "scan shift failed: {q:?}");
+    }
+
+    #[test]
+    fn static_solve_of_a_latch_storage_is_unknown() {
+        // Without state, the closed latch's storage node has no history:
+        // the combinational solver reports U rather than inventing state.
+        let latch = dlhvtx1();
+        let vals = latch
+            .solve(&[Lv::One, Lv::Zero], &Forcing::none())
+            .expect("solves");
+        assert_eq!(vals.value(latch.output()), Lv::U);
+    }
+}

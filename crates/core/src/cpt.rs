@@ -1,0 +1,471 @@
+use std::collections::BTreeSet;
+
+use icd_logic::Lv;
+use icd_switch::{CellNetlist, Forcing, NodeValues, Terminal, TNetId, TransistorId};
+
+use crate::{CoreError, DelaySuspectList, SuspectItem, SuspectList};
+
+/// The result of one transistor-level CPT application.
+#[derive(Debug, Clone)]
+pub struct CptOutcome {
+    /// Critical items with their fault-free logic values — the Current
+    /// Suspect List of the traced pattern.
+    pub suspects: SuspectList,
+    /// The fault-free valuation of every cell net under the pattern.
+    pub values: NodeValues,
+    /// The items in the order the trace marked them (for walkthrough
+    /// output, Figs. 6–8).
+    pub trace: Vec<SuspectItem>,
+}
+
+fn check_width(cell: &CellNetlist, inputs: &[Lv]) -> Result<(), CoreError> {
+    if inputs.len() != cell.num_inputs() {
+        return Err(CoreError::WrongLocalWidth {
+            expected: cell.num_inputs(),
+            got: inputs.len(),
+        });
+    }
+    Ok(())
+}
+
+/// Whether forcing the given constraint changes the cell output from
+/// `reference`.
+fn flips_output(
+    cell: &CellNetlist,
+    inputs: &[Lv],
+    forcing: &Forcing,
+    reference: Lv,
+) -> Result<bool, CoreError> {
+    let vals = cell.solve(inputs, forcing)?;
+    Ok(vals.value(cell.output()) != reference)
+}
+
+/// Critical Path Tracing at transistor level (paper §3.2.1, Figs. 6–8).
+///
+/// Starting from the cell output, the trace walks back through the
+/// channel-connected network:
+///
+/// * every channel terminal attached to a critical net is critical (the
+///   paper's "drain" rule — `T4D…T8D` in Fig. 6);
+/// * a transistor's *gate* terminal is critical when toggling that one
+///   transistor's conduction changes the output (redundant parallel
+///   devices stay uncritical; a blocked stack's off-device gate is
+///   critical);
+/// * the *opposite channel* terminal is critical when pinning its net to
+///   the complement value changes the output (conducting paths are traced
+///   through, blocked ones are not);
+/// * every net holding a critical terminal becomes critical and is traced
+///   in turn, until the cell inputs are reached.
+///
+/// Criticality is decided by exact flip re-simulation; a change to `U`
+/// (fight/float) counts as a change, matching the paper's treatment of
+/// fighting pull-ups/pull-downs as critical. Supply rails are never
+/// critical.
+///
+/// # Errors
+///
+/// Returns an error when the input width is wrong or the switch-level
+/// evaluation fails.
+pub fn transistor_cpt(cell: &CellNetlist, inputs: &[Lv]) -> Result<CptOutcome, CoreError> {
+    check_width(cell, inputs)?;
+    let values = cell.solve(inputs, &Forcing::none())?;
+    let out = cell.output();
+    let out_val = values.value(out);
+
+    let mut suspects = SuspectList::new();
+    let mut trace = Vec::new();
+    let mut net_seen: BTreeSet<TNetId> = BTreeSet::new();
+    let mut term_seen: BTreeSet<(TransistorId, Terminal)> = BTreeSet::new();
+    let mut worklist: Vec<TNetId> = Vec::new();
+
+    let mark_net = |net: TNetId,
+                        suspects: &mut SuspectList,
+                        trace: &mut Vec<SuspectItem>,
+                        net_seen: &mut BTreeSet<TNetId>,
+                        worklist: &mut Vec<TNetId>| {
+        if cell.is_rail(net) || !net_seen.insert(net) {
+            return;
+        }
+        let item = SuspectItem::Net(net);
+        suspects.insert(item, values.value(net));
+        trace.push(item);
+        worklist.push(net);
+    };
+
+    mark_net(out, &mut suspects, &mut trace, &mut net_seen, &mut worklist);
+
+    while let Some(net) = worklist.pop() {
+        // Walk every transistor whose channel touches the critical net.
+        for &(tid, other) in cell.channel_neighbors(net) {
+            let transistor = cell.transistor(tid);
+            // Rule 1: the terminal sitting on the critical net is critical.
+            let on_side = if transistor.source == net {
+                Terminal::Source
+            } else {
+                Terminal::Drain
+            };
+            if term_seen.insert((tid, on_side)) {
+                let item = SuspectItem::Terminal(tid, on_side);
+                suspects.insert(item, values.value(net));
+                trace.push(item);
+            }
+
+            // Rule 2: gate criticality — toggle this transistor only.
+            let gate_val = values.value(transistor.gate);
+            if gate_val.is_known() && !term_seen.contains(&(tid, Terminal::Gate)) {
+                let forcing = Forcing::none().override_gate(tid, !gate_val);
+                if flips_output(cell, inputs, &forcing, out_val)? {
+                    term_seen.insert((tid, Terminal::Gate));
+                    let item = SuspectItem::Terminal(tid, Terminal::Gate);
+                    suspects.insert(item, gate_val);
+                    trace.push(item);
+                    mark_net(
+                        transistor.gate,
+                        &mut suspects,
+                        &mut trace,
+                        &mut net_seen,
+                        &mut worklist,
+                    );
+                }
+            }
+
+            // Rule 3: opposite channel terminal criticality — pin its net.
+            let other_side = if transistor.source == other {
+                Terminal::Source
+            } else {
+                Terminal::Drain
+            };
+            if !cell.is_rail(other) && !term_seen.contains(&(tid, other_side)) {
+                let other_val = values.value(other);
+                if other_val.is_known() {
+                    let forcing = Forcing::none().pin(other, !other_val);
+                    if flips_output(cell, inputs, &forcing, out_val)? {
+                        term_seen.insert((tid, other_side));
+                        let item = SuspectItem::Terminal(tid, other_side);
+                        suspects.insert(item, other_val);
+                        trace.push(item);
+                        mark_net(
+                            other,
+                            &mut suspects,
+                            &mut trace,
+                            &mut net_seen,
+                            &mut worklist,
+                        );
+                    }
+                }
+            }
+        }
+
+        // Gate loads: transistors controlled by the critical net must also
+        // be tested (the net may matter only through the next stage).
+        for tid in cell.gate_loads(net) {
+            if term_seen.contains(&(tid, Terminal::Gate)) {
+                continue;
+            }
+            let gate_val = values.value(net);
+            if !gate_val.is_known() {
+                continue;
+            }
+            let forcing = Forcing::none().override_gate(tid, !gate_val);
+            if flips_output(cell, inputs, &forcing, out_val)? {
+                term_seen.insert((tid, Terminal::Gate));
+                let item = SuspectItem::Terminal(tid, Terminal::Gate);
+                suspects.insert(item, gate_val);
+                trace.push(item);
+            }
+        }
+
+        // Stem rule: a net controlling *several* devices around the
+        // critical region can be critical as a whole even when no single
+        // gate terminal is (toggling one of two parallel devices is
+        // masked by its twin, toggling both is not). Test the gate nets
+        // of every channel-adjacent transistor with a whole-net flip, so
+        // net-level criticality stays exact.
+        for &(tid, _) in cell.channel_neighbors(net) {
+            let stem = cell.transistor(tid).gate;
+            if cell.is_rail(stem) || net_seen.contains(&stem) {
+                continue;
+            }
+            let v = values.value(stem);
+            if !v.is_known() {
+                continue;
+            }
+            let forcing = Forcing::none().pin(stem, !v);
+            if flips_output(cell, inputs, &forcing, out_val)? {
+                mark_net(
+                    stem,
+                    &mut suspects,
+                    &mut trace,
+                    &mut net_seen,
+                    &mut worklist,
+                );
+            }
+        }
+    }
+
+    Ok(CptOutcome {
+        suspects,
+        values,
+        trace,
+    })
+}
+
+/// Brute-force criticality oracle: every non-rail net is pin-flipped and
+/// every transistor gate is toggled, each with a full re-simulation.
+///
+/// Used by the test suite to validate the backward trace; `O(elements)`
+/// simulations instead of the trace's localized work.
+///
+/// # Errors
+///
+/// Same as [`transistor_cpt`].
+pub fn critical_oracle(
+    cell: &CellNetlist,
+    inputs: &[Lv],
+) -> Result<BTreeSet<SuspectItem>, CoreError> {
+    check_width(cell, inputs)?;
+    let values = cell.solve(inputs, &Forcing::none())?;
+    let out_val = values.value(cell.output());
+    let mut critical = BTreeSet::new();
+
+    for net in cell.nets() {
+        if cell.is_rail(net) {
+            continue;
+        }
+        if net == cell.output() {
+            critical.insert(SuspectItem::Net(net));
+            continue;
+        }
+        let v = values.value(net);
+        if !v.is_known() {
+            continue;
+        }
+        let forcing = Forcing::none().pin(net, !v);
+        if flips_output(cell, inputs, &forcing, out_val)? {
+            critical.insert(SuspectItem::Net(net));
+        }
+    }
+    for (tid, t) in cell.transistors() {
+        let g = values.value(t.gate);
+        if !g.is_known() {
+            continue;
+        }
+        let forcing = Forcing::none().override_gate(tid, !g);
+        if flips_output(cell, inputs, &forcing, out_val)? {
+            critical.insert(SuspectItem::Terminal(tid, Terminal::Gate));
+        }
+    }
+    Ok(critical)
+}
+
+/// Critical *delay* items for one two-pattern local test (launch,
+/// capture): items critical under the capture vector whose underlying net
+/// transitions between launch and capture — a late transition on such a
+/// net keeps the stale value on a sensitized path and flips the sampled
+/// output. This is the Current Delay Suspect List (eq. 3).
+///
+/// # Errors
+///
+/// Same as [`transistor_cpt`].
+pub fn delay_suspects(
+    cell: &CellNetlist,
+    launch: &[Lv],
+    capture: &[Lv],
+) -> Result<DelaySuspectList, CoreError> {
+    check_width(cell, launch)?;
+    let outcome = transistor_cpt(cell, capture)?;
+    let launch_vals = cell.solve(launch, &Forcing::none())?;
+    let mut dsl = DelaySuspectList::new();
+    for (item, _) in outcome.suspects.iter() {
+        let net = item.net(cell);
+        if launch_vals
+            .value(net)
+            .conflicts_with(outcome.values.value(net))
+        {
+            dsl.insert(*item);
+        }
+    }
+    Ok(dsl)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icd_cells::CellLibrary;
+
+    fn lv(bits: &[bool]) -> Vec<Lv> {
+        bits.iter().copied().map(Lv::from).collect()
+    }
+
+    #[test]
+    fn nand2_cpt_matches_hand_analysis() {
+        let cells = CellLibrary::standard();
+        let cell = cells.get("ND2HVTX1").unwrap().netlist();
+        // A=1, B=1: Z=0, both nMOS conduct, both gates critical; the stack
+        // node is critical; pMOS gates critical (turning one on fights).
+        let out = transistor_cpt(cell, &lv(&[true, true])).unwrap();
+        let a = cell.find_net("A").unwrap();
+        let b = cell.find_net("B").unwrap();
+        let n10 = cell.find_net("N10").unwrap();
+        assert!(out.suspects.contains(&SuspectItem::Net(a)));
+        assert!(out.suspects.contains(&SuspectItem::Net(b)));
+        assert!(out.suspects.contains(&SuspectItem::Net(n10)));
+
+        // A=0, B=1: Z=1 via P0 alone; flipping B's pull-down gate has no
+        // effect (stack blocked by A's nMOS) and P1 is redundant off?
+        // P1 off (B=1); turning P1 on adds a parallel 1-path: not critical.
+        let out = transistor_cpt(cell, &lv(&[false, true])).unwrap();
+        assert!(out.suspects.contains(&SuspectItem::Net(a)));
+        let p1 = cell.find_transistor("P1").unwrap();
+        assert!(!out
+            .suspects
+            .contains(&SuspectItem::Terminal(p1, Terminal::Gate)));
+        // B reaches criticality through the nMOS stack? N3's gate: with
+        // the stack blocked by N2 (A=0)... turning N3 off changes nothing;
+        // B is not critical here.
+        assert!(!out.suspects.contains(&SuspectItem::Net(b)));
+    }
+
+    #[test]
+    fn trace_equals_oracle_on_all_cells_and_vectors() {
+        // The backward trace must agree with brute-force flip simulation
+        // on every library cell and every fully specified input vector:
+        // net criticality and gate-terminal criticality both.
+        let cells = CellLibrary::standard();
+        for cell in cells.iter() {
+            let nl = cell.netlist();
+            let n = nl.num_inputs();
+            for combo in 0..(1usize << n) {
+                let bits: Vec<bool> = (0..n).map(|k| (combo >> k) & 1 == 1).collect();
+                let inputs = lv(&bits);
+                let outcome = transistor_cpt(nl, &inputs).unwrap();
+                let oracle = critical_oracle(nl, &inputs).unwrap();
+                // Nets: exact agreement.
+                let trace_nets: BTreeSet<SuspectItem> = outcome
+                    .suspects
+                    .iter()
+                    .filter(|(i, _)| matches!(i, SuspectItem::Net(_)))
+                    .map(|(i, _)| *i)
+                    .collect();
+                let oracle_nets: BTreeSet<SuspectItem> = oracle
+                    .iter()
+                    .filter(|i| matches!(i, SuspectItem::Net(_)))
+                    .copied()
+                    .collect();
+                assert_eq!(
+                    trace_nets, oracle_nets,
+                    "net criticality mismatch: {} under {:?}",
+                    nl.name(),
+                    bits
+                );
+                // Gate terminals: every oracle-critical gate must be found.
+                let trace_gates: BTreeSet<SuspectItem> = outcome
+                    .suspects
+                    .iter()
+                    .filter(|(i, _)| matches!(i, SuspectItem::Terminal(_, Terminal::Gate)))
+                    .map(|(i, _)| *i)
+                    .collect();
+                let oracle_gates: BTreeSet<SuspectItem> = oracle
+                    .iter()
+                    .filter(|i| matches!(i, SuspectItem::Terminal(_, Terminal::Gate)))
+                    .copied()
+                    .collect();
+                assert_eq!(
+                    trace_gates, oracle_gates,
+                    "gate criticality mismatch: {} under {:?}",
+                    nl.name(),
+                    bits
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn conducting_parallel_fingers_are_not_critical() {
+        // AN2BHVTX8 has six parallel output-inverter fingers per polarity:
+        // a finger of the *conducting* group is redundant (its siblings
+        // keep driving), so its gate is never critical. (A finger of the
+        // off group is a different story: turning it on creates a fight.)
+        let cells = CellLibrary::standard();
+        let cell = cells.get("AN2BHVTX8").unwrap().netlist();
+        let nw = cell.find_net("N21").unwrap();
+        for combo in 0..4usize {
+            let bits = [(combo & 1) == 1, (combo & 2) == 2];
+            let vals = cell.solve(&lv(&bits), &icd_switch::Forcing::none()).unwrap();
+            let out = transistor_cpt(cell, &lv(&bits)).unwrap();
+            let conducting: Vec<String> = if vals.value(nw) == Lv::Zero {
+                (6..12).map(|i| format!("P{i}")).collect()
+            } else {
+                (12..18).map(|i| format!("N{i}")).collect()
+            };
+            for name in conducting {
+                let t = cell.find_transistor(&name).unwrap();
+                assert!(
+                    !out.suspects
+                        .contains(&SuspectItem::Terminal(t, Terminal::Gate)),
+                    "conducting finger {name} critical under {bits:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ao8d_walkthrough_under_0111() {
+        // The Figs. 6-8 stimulus on our AO8DHVTX1 reconstruction.
+        let cells = CellLibrary::standard();
+        let cell = cells.get("AO8DHVTX1").unwrap().netlist();
+        let out = transistor_cpt(cell, &lv(&[false, true, true, true])).unwrap();
+        let find = |n: &str| SuspectItem::Net(cell.find_net(n).unwrap());
+        // Z, Net118 and the pull-down stack nets are critical.
+        assert!(out.suspects.contains(&find("Z")));
+        assert!(out.suspects.contains(&find("Net118")));
+        assert!(out.suspects.contains(&find("Net110")));
+        assert!(out.suspects.contains(&find("Net106")));
+        // Input D is critical (T4/T7 control the sensitized stage).
+        assert!(out.suspects.contains(&find("D")));
+        // The blocked-stack device T8 (gate A, off) is not on a sensitized
+        // path: turning it on only adds a parallel ground path below an
+        // already-conducting stack -> not critical; input A stays clean.
+        assert!(!out.suspects.contains(&find("A")));
+        // Output inverter devices: both gates critical.
+        let t5 = cell.find_transistor("T5").unwrap();
+        let t6 = cell.find_transistor("T6").unwrap();
+        assert!(out
+            .suspects
+            .contains(&SuspectItem::Terminal(t5, Terminal::Gate)));
+        assert!(out
+            .suspects
+            .contains(&SuspectItem::Terminal(t6, Terminal::Gate)));
+        // Suspect values are the fault-free ones.
+        assert_eq!(out.suspects.value(&find("Z")), Some(Lv::One));
+        assert_eq!(out.suspects.value(&find("Net118")), Some(Lv::Zero));
+    }
+
+    #[test]
+    fn delay_suspects_require_a_transition() {
+        let cells = CellLibrary::standard();
+        let cell = cells.get("INVHVTX1").unwrap().netlist();
+        let z = SuspectItem::Net(cell.output());
+        // 0 -> 1 on A: Z falls; both A and Z transition and are critical.
+        let dsl = delay_suspects(cell, &lv(&[false]), &lv(&[true])).unwrap();
+        assert!(dsl.contains(&z));
+        let a = SuspectItem::Net(cell.find_net("A").unwrap());
+        assert!(dsl.contains(&a));
+        // Stable vector: nothing transitions.
+        let dsl = delay_suspects(cell, &lv(&[true]), &lv(&[true])).unwrap();
+        assert!(dsl.is_empty());
+    }
+
+    #[test]
+    fn wrong_width_is_reported() {
+        let cells = CellLibrary::standard();
+        let cell = cells.get("INVHVTX1").unwrap().netlist();
+        assert!(matches!(
+            transistor_cpt(cell, &lv(&[true, false])),
+            Err(CoreError::WrongLocalWidth {
+                expected: 1,
+                got: 2
+            })
+        ));
+    }
+}

@@ -1,0 +1,49 @@
+use std::error::Error;
+use std::fmt;
+
+use icd_switch::SwitchError;
+
+/// Errors produced by intra-cell diagnosis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// The underlying switch-level evaluation failed.
+    Switch(SwitchError),
+    /// A local pattern's width differs from the cell's input count.
+    WrongLocalWidth {
+        /// Inputs the cell declares.
+        expected: usize,
+        /// Width of the offending local pattern.
+        got: usize,
+    },
+    /// Diagnosis needs at least one local failing pattern.
+    NoFailingPatterns,
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Switch(e) => write!(f, "switch-level evaluation failed: {e}"),
+            CoreError::WrongLocalWidth { expected, got } => {
+                write!(f, "local pattern has width {got}, cell expects {expected}")
+            }
+            CoreError::NoFailingPatterns => {
+                write!(f, "diagnosis needs at least one local failing pattern")
+            }
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Switch(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SwitchError> for CoreError {
+    fn from(e: SwitchError) -> Self {
+        CoreError::Switch(e)
+    }
+}

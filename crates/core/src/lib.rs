@@ -1,0 +1,67 @@
+//! Effect-cause intra-cell defect diagnosis by Critical Path Tracing at
+//! transistor level.
+//!
+//! This crate implements the contribution of *"Intra-Cell Defects
+//! Diagnosis"* (Sun, Bosio, Dilillo, Girard, Pravossoudovitch, Virazel,
+//! Auvray — Journal of Electronic Testing 30(5), 2014): given one suspected
+//! standard cell (from a gate-level diagnosis front end) and its local
+//! failing/passing patterns (from DUT simulation), locate the root cause of
+//! the observed failures *inside* the cell — with no defect dictionary, no
+//! fault dictionary and no netlist transformation.
+//!
+//! The flow (paper Fig. 9):
+//!
+//! 1. For every local failing pattern, a fault-free switch-level simulation
+//!    assigns every cell net a value, then [`transistor_cpt`] traces the
+//!    critical nets and transistor terminals back from the cell output.
+//!    The critical items form the Current Suspect List; bridging couples
+//!    (critical victim × opposite-valued aggressor nets) form the Current
+//!    Bridging Suspect List; critical items that transition between the
+//!    previous and current vector form the Current Delay Suspect List.
+//! 2. Under the single-defect assumption the current lists are intersected
+//!    across failing patterns (eqs. 4–6, with the Fig.-10 value lattice)
+//!    into the Global Suspect / Bridging / Delay lists.
+//! 3. Every local passing pattern *vindicates*: its critical items are
+//!    subtracted from GSL/GBSL (eqs. 7–8). GDSL is never vindicated —
+//!    a passing pattern cannot exonerate a delay fault.
+//! 4. Fault-model allocation maps each surviving suspect to stuck-at /
+//!    dominant-bridging / delay fault models ([`DiagnosisReport`]).
+//!
+//! An empty report means the defect is *not* inside the analyzed cell
+//! (the paper's circuit-C silicon case), which redirects physical failure
+//! analysis to the surrounding interconnect.
+//!
+//! # Example
+//!
+//! ```
+//! use icd_cells::CellLibrary;
+//! use icd_core::{diagnose, LocalTest};
+//!
+//! let cells = CellLibrary::standard();
+//! let cell = cells.get("AO7SVTX1").expect("exists").netlist();
+//! // Say the tester failed local vector A=1,B=0,C=0 and passed A=0,B=1,C=1.
+//! let lfp = vec![LocalTest::static_vector(vec![true, false, false])];
+//! let lpp = vec![LocalTest::static_vector(vec![false, true, true])];
+//! let report = diagnose(cell, &lfp, &lpp)?;
+//! assert!(!report.is_empty());
+//! # Ok::<(), icd_core::CoreError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cpt;
+mod diagnose;
+mod error;
+mod rank;
+mod suspect;
+mod trace_report;
+
+pub use cpt::{critical_oracle, delay_suspects, transistor_cpt, CptOutcome};
+pub use diagnose::{
+    diagnose, DiagnosisReport, FaultCandidate, FaultModel, LocalTest, SuspectLocation,
+};
+pub use error::CoreError;
+pub use rank::{rank_candidates, RankedCandidate, RankedDiagnosis};
+pub use suspect::{BridgeSuspectList, DelaySuspectList, SuspectItem, SuspectList};
+pub use trace_report::{diagnose_traced, DiagnosisTrace, TraceStep};

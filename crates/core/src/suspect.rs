@@ -1,0 +1,358 @@
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use icd_logic::Lv;
+use icd_switch::{CellNetlist, Terminal, TNetId, TransistorId};
+
+/// One suspect location inside the cell: a net or a transistor terminal —
+/// exactly the granularity of the paper's suspect lists (`Net118`, `T5G`,
+/// `N0S`, …).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SuspectItem {
+    /// An interconnection net (including cell inputs and the output).
+    Net(TNetId),
+    /// A transistor terminal.
+    Terminal(TransistorId, Terminal),
+}
+
+impl SuspectItem {
+    /// The paper-style display name of the item (`"Net118"`, `"T5G"`).
+    pub fn display(&self, cell: &CellNetlist) -> String {
+        match *self {
+            SuspectItem::Net(n) => cell.net_name(n).to_owned(),
+            SuspectItem::Terminal(t, term) => cell.terminal_name(t, term),
+        }
+    }
+
+    /// The net the item lies on (gate terminals map to their gate net).
+    pub fn net(&self, cell: &CellNetlist) -> TNetId {
+        match *self {
+            SuspectItem::Net(n) => n,
+            SuspectItem::Terminal(t, term) => cell.transistor(t).terminal_net(term),
+        }
+    }
+}
+
+/// The Suspect List (eq. 1): critical items with the logic value they
+/// carried when traced. Used both per-pattern (CSL) and globally (GSL),
+/// and for the Vindicate List of passing patterns.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SuspectList {
+    entries: BTreeMap<SuspectItem, Lv>,
+}
+
+impl SuspectList {
+    /// An empty list.
+    pub fn new() -> Self {
+        SuspectList::default()
+    }
+
+    /// Inserts an item with its traced value. A re-inserted item keeps the
+    /// meet of the values.
+    pub fn insert(&mut self, item: SuspectItem, value: Lv) {
+        self.entries
+            .entry(item)
+            .and_modify(|v| *v = v.meet(value))
+            .or_insert(value);
+    }
+
+    /// Number of suspects.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The stored value of an item.
+    pub fn value(&self, item: &SuspectItem) -> Option<Lv> {
+        self.entries.get(item).copied()
+    }
+
+    /// Whether the item is present (any value).
+    pub fn contains(&self, item: &SuspectItem) -> bool {
+        self.entries.contains_key(item)
+    }
+
+    /// Iterates over `(item, value)` pairs in a stable order.
+    pub fn iter(&self) -> impl Iterator<Item = (&SuspectItem, &Lv)> {
+        self.entries.iter()
+    }
+
+    /// The intersection of eq. 4: an entry survives only when it appears
+    /// in both lists *with the same logic value* — a net traced with
+    /// different values cannot be a stuck-at site.
+    #[must_use]
+    pub fn intersect(&self, other: &SuspectList) -> SuspectList {
+        let entries = self
+            .entries
+            .iter()
+            .filter(|(item, value)| other.value(item) == Some(**value))
+            .map(|(item, value)| (*item, *value))
+            .collect();
+        SuspectList { entries }
+    }
+
+    /// The difference of eq. 7: an entry is removed when the vindicate
+    /// list contains the same `(item, value)` pair — under that passing
+    /// pattern the hypothetical stuck-at would have produced a failure.
+    #[must_use]
+    pub fn subtract(&self, vindicate: &SuspectList) -> SuspectList {
+        let entries = self
+            .entries
+            .iter()
+            .filter(|(item, value)| vindicate.value(item) != Some(**value))
+            .map(|(item, value)| (*item, *value))
+            .collect();
+        SuspectList { entries }
+    }
+}
+
+impl FromIterator<(SuspectItem, Lv)> for SuspectList {
+    fn from_iter<I: IntoIterator<Item = (SuspectItem, Lv)>>(iter: I) -> Self {
+        let mut list = SuspectList::new();
+        for (item, value) in iter {
+            list.insert(item, value);
+        }
+        list
+    }
+}
+
+/// The Bridging Suspect List (eq. 2): victim/aggressor net couples with
+/// their traced values.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BridgeSuspectList {
+    entries: BTreeMap<(TNetId, TNetId), (Lv, Lv)>,
+}
+
+impl BridgeSuspectList {
+    /// An empty list.
+    pub fn new() -> Self {
+        BridgeSuspectList::default()
+    }
+
+    /// Inserts a victim/aggressor couple with the values they carried.
+    pub fn insert(&mut self, victim: TNetId, aggressor: TNetId, values: (Lv, Lv)) {
+        self.entries
+            .entry((victim, aggressor))
+            .and_modify(|(v, a)| {
+                *v = v.meet(values.0);
+                *a = a.meet(values.1);
+            })
+            .or_insert(values);
+    }
+
+    /// Number of couples.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether the couple is present.
+    pub fn contains(&self, victim: TNetId, aggressor: TNetId) -> bool {
+        self.entries.contains_key(&(victim, aggressor))
+    }
+
+    /// Iterates over `((victim, aggressor), (victim value, aggressor
+    /// value))`.
+    pub fn iter(
+        &self,
+    ) -> impl Iterator<Item = (&(TNetId, TNetId), &(Lv, Lv))> {
+        self.entries.iter()
+    }
+
+    /// The intersection of eq. 5: couples survive when both lists name the
+    /// same victim/aggressor nets; the values merge with the Fig.-10
+    /// lattice (`0 ∩ 1 = U`, the strong-dominant-bridging case the paper
+    /// keeps).
+    #[must_use]
+    pub fn intersect(&self, other: &BridgeSuspectList) -> BridgeSuspectList {
+        let entries = self
+            .entries
+            .iter()
+            .filter_map(|(key, (v, a))| {
+                other
+                    .entries
+                    .get(key)
+                    .map(|(ov, oa)| (*key, (v.meet(*ov), a.meet(*oa))))
+            })
+            .collect();
+        BridgeSuspectList { entries }
+    }
+
+    /// The difference of eq. 8: a couple is removed when the bridging
+    /// vindicate list names the same victim/aggressor nets — a dominant
+    /// bridge is active whenever the two nets carry opposite values, so any
+    /// vindicating occurrence exonerates the couple.
+    #[must_use]
+    pub fn subtract(&self, vindicate: &BridgeSuspectList) -> BridgeSuspectList {
+        let entries = self
+            .entries
+            .iter()
+            .filter(|(key, _)| !vindicate.entries.contains_key(*key))
+            .map(|(key, values)| (*key, *values))
+            .collect();
+        BridgeSuspectList { entries }
+    }
+}
+
+/// The Delay Suspect List (eq. 3): critical delay items, without logic
+/// values (slow-to-rise and slow-to-fall are deliberately not
+/// distinguished).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DelaySuspectList {
+    entries: BTreeSet<SuspectItem>,
+}
+
+impl DelaySuspectList {
+    /// An empty list.
+    pub fn new() -> Self {
+        DelaySuspectList::default()
+    }
+
+    /// Inserts an item.
+    pub fn insert(&mut self, item: SuspectItem) {
+        self.entries.insert(item);
+    }
+
+    /// Number of suspects.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether the item is present.
+    pub fn contains(&self, item: &SuspectItem) -> bool {
+        self.entries.contains(item)
+    }
+
+    /// Iterates over the items in a stable order.
+    pub fn iter(&self) -> impl Iterator<Item = &SuspectItem> {
+        self.entries.iter()
+    }
+
+    /// The intersection of eq. 6: plain set intersection.
+    #[must_use]
+    pub fn intersect(&self, other: &DelaySuspectList) -> DelaySuspectList {
+        DelaySuspectList {
+            entries: self.entries.intersection(&other.entries).copied().collect(),
+        }
+    }
+}
+
+impl FromIterator<SuspectItem> for DelaySuspectList {
+    fn from_iter<I: IntoIterator<Item = SuspectItem>>(iter: I) -> Self {
+        DelaySuspectList {
+            entries: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl fmt::Display for SuspectItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SuspectItem::Net(n) => write!(f, "net({n})"),
+            SuspectItem::Terminal(t, term) => write!(f, "terminal({t}{term})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net(i: u32) -> SuspectItem {
+        // Construct TNetId through a tiny throwaway cell.
+        let mut b = icd_switch::CellNetlistBuilder::new("t");
+        let mut last = b.input("A");
+        for k in 0..=i {
+            last = b.net(&format!("n{k}"));
+        }
+        let z = b.output("Z");
+        b.nmos("N0", last, b.gnd(), z);
+        let _ = z;
+        SuspectItem::Net(last)
+    }
+
+    #[test]
+    fn sl_intersection_requires_equal_values() {
+        let a: SuspectList = [(net(0), Lv::One), (net(1), Lv::Zero)].into_iter().collect();
+        let b: SuspectList = [(net(0), Lv::One), (net(1), Lv::One)].into_iter().collect();
+        let i = a.intersect(&b);
+        assert_eq!(i.len(), 1);
+        assert_eq!(i.value(&net(0)), Some(Lv::One));
+    }
+
+    #[test]
+    fn sl_subtract_requires_equal_values() {
+        let a: SuspectList = [(net(0), Lv::One), (net(1), Lv::Zero)].into_iter().collect();
+        let v: SuspectList = [(net(0), Lv::One), (net(1), Lv::One)].into_iter().collect();
+        let d = a.subtract(&v);
+        // net0 vindicated (same value); net1 kept (different value).
+        assert_eq!(d.len(), 1);
+        assert!(d.contains(&net(1)));
+    }
+
+    #[test]
+    fn sl_reinsert_meets_values() {
+        let mut l = SuspectList::new();
+        l.insert(net(0), Lv::One);
+        l.insert(net(0), Lv::Zero);
+        assert_eq!(l.value(&net(0)), Some(Lv::U));
+    }
+
+    #[test]
+    fn bsl_intersection_keeps_conflicting_values_as_u() {
+        let n0 = match net(0) {
+            SuspectItem::Net(n) => n,
+            _ => unreachable!(),
+        };
+        let n1 = match net(1) {
+            SuspectItem::Net(n) => n,
+            _ => unreachable!(),
+        };
+        let mut a = BridgeSuspectList::new();
+        a.insert(n0, n1, (Lv::One, Lv::Zero));
+        let mut b = BridgeSuspectList::new();
+        b.insert(n0, n1, (Lv::Zero, Lv::One));
+        let i = a.intersect(&b);
+        assert_eq!(i.len(), 1);
+        assert_eq!(i.iter().next().unwrap().1, &(Lv::U, Lv::U));
+    }
+
+    #[test]
+    fn bsl_subtract_ignores_values() {
+        let n0 = match net(0) {
+            SuspectItem::Net(n) => n,
+            _ => unreachable!(),
+        };
+        let n1 = match net(1) {
+            SuspectItem::Net(n) => n,
+            _ => unreachable!(),
+        };
+        let mut a = BridgeSuspectList::new();
+        a.insert(n0, n1, (Lv::One, Lv::Zero));
+        let mut v = BridgeSuspectList::new();
+        v.insert(n0, n1, (Lv::Zero, Lv::One));
+        assert!(a.subtract(&v).is_empty());
+    }
+
+    #[test]
+    fn dsl_set_semantics() {
+        let a: DelaySuspectList = [net(0), net(1)].into_iter().collect();
+        let b: DelaySuspectList = [net(1), net(2)].into_iter().collect();
+        let i = a.intersect(&b);
+        assert_eq!(i.len(), 1);
+        assert!(i.contains(&net(1)));
+    }
+}

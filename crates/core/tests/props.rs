@@ -1,0 +1,155 @@
+//! Property-based tests for transistor-level CPT and the diagnosis
+//! procedure, over random complementary CMOS cells and the standard
+//! library.
+
+use icd_core::{
+    critical_oracle, delay_suspects, diagnose, transistor_cpt, LocalTest, SuspectItem,
+};
+use icd_switch::samples::random_cell;
+use icd_switch::{Lv, Terminal};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+fn bits(combo: usize, n: usize) -> Vec<bool> {
+    (0..n).map(|k| (combo >> k) & 1 == 1).collect()
+}
+
+fn lv(bits: &[bool]) -> Vec<Lv> {
+    bits.iter().copied().map(Lv::from).collect()
+}
+
+proptest! {
+    /// The backward trace agrees with the brute-force flip oracle on
+    /// random cell topologies — for net criticality and gate-terminal
+    /// criticality alike.
+    #[test]
+    fn trace_equals_oracle_on_random_cells(seed in any::<u64>(), inputs in 1usize..5) {
+        let (cell, _) = random_cell(seed, inputs).expect("builds");
+        for combo in 0..(1usize << inputs) {
+            let vector = lv(&bits(combo, inputs));
+            let outcome = transistor_cpt(&cell, &vector).expect("traces");
+            let oracle = critical_oracle(&cell, &vector).expect("enumerates");
+            let trace_nets: BTreeSet<_> = outcome
+                .suspects
+                .iter()
+                .filter(|(i, _)| matches!(i, SuspectItem::Net(_)))
+                .map(|(i, _)| *i)
+                .collect();
+            let oracle_nets: BTreeSet<_> = oracle
+                .iter()
+                .filter(|i| matches!(i, SuspectItem::Net(_)))
+                .copied()
+                .collect();
+            prop_assert_eq!(trace_nets, oracle_nets, "nets differ (seed {})", seed);
+            let trace_gates: BTreeSet<_> = outcome
+                .suspects
+                .iter()
+                .filter(|(i, _)| matches!(i, SuspectItem::Terminal(_, Terminal::Gate)))
+                .map(|(i, _)| *i)
+                .collect();
+            let oracle_gates: BTreeSet<_> = oracle
+                .iter()
+                .filter(|i| matches!(i, SuspectItem::Terminal(_, Terminal::Gate)))
+                .copied()
+                .collect();
+            prop_assert_eq!(trace_gates, oracle_gates, "gates differ (seed {})", seed);
+        }
+    }
+
+    /// Every suspect carries the fault-free value of its net under the
+    /// traced pattern.
+    #[test]
+    fn suspect_values_are_the_fault_free_values(seed in any::<u64>(), combo in any::<usize>()) {
+        let (cell, _) = random_cell(seed, 3).expect("builds");
+        let vector = lv(&bits(combo % 8, 3));
+        let outcome = transistor_cpt(&cell, &vector).expect("traces");
+        for (item, &value) in outcome.suspects.iter() {
+            prop_assert_eq!(value, outcome.values.value(item.net(&cell)));
+        }
+    }
+
+    /// Delay suspects are exactly the static suspects on transitioning
+    /// nets.
+    #[test]
+    fn delay_suspects_are_transitioning_criticals(
+        seed in any::<u64>(),
+        launch in any::<usize>(),
+        capture in any::<usize>(),
+    ) {
+        let (cell, _) = random_cell(seed, 3).expect("builds");
+        let l = lv(&bits(launch % 8, 3));
+        let c = lv(&bits(capture % 8, 3));
+        let dsl = delay_suspects(&cell, &l, &c).expect("delay-traces");
+        let cur = transistor_cpt(&cell, &c).expect("traces");
+        let launch_vals = cell.solve(&l, &icd_switch::Forcing::none()).expect("solves");
+        for item in dsl.iter() {
+            prop_assert!(cur.suspects.contains(item));
+            let net = item.net(&cell);
+            prop_assert!(launch_vals
+                .value(net)
+                .conflicts_with(cur.values.value(net)));
+        }
+        // And conversely, every transitioning critical item is in DSL.
+        for (item, _) in cur.suspects.iter() {
+            let net = item.net(&cell);
+            if launch_vals.value(net).conflicts_with(cur.values.value(net)) {
+                prop_assert!(dsl.contains(item));
+            }
+        }
+    }
+
+    /// Vindication only shrinks: adding passing patterns can never grow
+    /// the global suspect lists or the resolution.
+    #[test]
+    fn vindication_is_monotone(seed in any::<u64>(), fail in any::<usize>(), pass in any::<usize>()) {
+        let (cell, _) = random_cell(seed, 3).expect("builds");
+        let lfp = vec![LocalTest::static_vector(bits(fail % 8, 3))];
+        let without = diagnose(&cell, &lfp, &[]).expect("diagnoses");
+        let lpp = vec![LocalTest::static_vector(bits(pass % 8, 3))];
+        let with = diagnose(&cell, &lfp, &lpp).expect("diagnoses");
+        if !with.dynamic_only {
+            prop_assert!(with.gsl.len() <= without.gsl.len());
+            prop_assert!(with.gbsl.len() <= without.gbsl.len());
+        }
+        prop_assert_eq!(with.gdsl, without.gdsl); // never vindicated
+    }
+
+    /// More failing patterns only shrink the global lists (intersection).
+    #[test]
+    fn intersection_is_monotone(seed in any::<u64>(), a in any::<usize>(), b in any::<usize>()) {
+        let (cell, _) = random_cell(seed, 3).expect("builds");
+        let one = vec![LocalTest::static_vector(bits(a % 8, 3))];
+        let two = vec![
+            LocalTest::static_vector(bits(a % 8, 3)),
+            LocalTest::static_vector(bits(b % 8, 3)),
+        ];
+        let r1 = diagnose(&cell, &one, &[]).expect("diagnoses");
+        let r2 = diagnose(&cell, &two, &[]).expect("diagnoses");
+        prop_assert!(r2.gsl.len() <= r1.gsl.len());
+        prop_assert!(r2.gbsl.len() <= r1.gbsl.len());
+        prop_assert!(r2.gdsl.len() <= r1.gdsl.len());
+    }
+
+    /// Diagnosis is deterministic.
+    #[test]
+    fn diagnose_is_deterministic(seed in any::<u64>(), fail in any::<usize>(), pass in any::<usize>()) {
+        let (cell, _) = random_cell(seed, 3).expect("builds");
+        let lfp = vec![LocalTest::static_vector(bits(fail % 8, 3))];
+        let lpp = vec![LocalTest::static_vector(bits(pass % 8, 3))];
+        let r1 = diagnose(&cell, &lfp, &lpp).expect("diagnoses");
+        let r2 = diagnose(&cell, &lfp, &lpp).expect("diagnoses");
+        prop_assert_eq!(r1, r2);
+    }
+
+    /// The cell output is always critical under any fully specified
+    /// pattern, so a single-failure diagnosis is never empty before
+    /// vindication.
+    #[test]
+    fn single_failure_diagnosis_is_never_empty(seed in any::<u64>(), fail in any::<usize>()) {
+        let (cell, _) = random_cell(seed, 3).expect("builds");
+        let lfp = vec![LocalTest::static_vector(bits(fail % 8, 3))];
+        let report = diagnose(&cell, &lfp, &[]).expect("diagnoses");
+        prop_assert!(!report.is_empty());
+        prop_assert!(report.gsl.contains(&SuspectItem::Net(cell.output())));
+    }
+}

@@ -1,0 +1,324 @@
+use icd_faultsim::{DelayTable, FaultyBehavior};
+use icd_logic::Lv;
+use icd_switch::{CellNetlist, Forcing, Terminal, TNetId, TransistorId, TransistorKind};
+
+use crate::{classify, BehaviorClass, Defect, DefectError};
+
+/// Where the defect physically is — used to score diagnosis accuracy
+/// against the intra-cell suspects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroundTruth {
+    /// Nets the defect touches (rails excluded).
+    pub nets: Vec<TNetId>,
+    /// Transistors the defect touches.
+    pub transistors: Vec<TransistorId>,
+    /// Human-readable location.
+    pub description: String,
+}
+
+/// The result of characterizing one defect on one cell — the paper's
+/// "spice simulation of the faulty gate" step, produced by the switch-level
+/// engine instead.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Characterization {
+    /// The behaviour class the resistance puts the defect in.
+    pub class: BehaviorClass,
+    /// The gate-level model (absent for benign defects).
+    pub behavior: Option<FaultyBehavior>,
+    /// Whether the model ever disagrees with the good cell — i.e. whether
+    /// any test could observe this defect.
+    pub observable: bool,
+    /// The physical location, for experiment scoring.
+    pub ground_truth: GroundTruth,
+}
+
+fn off_value(kind: TransistorKind) -> Lv {
+    match kind {
+        TransistorKind::Nmos => Lv::Zero,
+        TransistorKind::Pmos => Lv::One,
+    }
+}
+
+fn ground_truth(cell: &CellNetlist, defect: &Defect) -> GroundTruth {
+    match *defect {
+        Defect::Short { a, b, .. } => GroundTruth {
+            nets: [a, b]
+                .into_iter()
+                .filter(|&n| !cell.is_rail(n))
+                .collect(),
+            transistors: Vec::new(),
+            description: defect.describe(cell),
+        },
+        Defect::OpenTerminal {
+            transistor,
+            terminal,
+            ..
+        } => {
+            let net = cell.transistor(transistor).terminal_net(terminal);
+            GroundTruth {
+                nets: if cell.is_rail(net) { vec![] } else { vec![net] },
+                transistors: vec![transistor],
+                description: defect.describe(cell),
+            }
+        }
+        Defect::OpenNet { net, .. } => GroundTruth {
+            nets: vec![net],
+            transistors: Vec::new(),
+            description: defect.describe(cell),
+        },
+    }
+}
+
+/// Characterizes a defect into a gate-level faulty-cell model.
+///
+/// * hard shorts to a rail pin the net (stuck-at class, paper defects
+///   D1/D2);
+/// * hard signal–signal shorts become dominant bridges (D3, low-R case);
+/// * resistive shorts/opens become two-pattern
+///   [`DelayTable`]s built with the slow-element snapshot semantics (D3
+///   mid-R and D4);
+/// * hard channel opens switch the transistor permanently off, hard gate
+///   opens float its control — both produce truth tables with `U`
+///   (floating) entries, which the gate-level simulator interprets as
+///   charge retention (the classic CMOS stuck-open behaviour);
+/// * benign resistances yield no model.
+///
+/// # Errors
+///
+/// Returns an error for degenerate defects or when the switch-level
+/// evaluation fails.
+pub fn characterize(cell: &CellNetlist, defect: &Defect) -> Result<Characterization, DefectError> {
+    let class = classify(cell, defect)?;
+    let good = cell.truth_table()?;
+    let truth = ground_truth(cell, defect);
+
+    let behavior: Option<FaultyBehavior> = match (class, defect) {
+        (BehaviorClass::Benign, _) => None,
+        (BehaviorClass::StuckLike, &Defect::Short { a, b, .. }) => {
+            // Short to a rail: the signal net is pinned to the rail value.
+            let (signal, rail) = if cell.is_rail(b) { (a, b) } else { (b, a) };
+            let value = if rail == cell.vdd() { Lv::One } else { Lv::Zero };
+            let forcing = Forcing::none().pin(signal, value);
+            Some(FaultyBehavior::Static(cell.truth_table_with(&forcing)?))
+        }
+        (BehaviorClass::BridgeLike, &Defect::Short { a, b, .. }) => {
+            let forcing = Forcing::none().bridge(a, b);
+            Some(FaultyBehavior::Static(cell.truth_table_with(&forcing)?))
+        }
+        (
+            BehaviorClass::StuckLike,
+            &Defect::OpenTerminal {
+                transistor,
+                terminal,
+                ..
+            },
+        ) => {
+            let forcing = match terminal {
+                // A broken channel contact: the switch can never conduct.
+                Terminal::Source | Terminal::Drain => Forcing::none()
+                    .override_gate(transistor, off_value(cell.transistor(transistor).kind)),
+                // A broken gate contact: the control floats.
+                Terminal::Gate => Forcing::none().override_gate(transistor, Lv::U),
+            };
+            Some(FaultyBehavior::Static(cell.truth_table_with(&forcing)?))
+        }
+        (BehaviorClass::StuckLike, &Defect::OpenNet { net, .. }) => {
+            // An interconnect fully broken between its driver and its
+            // loads: every transistor controlled by the net floats; if the
+            // net controls nothing, the net segment itself floats.
+            let loads: Vec<TransistorId> = cell.gate_loads(net).collect();
+            let mut forcing = Forcing::none();
+            if loads.is_empty() {
+                forcing = forcing.pin(net, Lv::U);
+            } else {
+                for t in loads {
+                    forcing = forcing.override_gate(t, Lv::U);
+                }
+            }
+            Some(FaultyBehavior::Static(cell.truth_table_with(&forcing)?))
+        }
+        (BehaviorClass::DelayLike, d) => {
+            let (slow_nets, slow_transistors): (Vec<TNetId>, Vec<TransistorId>) = match *d {
+                Defect::Short { a, b, .. } => {
+                    let victim = if cell.is_rail(a) { b } else { a };
+                    (vec![victim], vec![])
+                }
+                Defect::OpenTerminal { transistor, .. } => (vec![], vec![transistor]),
+                Defect::OpenNet { net, .. } => (vec![net], vec![]),
+            };
+            let n = cell.num_inputs();
+            let mut error: Option<DefectError> = None;
+            let table = DelayTable::from_fn(n, |prev, cur| {
+                if error.is_some() {
+                    return Lv::U;
+                }
+                let prev_lv: Vec<Lv> = prev.iter().copied().map(Lv::from).collect();
+                let cur_lv: Vec<Lv> = cur.iter().copied().map(Lv::from).collect();
+                match cell.solve_two_pattern(
+                    &prev_lv,
+                    &cur_lv,
+                    &Forcing::none(),
+                    &slow_nets,
+                    &slow_transistors,
+                ) {
+                    Ok(out) => out.capture_late.value(cell.output()),
+                    Err(e) => {
+                        error = Some(e.into());
+                        Lv::U
+                    }
+                }
+            });
+            if let Some(e) = error {
+                return Err(e);
+            }
+            Some(FaultyBehavior::Delay(table))
+        }
+        // classify() only returns BridgeLike for signal-signal shorts.
+        (BehaviorClass::BridgeLike, _) => unreachable!("bridge class implies a short"),
+    };
+
+    let observable = behavior
+        .as_ref()
+        .map(|b| b.ever_differs_from(&good))
+        .unwrap_or(false);
+
+    Ok(Characterization {
+        class,
+        behavior,
+        observable,
+        ground_truth: truth,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icd_cells::CellLibrary;
+    use icd_logic::TruthTable;
+
+    fn ao7() -> CellNetlist {
+        CellLibrary::standard()
+            .get("AO7SVTX1")
+            .unwrap()
+            .netlist()
+            .clone()
+    }
+
+    #[test]
+    fn rail_short_becomes_stuck_table() {
+        let cell = ao7();
+        let n16 = cell.find_net("N16").unwrap();
+        // N16 pinned to 1: the pull-up behaves as if A were 0, so
+        // Z = !(B&C) masked by the pull-down... observable as a stuck-like
+        // behaviour.
+        let ch = characterize(&cell, &Defect::hard_short(n16, cell.vdd())).unwrap();
+        assert_eq!(ch.class, BehaviorClass::StuckLike);
+        assert!(ch.observable);
+        let FaultyBehavior::Static(table) = ch.behavior.unwrap() else {
+            panic!("expected static behaviour");
+        };
+        let good = cell.truth_table().unwrap();
+        assert!(!good.differing_inputs(&table).is_empty() || table.entries().contains(&Lv::U));
+    }
+
+    #[test]
+    fn signal_bridge_becomes_dominant_table() {
+        let cell = ao7();
+        let z = cell.output();
+        let a = cell.find_net("A").unwrap();
+        // Z dominated by A: Z' = A wherever they differ.
+        let ch = characterize(&cell, &Defect::hard_short(z, a)).unwrap();
+        assert_eq!(ch.class, BehaviorClass::BridgeLike);
+        assert!(ch.observable);
+        let FaultyBehavior::Static(table) = ch.behavior.unwrap() else {
+            panic!("expected static behaviour");
+        };
+        // Under A=1,B=0,C=0 good Z = 0; with Z dominated by A it reads 1.
+        assert_eq!(table.eval_bits(&[true, false, false]), Lv::One);
+    }
+
+    #[test]
+    fn hard_channel_open_floats_some_entries() {
+        let cell = ao7();
+        // Open the source contact of N3 (the pull-down controlled by A):
+        // with A=1, B=0 the pull-down cannot conduct and the pull-up is
+        // also blocked -> Z floats.
+        let n3 = cell.find_transistor("N3").unwrap();
+        let ch = characterize(&cell, &Defect::hard_open(n3, Terminal::Source)).unwrap();
+        assert_eq!(ch.class, BehaviorClass::StuckLike);
+        assert!(ch.observable);
+        let FaultyBehavior::Static(table) = ch.behavior.unwrap() else {
+            panic!("expected static behaviour");
+        };
+        assert!(table.entries().contains(&Lv::U), "stuck-open must float");
+    }
+
+    #[test]
+    fn resistive_open_becomes_delay_table() {
+        let cell = ao7();
+        let n3 = cell.find_transistor("N3").unwrap();
+        let ch = characterize(&cell, &Defect::resistive_open(n3, Terminal::Gate)).unwrap();
+        assert_eq!(ch.class, BehaviorClass::DelayLike);
+        assert!(ch.observable);
+        assert!(matches!(ch.behavior, Some(FaultyBehavior::Delay(_))));
+    }
+
+    #[test]
+    fn benign_defect_has_no_model() {
+        let cell = ao7();
+        let z = cell.output();
+        let a = cell.find_net("A").unwrap();
+        let ch = characterize(
+            &cell,
+            &Defect::Short {
+                a: z,
+                b: a,
+                resistance: 1e9,
+            },
+        )
+        .unwrap();
+        assert_eq!(ch.class, BehaviorClass::Benign);
+        assert!(ch.behavior.is_none());
+        assert!(!ch.observable);
+    }
+
+    #[test]
+    fn ground_truth_excludes_rails() {
+        let cell = ao7();
+        let n16 = cell.find_net("N16").unwrap();
+        let ch = characterize(&cell, &Defect::hard_short(n16, cell.vdd())).unwrap();
+        assert_eq!(ch.ground_truth.nets, vec![n16]);
+    }
+
+    #[test]
+    fn delay_model_agrees_with_good_when_inputs_are_stable() {
+        let cell = ao7();
+        let good = cell.truth_table().unwrap();
+        let n3 = cell.find_transistor("N3").unwrap();
+        let ch = characterize(&cell, &Defect::resistive_open(n3, Terminal::Gate)).unwrap();
+        let FaultyBehavior::Delay(table) = ch.behavior.unwrap() else {
+            panic!("expected delay behaviour");
+        };
+        // With prev == cur nothing transitions, so the late snapshot equals
+        // the settled good value.
+        for combo in 0..8usize {
+            let bits: Vec<bool> = (0..3).map(|k| (combo >> k) & 1 == 1).collect();
+            assert_eq!(table.eval(&bits, &bits), good.eval_bits(&bits));
+        }
+    }
+
+    #[test]
+    fn stuck_table_matches_manual_forcing() {
+        let cell = ao7();
+        let n16 = cell.find_net("N16").unwrap();
+        let ch = characterize(&cell, &Defect::hard_short(n16, cell.gnd())).unwrap();
+        let FaultyBehavior::Static(table) = ch.behavior.unwrap() else {
+            panic!()
+        };
+        let manual = cell
+            .truth_table_with(&Forcing::none().pin(n16, Lv::Zero))
+            .unwrap();
+        assert_eq!(table, manual);
+        let _: TruthTable = manual;
+    }
+}

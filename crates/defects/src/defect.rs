@@ -1,0 +1,340 @@
+use std::error::Error;
+use std::fmt;
+
+use icd_switch::{CellNetlist, Terminal, TNetId, TransistorId};
+
+/// Resistance thresholds of the behaviour classification.
+///
+/// The paper (§2) keys the faulty behaviour on the defect resistance
+/// relative to technology-dependent thresholds (`R_T`, `Rmin`, `Rmax`).
+/// The values here are representative of published 90 nm bridge/open
+/// characterizations \[15, 16\]; only their *ordering* matters to the
+/// reproduction.
+pub mod thresholds {
+    /// Shorts below this resistance behave as hard shorts (stuck /
+    /// dominant-bridge class).
+    pub const SHORT_HARD_OHMS: f64 = 500.0;
+    /// Shorts between `SHORT_HARD_OHMS` and this bound slow the victim's
+    /// transitions (delay class); larger shorts are benign.
+    pub const SHORT_BENIGN_OHMS: f64 = 20_000.0;
+    /// Opens above this resistance fully disconnect (stuck-open class).
+    pub const OPEN_HARD_OHMS: f64 = 10_000_000.0;
+    /// Opens between this bound and `OPEN_HARD_OHMS` delay the affected
+    /// element (delay class); smaller opens are benign.
+    pub const OPEN_BENIGN_OHMS: f64 = 50_000.0;
+}
+
+/// A physical defect injected into one cell's transistor netlist.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Defect {
+    /// An unexpected resistive connection between two nets (the paper's
+    /// D1–D3). For signal–signal shorts, `a` is the victim and `b` the
+    /// aggressor of the resulting dominant bridge.
+    Short {
+        /// Victim net.
+        a: TNetId,
+        /// Aggressor net (may be a rail).
+        b: TNetId,
+        /// Bridge resistance in ohms.
+        resistance: f64,
+    },
+    /// A resistive open at one transistor terminal (broken contact/via —
+    /// the silicon cases H3 and M).
+    OpenTerminal {
+        /// The affected transistor.
+        transistor: TransistorId,
+        /// Which terminal is open.
+        terminal: Terminal,
+        /// Open resistance in ohms.
+        resistance: f64,
+    },
+    /// A resistive open on an interconnect net (the paper's D4).
+    OpenNet {
+        /// The affected net.
+        net: TNetId,
+        /// Open resistance in ohms.
+        resistance: f64,
+    },
+}
+
+impl Defect {
+    /// A short well below the hard threshold (stuck / bridge class).
+    pub fn hard_short(a: TNetId, b: TNetId) -> Self {
+        Defect::Short {
+            a,
+            b,
+            resistance: thresholds::SHORT_HARD_OHMS / 10.0,
+        }
+    }
+
+    /// A short in the delay band.
+    pub fn resistive_short(a: TNetId, b: TNetId) -> Self {
+        Defect::Short {
+            a,
+            b,
+            resistance: (thresholds::SHORT_HARD_OHMS + thresholds::SHORT_BENIGN_OHMS) / 2.0,
+        }
+    }
+
+    /// A full open at a transistor terminal.
+    pub fn hard_open(transistor: TransistorId, terminal: Terminal) -> Self {
+        Defect::OpenTerminal {
+            transistor,
+            terminal,
+            resistance: thresholds::OPEN_HARD_OHMS * 10.0,
+        }
+    }
+
+    /// A resistive (delay-class) open at a transistor terminal.
+    pub fn resistive_open(transistor: TransistorId, terminal: Terminal) -> Self {
+        Defect::OpenTerminal {
+            transistor,
+            terminal,
+            resistance: (thresholds::OPEN_BENIGN_OHMS + thresholds::OPEN_HARD_OHMS) / 2.0,
+        }
+    }
+
+    /// A resistive (delay-class) open on an interconnect net.
+    pub fn slow_net(net: TNetId) -> Self {
+        Defect::OpenNet {
+            net,
+            resistance: (thresholds::OPEN_BENIGN_OHMS + thresholds::OPEN_HARD_OHMS) / 2.0,
+        }
+    }
+
+    /// A human-readable location string using the cell's net/transistor
+    /// names (`"N16–VDD short"`, `"N0S open"`, …).
+    pub fn describe(&self, cell: &CellNetlist) -> String {
+        match *self {
+            Defect::Short { a, b, resistance } => format!(
+                "{}-{} short ({:.0} ohm)",
+                cell.net_name(a),
+                cell.net_name(b),
+                resistance
+            ),
+            Defect::OpenTerminal {
+                transistor,
+                terminal,
+                resistance,
+            } => format!(
+                "{} open ({:.0} ohm)",
+                cell.terminal_name(transistor, terminal),
+                resistance
+            ),
+            Defect::OpenNet { net, resistance } => {
+                format!("{} open ({:.0} ohm)", cell.net_name(net), resistance)
+            }
+        }
+    }
+}
+
+/// The faulty-behaviour class a defect's resistance puts it in (§2 of the
+/// paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BehaviorClass {
+    /// A net pinned to a rail value — manifests as a stuck-at fault.
+    StuckLike,
+    /// A hard signal–signal short — manifests as a dominant bridging
+    /// fault.
+    BridgeLike,
+    /// A resistive short/open — manifests as a delay fault.
+    DelayLike,
+    /// Resistance outside the faulty bands: no logic-visible effect.
+    Benign,
+}
+
+impl fmt::Display for BehaviorClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BehaviorClass::StuckLike => "stuck-at",
+            BehaviorClass::BridgeLike => "bridging",
+            BehaviorClass::DelayLike => "delay",
+            BehaviorClass::Benign => "benign",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Errors produced by defect injection.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DefectError {
+    /// A short between the two supply rails is a power defect, not a logic
+    /// defect.
+    RailToRailShort,
+    /// A short from a net to itself.
+    DegenerateShort,
+    /// The underlying switch-level evaluation failed.
+    Switch(icd_switch::SwitchError),
+    /// The sampler could not find a defect of the requested class on this
+    /// cell within its attempt budget.
+    SamplingExhausted {
+        /// The class that could not be hit.
+        class: BehaviorClass,
+    },
+}
+
+impl fmt::Display for DefectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DefectError::RailToRailShort => {
+                write!(f, "rail-to-rail short is a power defect, not injectable")
+            }
+            DefectError::DegenerateShort => write!(f, "short from a net to itself"),
+            DefectError::Switch(e) => write!(f, "switch-level evaluation failed: {e}"),
+            DefectError::SamplingExhausted { class } => {
+                write!(f, "could not sample an observable {class} defect")
+            }
+        }
+    }
+}
+
+impl Error for DefectError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DefectError::Switch(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<icd_switch::SwitchError> for DefectError {
+    fn from(e: icd_switch::SwitchError) -> Self {
+        DefectError::Switch(e)
+    }
+}
+
+/// Classifies a defect by its resistance (and, for shorts, whether a rail
+/// is involved).
+///
+/// # Errors
+///
+/// Returns an error for degenerate defects (rail-to-rail or self shorts).
+pub fn classify(cell: &CellNetlist, defect: &Defect) -> Result<BehaviorClass, DefectError> {
+    Ok(match *defect {
+        Defect::Short { a, b, resistance } => {
+            if a == b {
+                return Err(DefectError::DegenerateShort);
+            }
+            if cell.is_rail(a) && cell.is_rail(b) {
+                return Err(DefectError::RailToRailShort);
+            }
+            if resistance < thresholds::SHORT_HARD_OHMS {
+                if cell.is_rail(a) || cell.is_rail(b) {
+                    BehaviorClass::StuckLike
+                } else {
+                    BehaviorClass::BridgeLike
+                }
+            } else if resistance < thresholds::SHORT_BENIGN_OHMS {
+                BehaviorClass::DelayLike
+            } else {
+                BehaviorClass::Benign
+            }
+        }
+        Defect::OpenTerminal { resistance, .. } | Defect::OpenNet { resistance, .. } => {
+            if resistance > thresholds::OPEN_HARD_OHMS {
+                BehaviorClass::StuckLike // stuck-open: a static disconnect
+            } else if resistance > thresholds::OPEN_BENIGN_OHMS {
+                BehaviorClass::DelayLike
+            } else {
+                BehaviorClass::Benign
+            }
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icd_switch::CellNetlistBuilder;
+
+    fn inv() -> CellNetlist {
+        let mut b = CellNetlistBuilder::new("INV");
+        let a = b.input("A");
+        let z = b.output("Z");
+        b.pmos("P0", a, b.vdd(), z);
+        b.nmos("N0", a, b.gnd(), z);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn short_classification_bands() {
+        let cell = inv();
+        let z = cell.output();
+        let a = cell.find_net("A").unwrap();
+        assert_eq!(
+            classify(&cell, &Defect::hard_short(z, cell.gnd())).unwrap(),
+            BehaviorClass::StuckLike
+        );
+        assert_eq!(
+            classify(&cell, &Defect::hard_short(z, a)).unwrap(),
+            BehaviorClass::BridgeLike
+        );
+        assert_eq!(
+            classify(&cell, &Defect::resistive_short(z, a)).unwrap(),
+            BehaviorClass::DelayLike
+        );
+        assert_eq!(
+            classify(
+                &cell,
+                &Defect::Short {
+                    a: z,
+                    b: a,
+                    resistance: 1e9
+                }
+            )
+            .unwrap(),
+            BehaviorClass::Benign
+        );
+    }
+
+    #[test]
+    fn open_classification_bands() {
+        let cell = inv();
+        let p0 = cell.find_transistor("P0").unwrap();
+        assert_eq!(
+            classify(&cell, &Defect::hard_open(p0, Terminal::Source)).unwrap(),
+            BehaviorClass::StuckLike
+        );
+        assert_eq!(
+            classify(&cell, &Defect::resistive_open(p0, Terminal::Source)).unwrap(),
+            BehaviorClass::DelayLike
+        );
+        assert_eq!(
+            classify(
+                &cell,
+                &Defect::OpenTerminal {
+                    transistor: p0,
+                    terminal: Terminal::Source,
+                    resistance: 10.0
+                }
+            )
+            .unwrap(),
+            BehaviorClass::Benign
+        );
+    }
+
+    #[test]
+    fn degenerate_defects_rejected() {
+        let cell = inv();
+        let z = cell.output();
+        assert!(matches!(
+            classify(&cell, &Defect::hard_short(z, z)),
+            Err(DefectError::DegenerateShort)
+        ));
+        assert!(matches!(
+            classify(&cell, &Defect::hard_short(cell.vdd(), cell.gnd())),
+            Err(DefectError::RailToRailShort)
+        ));
+    }
+
+    #[test]
+    fn describe_uses_cell_names() {
+        let cell = inv();
+        let z = cell.output();
+        let d = Defect::hard_short(z, cell.gnd());
+        assert!(d.describe(&cell).starts_with("Z-GND short"));
+        let p0 = cell.find_transistor("P0").unwrap();
+        let d = Defect::hard_open(p0, Terminal::Source);
+        assert!(d.describe(&cell).starts_with("P0S open"));
+    }
+}

@@ -1,0 +1,56 @@
+//! Transistor-level defect injection — the SPICE-characterization
+//! substitute.
+//!
+//! The paper's simulation-based validation (§4.1) injects physical defects
+//! (resistive shorts and opens, after \[11, 15, 16\]) into the transistor
+//! netlist of one cell, characterizes the faulty cell with a SPICE
+//! simulator to obtain its truth table, and simulates the whole circuit at
+//! gate level with that faulty model. This crate reproduces the campaign
+//! with the switch-level engine in place of SPICE:
+//!
+//! * [`Defect`] — a resistive short between two nets, a resistive open at
+//!   a transistor terminal, or a resistive open on an interconnect net,
+//!   each with a sampled resistance.
+//! * [`BehaviorClass`] / [`classify`] — the paper's §2 resistance-threshold
+//!   analysis (`R < R_T` ⇒ stuck-like; `Rmin < R < Rmax` ⇒ delay; large
+//!   `R` ⇒ benign), with explicit threshold constants.
+//! * [`characterize`] — derives the gate-level
+//!   [`FaultyBehavior`](icd_faultsim::FaultyBehavior): a (possibly
+//!   floating) truth table for static classes, a two-pattern
+//!   [`DelayTable`](icd_faultsim::DelayTable) for delay classes, plus the
+//!   [`GroundTruth`] location used to score diagnosis accuracy.
+//! * [`sample_defects`] — the seeded random campaign with the paper's
+//!   observed 30 % stuck-at / 30 % bridging / 40 % delay behaviour mix.
+//!
+//! # Example
+//!
+//! ```
+//! use icd_cells::CellLibrary;
+//! use icd_defects::{characterize, BehaviorClass, Defect};
+//!
+//! let cells = CellLibrary::standard();
+//! let cell = cells.get("AO7SVTX1").expect("exists").netlist();
+//! let n16 = cell.find_net("N16").expect("exists");
+//! // The paper's Table-2 experiment: N16 hard-shorted to VDD (stuck-at-1).
+//! let defect = Defect::hard_short(n16, cell.vdd());
+//! let ch = characterize(cell, &defect)?;
+//! assert_eq!(ch.class, BehaviorClass::StuckLike);
+//! assert!(ch.behavior.is_some());
+//! # Ok::<(), icd_defects::DefectError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod characterize;
+mod defect;
+pub mod dictionary;
+mod sample;
+
+pub use characterize::{characterize, Characterization, GroundTruth};
+pub use defect::{classify, BehaviorClass, Defect, DefectError, thresholds};
+pub use dictionary::{
+    build_defect_dictionary, build_fault_dictionary, dictionary_diagnose, DictionaryEntry,
+    ObservedTest,
+};
+pub use sample::{sample_defects, InjectedDefect, MixConfig};

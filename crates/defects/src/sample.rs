@@ -1,0 +1,261 @@
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use icd_switch::{CellNetlist, Terminal, TNetId, TransistorId};
+
+use crate::{
+    characterize, thresholds, BehaviorClass, Characterization, Defect, DefectError,
+};
+
+/// Target mix of observed faulty behaviours for a random campaign.
+///
+/// The default reproduces the paper's §4.1 statistics: "30 % of them lead
+/// to stuck-at faults, 30 % lead to bridging faults and the remaining 40 %
+/// lead to delay faults".
+#[derive(Debug, Clone, PartialEq)]
+pub struct MixConfig {
+    /// Fraction of stuck-at-class defects.
+    pub stuck: f64,
+    /// Fraction of bridging-class defects.
+    pub bridge: f64,
+    /// Fraction of delay-class defects.
+    pub delay: f64,
+    /// Rejection-sampling budget per defect.
+    pub attempts: usize,
+}
+
+impl Default for MixConfig {
+    fn default() -> Self {
+        MixConfig {
+            stuck: 0.3,
+            bridge: 0.3,
+            delay: 0.4,
+            attempts: 400,
+        }
+    }
+}
+
+/// One sampled, characterized, observable defect.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InjectedDefect {
+    /// The physical defect.
+    pub defect: Defect,
+    /// Its switch-level characterization.
+    pub characterization: Characterization,
+}
+
+fn random_signal_net(cell: &CellNetlist, rng: &mut StdRng) -> TNetId {
+    loop {
+        let idx = rng.random_range(0..cell.num_nets());
+        let net = cell.nets().nth(idx).expect("index in range");
+        if !cell.is_rail(net) {
+            return net;
+        }
+    }
+}
+
+fn random_transistor(cell: &CellNetlist, rng: &mut StdRng) -> TransistorId {
+    let idx = rng.random_range(0..cell.num_transistors());
+    cell.transistors().nth(idx).expect("index in range").0
+}
+
+fn random_terminal(rng: &mut StdRng) -> Terminal {
+    match rng.random_range(0..3) {
+        0 => Terminal::Gate,
+        1 => Terminal::Source,
+        _ => Terminal::Drain,
+    }
+}
+
+fn log_uniform(rng: &mut StdRng, lo: f64, hi: f64) -> f64 {
+    let (l, h) = (lo.ln(), hi.ln());
+    (l + rng.random::<f64>() * (h - l)).exp()
+}
+
+fn random_defect_of_class(
+    cell: &CellNetlist,
+    class: BehaviorClass,
+    rng: &mut StdRng,
+) -> Defect {
+    match class {
+        BehaviorClass::StuckLike => {
+            if rng.random_bool(0.5) {
+                // Hard short to a rail.
+                let net = random_signal_net(cell, rng);
+                let rail = if rng.random_bool(0.5) {
+                    cell.vdd()
+                } else {
+                    cell.gnd()
+                };
+                Defect::Short {
+                    a: net,
+                    b: rail,
+                    resistance: log_uniform(rng, 10.0, thresholds::SHORT_HARD_OHMS * 0.9),
+                }
+            } else {
+                // Hard open at a transistor terminal.
+                Defect::OpenTerminal {
+                    transistor: random_transistor(cell, rng),
+                    terminal: random_terminal(rng),
+                    resistance: log_uniform(
+                        rng,
+                        thresholds::OPEN_HARD_OHMS * 1.1,
+                        thresholds::OPEN_HARD_OHMS * 100.0,
+                    ),
+                }
+            }
+        }
+        BehaviorClass::BridgeLike => {
+            let a = random_signal_net(cell, rng);
+            let mut b = random_signal_net(cell, rng);
+            while b == a {
+                b = random_signal_net(cell, rng);
+            }
+            Defect::Short {
+                a,
+                b,
+                resistance: log_uniform(rng, 10.0, thresholds::SHORT_HARD_OHMS * 0.9),
+            }
+        }
+        BehaviorClass::DelayLike => match rng.random_range(0..3) {
+            0 => {
+                let a = random_signal_net(cell, rng);
+                let mut b = random_signal_net(cell, rng);
+                while b == a {
+                    b = random_signal_net(cell, rng);
+                }
+                Defect::Short {
+                    a,
+                    b,
+                    resistance: log_uniform(
+                        rng,
+                        thresholds::SHORT_HARD_OHMS * 1.1,
+                        thresholds::SHORT_BENIGN_OHMS * 0.9,
+                    ),
+                }
+            }
+            1 => Defect::OpenTerminal {
+                transistor: random_transistor(cell, rng),
+                terminal: random_terminal(rng),
+                resistance: log_uniform(
+                    rng,
+                    thresholds::OPEN_BENIGN_OHMS * 1.1,
+                    thresholds::OPEN_HARD_OHMS * 0.9,
+                ),
+            },
+            _ => Defect::OpenNet {
+                net: random_signal_net(cell, rng),
+                resistance: log_uniform(
+                    rng,
+                    thresholds::OPEN_BENIGN_OHMS * 1.1,
+                    thresholds::OPEN_HARD_OHMS * 0.9,
+                ),
+            },
+        },
+        BehaviorClass::Benign => Defect::OpenNet {
+            net: random_signal_net(cell, rng),
+            resistance: 1.0,
+        },
+    }
+}
+
+/// Samples `count` observable defects on `cell` with the configured
+/// behaviour mix (seeded, reproducible).
+///
+/// Each defect is characterized and kept only when its model actually
+/// disagrees with the good cell somewhere (an unobservable defect never
+/// produces a datalog and is of no diagnostic interest).
+///
+/// # Errors
+///
+/// Returns [`DefectError::SamplingExhausted`] when no observable defect of
+/// a drawn class can be found within the attempt budget — only possible on
+/// degenerate cells.
+pub fn sample_defects(
+    cell: &CellNetlist,
+    count: usize,
+    mix: &MixConfig,
+    seed: u64,
+) -> Result<Vec<InjectedDefect>, DefectError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let r = rng.random::<f64>() * (mix.stuck + mix.bridge + mix.delay);
+        let class = if r < mix.stuck {
+            BehaviorClass::StuckLike
+        } else if r < mix.stuck + mix.bridge {
+            BehaviorClass::BridgeLike
+        } else {
+            BehaviorClass::DelayLike
+        };
+        let mut found = None;
+        for _ in 0..mix.attempts {
+            let defect = random_defect_of_class(cell, class, &mut rng);
+            match characterize(cell, &defect) {
+                Ok(ch) if ch.class == class && ch.observable => {
+                    found = Some(InjectedDefect {
+                        defect,
+                        characterization: ch,
+                    });
+                    break;
+                }
+                Ok(_) => {}
+                Err(DefectError::RailToRailShort | DefectError::DegenerateShort) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        match found {
+            Some(d) => out.push(d),
+            None => return Err(DefectError::SamplingExhausted { class }),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icd_cells::CellLibrary;
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let cells = CellLibrary::standard();
+        let cell = cells.get("AO7SVTX1").unwrap().netlist();
+        let a = sample_defects(cell, 10, &MixConfig::default(), 42).unwrap();
+        let b = sample_defects(cell, 10, &MixConfig::default(), 42).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sampled_defects_are_observable_and_mixed() {
+        let cells = CellLibrary::standard();
+        let cell = cells.get("AO8DHVTX1").unwrap().netlist();
+        let sample = sample_defects(cell, 40, &MixConfig::default(), 7).unwrap();
+        assert_eq!(sample.len(), 40);
+        assert!(sample.iter().all(|d| d.characterization.observable));
+        let stuck = sample
+            .iter()
+            .filter(|d| d.characterization.class == BehaviorClass::StuckLike)
+            .count();
+        let bridge = sample
+            .iter()
+            .filter(|d| d.characterization.class == BehaviorClass::BridgeLike)
+            .count();
+        let delay = sample
+            .iter()
+            .filter(|d| d.characterization.class == BehaviorClass::DelayLike)
+            .count();
+        assert_eq!(stuck + bridge + delay, 40);
+        // All three classes appear in a 40-defect sample.
+        assert!(stuck > 0 && bridge > 0 && delay > 0);
+    }
+
+    #[test]
+    fn works_on_every_standard_cell() {
+        for cell in CellLibrary::standard().iter() {
+            let sample = sample_defects(cell.netlist(), 3, &MixConfig::default(), 1)
+                .unwrap_or_else(|e| panic!("{}: {e}", cell.name()));
+            assert_eq!(sample.len(), 3);
+        }
+    }
+}

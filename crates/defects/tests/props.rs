@@ -1,0 +1,90 @@
+//! Property-based tests for defect classification and characterization.
+
+use icd_cells::CellLibrary;
+use icd_defects::{characterize, classify, thresholds, BehaviorClass, Defect};
+use icd_switch::Terminal;
+use proptest::prelude::*;
+
+fn cell_names() -> Vec<String> {
+    CellLibrary::standard()
+        .iter()
+        .map(|c| c.name().to_owned())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Classification bands are monotone in resistance for shorts: as the
+    /// bridge resistance grows the class only moves towards benign.
+    #[test]
+    fn short_classification_is_monotone(cell_idx in 0usize..18, net_idx in 0usize..64) {
+        let lib = CellLibrary::standard();
+        let name = &cell_names()[cell_idx % cell_names().len()];
+        let cell = lib.get(name).unwrap().netlist();
+        let nets: Vec<_> = cell.nets().filter(|&n| !cell.is_rail(n)).collect();
+        let net = nets[net_idx % nets.len()];
+        let rank = |class: BehaviorClass| match class {
+            BehaviorClass::StuckLike | BehaviorClass::BridgeLike => 0,
+            BehaviorClass::DelayLike => 1,
+            BehaviorClass::Benign => 2,
+        };
+        let mut previous = -1i32;
+        for r in [10.0, 400.0, 1_000.0, 10_000.0, 50_000.0, 1e7] {
+            let class = classify(cell, &Defect::Short { a: net, b: cell.gnd(), resistance: r })
+                .unwrap();
+            let cur = rank(class);
+            prop_assert!(cur >= previous, "class regressed at R={r}");
+            previous = cur;
+        }
+    }
+
+    /// Characterization is deterministic and matches classification.
+    #[test]
+    fn characterization_is_deterministic(cell_idx in 0usize..18, seed in any::<u64>()) {
+        let lib = CellLibrary::standard();
+        let name = &cell_names()[cell_idx % cell_names().len()];
+        let cell = lib.get(name).unwrap().netlist();
+        let nets: Vec<_> = cell.nets().filter(|&n| !cell.is_rail(n)).collect();
+        let net = nets[seed as usize % nets.len()];
+        let defect = Defect::Short {
+            a: net,
+            b: cell.gnd(),
+            resistance: 10.0 + (seed % 100_000) as f64,
+        };
+        let a = characterize(cell, &defect).unwrap();
+        let b = characterize(cell, &defect).unwrap();
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.class, classify(cell, &defect).unwrap());
+        // Benign defects never carry a behaviour.
+        if a.class == BehaviorClass::Benign {
+            prop_assert!(a.behavior.is_none());
+            prop_assert!(!a.observable);
+        }
+    }
+
+    /// Ground truth always names at least one element for non-rail sites,
+    /// and never names a rail.
+    #[test]
+    fn ground_truth_is_well_formed(cell_idx in 0usize..18, t_idx in 0usize..32) {
+        let lib = CellLibrary::standard();
+        let name = &cell_names()[cell_idx % cell_names().len()];
+        let cell = lib.get(name).unwrap().netlist();
+        let transistors: Vec<_> = cell.transistors().map(|(id, _)| id).collect();
+        let t = transistors[t_idx % transistors.len()];
+        for terminal in [Terminal::Gate, Terminal::Source, Terminal::Drain] {
+            let ch = characterize(cell, &Defect::hard_open(t, terminal)).unwrap();
+            prop_assert!(!ch.ground_truth.transistors.is_empty());
+            for n in &ch.ground_truth.nets {
+                prop_assert!(!cell.is_rail(*n));
+            }
+        }
+    }
+
+    /// The threshold constants keep their documented ordering.
+    #[test]
+    fn thresholds_are_ordered(_x in 0..1i32) {
+        prop_assert!(thresholds::SHORT_HARD_OHMS < thresholds::SHORT_BENIGN_OHMS);
+        prop_assert!(thresholds::OPEN_BENIGN_OHMS < thresholds::OPEN_HARD_OHMS);
+    }
+}

@@ -1,0 +1,288 @@
+use icd_logic::{Lv, Pattern};
+use icd_netlist::{Circuit, NetId};
+
+use crate::FaultSimError;
+
+/// Bit-parallel good-machine values: one bit per (net, pattern).
+///
+/// Patterns are packed 64 per `u64` word, net-major. Produced by
+/// [`good_simulate`].
+#[derive(Debug, Clone)]
+pub struct BitValues {
+    num_patterns: usize,
+    words_per_net: usize,
+    data: Vec<u64>,
+}
+
+impl BitValues {
+    /// Number of simulated patterns.
+    pub fn num_patterns(&self) -> usize {
+        self.num_patterns
+    }
+
+    /// Words per net (`ceil(num_patterns / 64)`).
+    pub fn words_per_net(&self) -> usize {
+        self.words_per_net
+    }
+
+    /// The value of `net` under pattern `pattern`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pattern >= num_patterns()`.
+    pub fn value(&self, net: NetId, pattern: usize) -> bool {
+        assert!(pattern < self.num_patterns, "pattern index out of range");
+        let w = self.word(net, pattern / 64);
+        (w >> (pattern % 64)) & 1 == 1
+    }
+
+    /// One 64-pattern word of a net.
+    pub fn word(&self, net: NetId, word_index: usize) -> u64 {
+        self.data[net.index() * self.words_per_net + word_index]
+    }
+
+    /// The values a gate's input nets take under one pattern, as booleans.
+    pub fn gate_input_bits(
+        &self,
+        circuit: &Circuit,
+        gate: icd_netlist::GateId,
+        pattern: usize,
+    ) -> Vec<bool> {
+        circuit
+            .gate_inputs(gate)
+            .iter()
+            .map(|&n| self.value(n, pattern))
+            .collect()
+    }
+
+    /// Mask with the low `num_patterns % 64` bits set for the final word
+    /// (all bits set for full words).
+    pub fn tail_mask(&self, word_index: usize) -> u64 {
+        if word_index + 1 == self.words_per_net && !self.num_patterns.is_multiple_of(64) {
+            (1u64 << (self.num_patterns % 64)) - 1
+        } else {
+            !0u64
+        }
+    }
+}
+
+/// Precomputed bitwise evaluator for one gate type: the minterms on which
+/// the (fully specified) truth table is `1`.
+#[derive(Debug, Clone)]
+pub(crate) struct MintermEval {
+    pub(crate) inputs: usize,
+    pub(crate) one_minterms: Vec<u32>,
+}
+
+impl MintermEval {
+    pub(crate) fn from_table(table: &icd_logic::TruthTable) -> Result<Self, FaultSimError> {
+        let mut one_minterms = Vec::new();
+        for (m, &v) in table.entries().iter().enumerate() {
+            match v {
+                Lv::One => one_minterms.push(m as u32),
+                Lv::Zero => {}
+                Lv::U => {
+                    return Err(FaultSimError::UnknownGoodValue(format!(
+                        "table entry {m}"
+                    )))
+                }
+            }
+        }
+        Ok(MintermEval {
+            inputs: table.inputs(),
+            one_minterms,
+        })
+    }
+
+    /// Evaluates one 64-pattern word from the input words.
+    #[inline]
+    pub(crate) fn eval_word(&self, input_words: &[u64]) -> u64 {
+        debug_assert_eq!(input_words.len(), self.inputs);
+        let mut out = 0u64;
+        for &m in &self.one_minterms {
+            let mut term = !0u64;
+            for (i, &w) in input_words.iter().enumerate() {
+                term &= if (m >> i) & 1 == 1 { w } else { !w };
+            }
+            out |= term;
+        }
+        out
+    }
+}
+
+pub(crate) fn build_evaluators(circuit: &Circuit) -> Result<Vec<MintermEval>, FaultSimError> {
+    circuit
+        .library()
+        .iter()
+        .map(|(_, t)| MintermEval::from_table(t.table()))
+        .collect()
+}
+
+/// Simulates the fault-free circuit over a set of fully specified patterns,
+/// 64 patterns per machine word.
+///
+/// # Errors
+///
+/// Returns an error when a pattern has the wrong width or contains `U`, or
+/// when a library cell's table has `U` entries.
+pub fn good_simulate(circuit: &Circuit, patterns: &[Pattern]) -> Result<BitValues, FaultSimError> {
+    let num_inputs = circuit.inputs().len();
+    for (i, p) in patterns.iter().enumerate() {
+        if p.len() != num_inputs {
+            return Err(FaultSimError::WrongPatternWidth {
+                expected: num_inputs,
+                got: p.len(),
+                pattern: i,
+            });
+        }
+        if !p.is_fully_specified() {
+            return Err(FaultSimError::UnknownInPattern { pattern: i });
+        }
+    }
+    let words_per_net = patterns.len().div_ceil(64).max(1);
+    let mut data = vec![0u64; circuit.num_nets() * words_per_net];
+
+    // Load input words.
+    for (pi, &net) in circuit.inputs().iter().enumerate() {
+        for (t, p) in patterns.iter().enumerate() {
+            if p[pi] == Lv::One {
+                data[net.index() * words_per_net + t / 64] |= 1u64 << (t % 64);
+            }
+        }
+    }
+
+    let evals = build_evaluators(circuit)?;
+    let mut input_words: Vec<u64> = Vec::with_capacity(8);
+    for w in 0..words_per_net {
+        for &gate in circuit.topo_order() {
+            let eval = &evals[circuit.gate_type_id(gate).index()];
+            input_words.clear();
+            for &inp in circuit.gate_inputs(gate) {
+                input_words.push(data[inp.index() * words_per_net + w]);
+            }
+            let out = eval.eval_word(&input_words);
+            data[circuit.gate_output(gate).index() * words_per_net + w] = out;
+        }
+    }
+
+    Ok(BitValues {
+        num_patterns: patterns.len(),
+        words_per_net,
+        data,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icd_logic::TruthTable;
+    use icd_netlist::{CircuitBuilder, GateType, Library};
+
+    fn lib() -> Library {
+        let mut lib = Library::new();
+        lib.insert(
+            GateType::new("INV", ["A"], TruthTable::from_fn(1, |b| !b[0])).unwrap(),
+        )
+        .unwrap();
+        lib.insert(
+            GateType::new(
+                "NAND2",
+                ["A", "B"],
+                TruthTable::from_fn(2, |b| !(b[0] & b[1])),
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        lib.insert(
+            GateType::new(
+                "XOR2",
+                ["A", "B"],
+                TruthTable::from_fn(2, |b| b[0] ^ b[1]),
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        lib
+    }
+
+    /// y = (a NAND b) XOR (NOT a)
+    fn circuit(lib: &Library) -> Circuit {
+        let mut b = CircuitBuilder::new("c", lib);
+        let a = b.add_input("a");
+        let c = b.add_input("c");
+        let n = b.add_gate("NAND2", &[a, c], None).unwrap();
+        let i = b.add_gate("INV", &[a], None).unwrap();
+        let y = b.add_gate("XOR2", &[n, i], None).unwrap();
+        b.mark_output(y, "y");
+        b.finish().unwrap()
+    }
+
+    fn reference(a: bool, c: bool) -> bool {
+        !(a & c) ^ !a
+    }
+
+    #[test]
+    fn matches_reference_on_all_input_combos() {
+        let lib = lib();
+        let circuit = circuit(&lib);
+        let patterns: Vec<Pattern> = (0..4)
+            .map(|i| Pattern::from_bits([(i & 1) == 1, (i & 2) == 2]))
+            .collect();
+        let vals = good_simulate(&circuit, &patterns).unwrap();
+        let y = circuit.outputs()[0];
+        for (t, p) in patterns.iter().enumerate() {
+            let a = p[0] == Lv::One;
+            let c = p[1] == Lv::One;
+            assert_eq!(vals.value(y, t), reference(a, c), "pattern {t}");
+        }
+    }
+
+    #[test]
+    fn more_than_64_patterns_cross_word_boundary() {
+        let lib = lib();
+        let circuit = circuit(&lib);
+        let patterns: Vec<Pattern> = (0..130)
+            .map(|i| Pattern::from_bits([(i % 3) == 0, (i % 5) == 0]))
+            .collect();
+        let vals = good_simulate(&circuit, &patterns).unwrap();
+        assert_eq!(vals.words_per_net(), 3);
+        let y = circuit.outputs()[0];
+        for t in 0..130 {
+            assert_eq!(vals.value(y, t), reference(t % 3 == 0, t % 5 == 0));
+        }
+    }
+
+    #[test]
+    fn rejects_wrong_width() {
+        let lib = lib();
+        let circuit = circuit(&lib);
+        let err = good_simulate(&circuit, &[Pattern::from_bits([true])]);
+        assert!(matches!(
+            err,
+            Err(FaultSimError::WrongPatternWidth { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_unknowns() {
+        let lib = lib();
+        let circuit = circuit(&lib);
+        let err = good_simulate(&circuit, &["0U".parse().unwrap()]);
+        assert!(matches!(err, Err(FaultSimError::UnknownInPattern { .. })));
+    }
+
+    #[test]
+    fn minterm_eval_word_matches_table() {
+        let t = TruthTable::from_fn(3, |b| (b[0] & b[1]) | b[2]);
+        let eval = MintermEval::from_table(&t).unwrap();
+        // Pack the 8 combos into one word, inputs as bit masks.
+        let a = 0b10101010u64;
+        let b = 0b11001100u64;
+        let c = 0b11110000u64;
+        let out = eval.eval_word(&[a, b, c]);
+        for combo in 0..8 {
+            let bits = [(a >> combo) & 1 == 1, (b >> combo) & 1 == 1, (c >> combo) & 1 == 1];
+            assert_eq!((out >> combo) & 1 == 1, t.eval_bits(&bits) == Lv::One);
+        }
+    }
+}

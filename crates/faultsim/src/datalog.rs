@@ -1,0 +1,542 @@
+use icd_logic::{Lv, Pattern};
+use icd_netlist::Circuit;
+
+use crate::{good_simulate, BitValues, DiffPropagator, FaultSimError, FaultyGate};
+
+/// One failing pattern in the [`Datalog`]: which pattern failed and at
+/// which observe points (indices into `circuit.outputs()`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DatalogEntry {
+    /// Index of the failing pattern in the applied sequence.
+    pub pattern_index: usize,
+    /// Observe points (positions in `circuit.outputs()`) that miscompared.
+    pub failing_outputs: Vec<usize>,
+}
+
+/// The tester's failure file: the paper's *datalog* (Fig. 2), listing every
+/// failing pattern with its failing outputs.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Datalog {
+    /// Name of the tested circuit.
+    pub circuit_name: String,
+    /// Number of patterns applied.
+    pub num_patterns: usize,
+    /// Failing patterns, in application order.
+    pub entries: Vec<DatalogEntry>,
+}
+
+impl Datalog {
+    /// Indices of all failing patterns.
+    pub fn failing_pattern_indices(&self) -> Vec<usize> {
+        self.entries.iter().map(|e| e.pattern_index).collect()
+    }
+
+    /// Indices of all passing patterns.
+    pub fn passing_pattern_indices(&self) -> Vec<usize> {
+        let failing: std::collections::HashSet<usize> =
+            self.failing_pattern_indices().into_iter().collect();
+        (0..self.num_patterns)
+            .filter(|t| !failing.contains(t))
+            .collect()
+    }
+
+    /// Whether the device passed every pattern (a test escape or a good
+    /// device).
+    pub fn all_pass(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Converts one pattern's bit-parallel good values into a ternary base
+/// valuation for event-driven propagation.
+pub(crate) fn base_from_bits(circuit: &Circuit, good: &BitValues, pattern: usize) -> Vec<Lv> {
+    (0..circuit.num_nets())
+        .map(|i| Lv::from(good.value(icd_netlist::NetId::from_index(i), pattern)))
+        .collect()
+}
+
+/// Applies an ordered pattern sequence to a circuit containing one faulty
+/// cell and records the datalog, emulating the production test.
+///
+/// The faulty machine is exact for a single faulty cell: the cell's inputs
+/// are upstream of the defect and therefore take their good values; the
+/// cell's output is computed from the characterized [`FaultyBehavior`](crate::FaultyBehavior)
+/// (including charge retention and previous-pattern dependence) and the
+/// difference is propagated event-driven to the observe points. An output
+/// that degrades to `U` is counted as failing (the tester observes an
+/// intermediate/late value — the pessimistic reading).
+///
+/// The faulty cell's power-up output state is assumed to match the good
+/// machine, so pattern 0 cannot fail purely due to unknown initial charge.
+///
+/// # Errors
+///
+/// Returns an error when patterns are malformed or the model's arity does
+/// not match the gate's.
+pub fn run_test(
+    circuit: &Circuit,
+    patterns: &[Pattern],
+    faulty: &FaultyGate,
+) -> Result<Datalog, FaultSimError> {
+    let good = good_simulate(circuit, patterns)?;
+    let mut propagator = DiffPropagator::new(circuit);
+    run_test_with_good(circuit, patterns, &good, faulty, &mut propagator)
+}
+
+/// [`run_test`] variant that reuses a precomputed good simulation and a
+/// propagator — the fast path for injection campaigns that apply the same
+/// pattern set to many faulty cells.
+///
+/// # Errors
+///
+/// Returns an error when the model's arity does not match the gate's.
+pub fn run_test_with_good(
+    circuit: &Circuit,
+    patterns: &[Pattern],
+    good: &BitValues,
+    faulty: &FaultyGate,
+    propagator: &mut DiffPropagator,
+) -> Result<Datalog, FaultSimError> {
+    let gate = faulty.gate;
+    let expected = circuit.gate_type(gate).num_inputs();
+    if faulty.behavior.inputs() != expected {
+        return Err(FaultSimError::WrongFaultArity {
+            expected,
+            got: faulty.behavior.inputs(),
+        });
+    }
+    let out_net = circuit.gate_output(gate);
+
+    let mut entries = Vec::new();
+    let mut prev_bits: Vec<bool> = Vec::new();
+    let mut prev_out = Lv::U;
+    for t in 0..patterns.len() {
+        let cur_bits = good.gate_input_bits(circuit, gate, t);
+        if t == 0 {
+            prev_bits = cur_bits.clone();
+            prev_out = Lv::from(good.value(out_net, 0));
+        }
+        let faulty_out = faulty.behavior.eval(&prev_bits, &cur_bits, prev_out);
+        let good_out = Lv::from(good.value(out_net, t));
+
+        if faulty_out != good_out {
+            // Propagate the difference through the fanout cone.
+            let base = base_from_bits(circuit, good, t);
+            let changed = propagator.propagate(circuit, &base, &[(out_net, faulty_out)]);
+            let failing: Vec<usize> = changed.iter().map(|&(i, _)| i).collect();
+            if !failing.is_empty() {
+                entries.push(DatalogEntry {
+                    pattern_index: t,
+                    failing_outputs: failing,
+                });
+            }
+        }
+
+        prev_bits = cur_bits;
+        prev_out = faulty_out;
+    }
+
+    Ok(Datalog {
+        circuit_name: circuit.name().to_owned(),
+        num_patterns: patterns.len(),
+        entries,
+    })
+}
+
+/// Applies an ordered pattern sequence to a circuit containing one
+/// classical *net-level* fault (stuck-at, transition, bridging) and
+/// records the datalog.
+///
+/// This is the tester model for defects that live **between** cells
+/// (inter-cell defects, the paper's circuit-C silicon case): the faulty
+/// net takes its corrupted value and the difference propagates to the
+/// observe points.
+///
+/// # Errors
+///
+/// Returns an error when patterns are malformed.
+pub fn run_test_gate_fault(
+    circuit: &Circuit,
+    patterns: &[Pattern],
+    fault: &crate::GateFault,
+) -> Result<Datalog, FaultSimError> {
+    let good = good_simulate(circuit, patterns)?;
+    let mut propagator = DiffPropagator::new(circuit);
+    let site = fault.site();
+    let mut entries = Vec::new();
+    for t in 0..patterns.len() {
+        let good_site = Lv::from(good.value(site, t));
+        let faulty_site = match *fault {
+            crate::GateFault::StuckAt { value, .. } => Lv::from(value),
+            crate::GateFault::SlowToRise { net } => {
+                let prev = good.value(net, t.saturating_sub(1));
+                let cur = good.value(net, t);
+                if !prev && cur {
+                    Lv::Zero
+                } else {
+                    Lv::from(cur)
+                }
+            }
+            crate::GateFault::SlowToFall { net } => {
+                let prev = good.value(net, t.saturating_sub(1));
+                let cur = good.value(net, t);
+                if prev && !cur {
+                    Lv::One
+                } else {
+                    Lv::from(cur)
+                }
+            }
+            crate::GateFault::Bridging { aggressor, .. } => Lv::from(good.value(aggressor, t)),
+        };
+        if faulty_site == good_site {
+            continue;
+        }
+        let base = base_from_bits(circuit, &good, t);
+        let changed = propagator.propagate(circuit, &base, &[(site, faulty_site)]);
+        let failing: Vec<usize> = changed.iter().map(|&(i, _)| i).collect();
+        if !failing.is_empty() {
+            entries.push(DatalogEntry {
+                pattern_index: t,
+                failing_outputs: failing,
+            });
+        }
+    }
+    Ok(Datalog {
+        circuit_name: circuit.name().to_owned(),
+        num_patterns: patterns.len(),
+        entries,
+    })
+}
+
+/// Applies an ordered pattern sequence to a circuit containing *several*
+/// simultaneously faulty cells — the multiple-defect regime, with **no
+/// assumption on how failing patterns distribute over the defects**.
+///
+/// Unlike [`run_test`], the faulty machine is simulated in full per
+/// pattern (serial three-valued evaluation), so interacting defects —
+/// one faulty cell inside another's input cone — are handled exactly.
+/// Charge retention uses each faulty cell's own previous output in the
+/// faulty machine.
+///
+/// # Errors
+///
+/// Returns an error when patterns are malformed, a model's arity
+/// mismatches its gate, or two models target the same gate.
+pub fn run_test_multi(
+    circuit: &Circuit,
+    patterns: &[Pattern],
+    faulty: &[FaultyGate],
+) -> Result<Datalog, FaultSimError> {
+    let good = good_simulate(circuit, patterns)?;
+    let mut by_gate: std::collections::HashMap<usize, &FaultyGate> = Default::default();
+    for f in faulty {
+        let expected = circuit.gate_type(f.gate).num_inputs();
+        if f.behavior.inputs() != expected {
+            return Err(FaultSimError::WrongFaultArity {
+                expected,
+                got: f.behavior.inputs(),
+            });
+        }
+        if by_gate.insert(f.gate.index(), f).is_some() {
+            return Err(FaultSimError::WrongFaultArity {
+                expected,
+                got: expected,
+            });
+        }
+    }
+
+    let mut entries = Vec::new();
+    // Faulty-machine state: previous inputs and output per faulty gate.
+    let mut prev_in: std::collections::HashMap<usize, Vec<bool>> = Default::default();
+    let mut prev_out: std::collections::HashMap<usize, Lv> = Default::default();
+
+    let mut values = vec![Lv::U; circuit.num_nets()];
+    for (t, pattern) in patterns.iter().enumerate() {
+        for (i, &net) in circuit.inputs().iter().enumerate() {
+            values[net.index()] = pattern[i];
+        }
+        let mut ins_lv: Vec<Lv> = Vec::with_capacity(8);
+        for &gate in circuit.topo_order() {
+            ins_lv.clear();
+            ins_lv.extend(
+                circuit
+                    .gate_inputs(gate)
+                    .iter()
+                    .map(|&n| values[n.index()]),
+            );
+            let out = circuit.gate_output(gate);
+            values[out.index()] = match by_gate.get(&gate.index()) {
+                None => circuit
+                    .gate_type(gate)
+                    .table()
+                    .eval(&ins_lv)
+                    .expect("arity checked at construction"),
+                Some(f) => {
+                    // Unknown faulty-machine inputs are pessimistically
+                    // resolved to the good value for the behaviour lookup.
+                    let cur: Vec<bool> = circuit
+                        .gate_inputs(gate)
+                        .iter()
+                        .zip(ins_lv.iter())
+                        .map(|(&n, &v)| v.to_bool().unwrap_or(good.value(n, t)))
+                        .collect();
+                    let prev = prev_in.get(&gate.index()).cloned().unwrap_or_else(|| cur.clone());
+                    let po = prev_out
+                        .get(&gate.index())
+                        .copied()
+                        .unwrap_or(Lv::from(good.value(out, t)));
+                    let v = f.behavior.eval(&prev, &cur, po);
+                    prev_in.insert(gate.index(), cur);
+                    prev_out.insert(gate.index(), v);
+                    v
+                }
+            };
+        }
+        let failing: Vec<usize> = circuit
+            .outputs()
+            .iter()
+            .enumerate()
+            .filter(|&(_, &net)| values[net.index()] != Lv::from(good.value(net, t)))
+            .map(|(i, _)| i)
+            .collect();
+        if !failing.is_empty() {
+            entries.push(DatalogEntry {
+                pattern_index: t,
+                failing_outputs: failing,
+            });
+        }
+    }
+
+    Ok(Datalog {
+        circuit_name: circuit.name().to_owned(),
+        num_patterns: patterns.len(),
+        entries,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DelayTable, FaultyBehavior};
+    use icd_logic::TruthTable;
+    use icd_netlist::{CircuitBuilder, GateType, Library};
+
+    fn lib() -> Library {
+        let mut lib = Library::new();
+        lib.insert(
+            GateType::new("INV", ["A"], TruthTable::from_fn(1, |b| !b[0])).unwrap(),
+        )
+        .unwrap();
+        lib.insert(
+            GateType::new(
+                "AND2",
+                ["A", "B"],
+                TruthTable::from_fn(2, |b| b[0] & b[1]),
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        lib
+    }
+
+    /// y0 = a & b ; y1 = !(a & b)
+    fn circuit(lib: &Library) -> (Circuit, icd_netlist::GateId) {
+        let mut bld = CircuitBuilder::new("c", lib);
+        let a = bld.add_input("a");
+        let b = bld.add_input("b");
+        let m = bld.add_gate("AND2", &[a, b], Some("U1")).unwrap();
+        let n = bld.add_gate("INV", &[m], None).unwrap();
+        bld.mark_output(m, "y0");
+        bld.mark_output(n, "y1");
+        let c = bld.finish().unwrap();
+        let g = c.find_gate("U1").unwrap();
+        (c, g)
+    }
+
+    #[test]
+    fn stuck_output_produces_expected_datalog() {
+        let lib = lib();
+        let (c, g) = circuit(&lib);
+        // AND gate output stuck at 0.
+        let faulty = FaultyGate::new(g, FaultyBehavior::Static(TruthTable::from_fn(2, |_| false)));
+        let pats: Vec<Pattern> = ["00", "11", "01", "11"]
+            .iter()
+            .map(|s| s.parse().unwrap())
+            .collect();
+        let log = run_test(&c, &pats, &faulty).unwrap();
+        // Fails exactly on patterns where a&b = 1: indices 1 and 3, on both
+        // observe points.
+        assert_eq!(log.failing_pattern_indices(), vec![1, 3]);
+        assert_eq!(log.entries[0].failing_outputs.len(), 2);
+        assert_eq!(log.passing_pattern_indices(), vec![0, 2]);
+    }
+
+    #[test]
+    fn benign_model_yields_all_pass() {
+        let lib = lib();
+        let (c, g) = circuit(&lib);
+        let faulty = FaultyGate::new(
+            g,
+            FaultyBehavior::Static(TruthTable::from_fn(2, |b| b[0] & b[1])),
+        );
+        let pats: Vec<Pattern> = ["00", "11"].iter().map(|s| s.parse().unwrap()).collect();
+        let log = run_test(&c, &pats, &faulty).unwrap();
+        assert!(log.all_pass());
+    }
+
+    #[test]
+    fn delay_behavior_fails_only_on_transitions() {
+        let lib = lib();
+        let (c, g) = circuit(&lib);
+        let good = TruthTable::from_fn(2, |b| b[0] & b[1]);
+        // Slow output cell: late value = previous steady value.
+        let good2 = good.clone();
+        let table = DelayTable::from_fn(2, move |prev, cur| {
+            let old = good2.eval_bits(prev);
+            let new = good2.eval_bits(cur);
+            if old.conflicts_with(new) {
+                old
+            } else {
+                new
+            }
+        });
+        let faulty = FaultyGate::new(g, FaultyBehavior::Delay(table));
+        // Sequence: 00 (y=0), 11 (rise -> late 0: FAIL), 11 (stable: pass),
+        // 01 (fall -> late 1: FAIL), 01 (stable: pass).
+        let pats: Vec<Pattern> = ["00", "11", "11", "10", "10"]
+            .iter()
+            .map(|s| s.parse().unwrap())
+            .collect();
+        let log = run_test(&c, &pats, &faulty).unwrap();
+        assert_eq!(log.failing_pattern_indices(), vec![1, 3]);
+    }
+
+    #[test]
+    fn charge_retention_makes_stuck_open_two_pattern_dependent() {
+        let lib = lib();
+        let (c, g) = circuit(&lib);
+        // Cell floats when a=b=1 (like an open pull-up path).
+        let table = TruthTable::from_entries(
+            2,
+            vec![Lv::Zero, Lv::Zero, Lv::Zero, Lv::U],
+        )
+        .unwrap();
+        let faulty = FaultyGate::new(g, FaultyBehavior::Static(table));
+        // 00 -> y good 0, retained 0; 11 -> good 1, floating retains 0: FAIL.
+        // Then 11 again: still retains 0: FAIL again.
+        let pats: Vec<Pattern> = ["00", "11", "11"]
+            .iter()
+            .map(|s| s.parse().unwrap())
+            .collect();
+        let log = run_test(&c, &pats, &faulty).unwrap();
+        assert_eq!(log.failing_pattern_indices(), vec![1, 2]);
+    }
+
+    #[test]
+    fn net_level_fault_produces_expected_datalog() {
+        let lib = lib();
+        let (c, g) = circuit(&lib);
+        let m = c.gate_output(g);
+        // m stuck-at-1: fails wherever a&b = 0 (all but pattern 11).
+        let fault = crate::GateFault::stuck_at(m, true);
+        let pats: Vec<Pattern> = ["00", "11", "01"]
+            .iter()
+            .map(|s| s.parse().unwrap())
+            .collect();
+        let log = run_test_gate_fault(&c, &pats, &fault).unwrap();
+        assert_eq!(log.failing_pattern_indices(), vec![0, 2]);
+        // Bridging: y0 victim, a aggressor.
+        let a = c.inputs()[0];
+        let log = run_test_gate_fault(
+            &c,
+            &pats,
+            &crate::GateFault::Bridging {
+                victim: m,
+                aggressor: a,
+            },
+        )
+        .unwrap();
+        // Fails where a != a&b, i.e. a=1, b=0 (pattern "01" is a=0,b=1 ->
+        // 0 vs 0 pass; "10"? not applied). Here: none of 00/11; "01" has
+        // a=0,b=1: a&b=0 == a=0: pass.
+        assert!(log.all_pass());
+    }
+
+    #[test]
+    fn multi_defect_datalog_unions_single_defect_logs() {
+        // Two defective cells in disjoint cones: the multi-defect datalog
+        // is the per-pattern union of the single-defect datalogs.
+        let lib = lib();
+        let mut bld = CircuitBuilder::new("c", &lib);
+        let a = bld.add_input("a");
+        let b = bld.add_input("b");
+        let c = bld.add_input("c");
+        let d = bld.add_input("d");
+        let m1 = bld.add_gate("AND2", &[a, b], Some("U1")).unwrap();
+        let m2 = bld.add_gate("AND2", &[c, d], Some("U2")).unwrap();
+        bld.mark_output(m1, "y1");
+        bld.mark_output(m2, "y2");
+        let circ = bld.finish().unwrap();
+        let g1 = circ.find_gate("U1").unwrap();
+        let g2 = circ.find_gate("U2").unwrap();
+
+        let stuck1 = FaultyGate::new(g1, FaultyBehavior::Static(TruthTable::from_fn(2, |_| true)));
+        let stuck0 = FaultyGate::new(g2, FaultyBehavior::Static(TruthTable::from_fn(2, |_| false)));
+        let pats: Vec<Pattern> = (0..16)
+            .map(|i| Pattern::from_bits((0..4).map(move |k| (i >> k) & 1 == 1)))
+            .collect();
+        let log1 = run_test(&circ, &pats, &stuck1).unwrap();
+        let log2 = run_test(&circ, &pats, &stuck0).unwrap();
+        let multi =
+            run_test_multi(&circ, &pats, &[stuck1.clone(), stuck0.clone()]).unwrap();
+
+        let mut union: std::collections::BTreeMap<usize, std::collections::BTreeSet<usize>> =
+            Default::default();
+        for e in log1.entries.iter().chain(log2.entries.iter()) {
+            union
+                .entry(e.pattern_index)
+                .or_default()
+                .extend(e.failing_outputs.iter().copied());
+        }
+        assert_eq!(multi.entries.len(), union.len());
+        for e in &multi.entries {
+            let want = &union[&e.pattern_index];
+            let got: std::collections::BTreeSet<usize> =
+                e.failing_outputs.iter().copied().collect();
+            assert_eq!(&got, want, "pattern {}", e.pattern_index);
+        }
+    }
+
+    #[test]
+    fn multi_defect_handles_overlapping_cones() {
+        // U2 consumes U1's output: the faulty machine must feed U2 the
+        // *faulty* value of U1, not the good one.
+        let lib = lib();
+        let mut bld = CircuitBuilder::new("c", &lib);
+        let a = bld.add_input("a");
+        let b = bld.add_input("b");
+        let m1 = bld.add_gate("AND2", &[a, b], Some("U1")).unwrap();
+        let m2 = bld.add_gate("INV", &[m1], Some("U2")).unwrap();
+        bld.mark_output(m2, "y");
+        let circ = bld.finish().unwrap();
+        let g1 = circ.find_gate("U1").unwrap();
+        let g2 = circ.find_gate("U2").unwrap();
+        // U1 output stuck at 1, U2 behaves as a buffer instead of an
+        // inverter: y = 1 always in the faulty machine.
+        let f1 = FaultyGate::new(g1, FaultyBehavior::Static(TruthTable::from_fn(2, |_| true)));
+        let f2 = FaultyGate::new(g2, FaultyBehavior::Static(TruthTable::from_fn(1, |i| i[0])));
+        let pats: Vec<Pattern> = ["00", "11"].iter().map(|s| s.parse().unwrap()).collect();
+        let log = run_test_multi(&circ, &pats, &[f1, f2]).unwrap();
+        // Good y: 1, 0. Faulty y: 1, 1. Only pattern 1 fails.
+        assert_eq!(log.failing_pattern_indices(), vec![1]);
+    }
+
+    #[test]
+    fn arity_mismatch_is_an_error() {
+        let lib = lib();
+        let (c, g) = circuit(&lib);
+        let faulty = FaultyGate::new(g, FaultyBehavior::Static(TruthTable::from_fn(1, |b| b[0])));
+        let err = run_test(&c, &["00".parse().unwrap()], &faulty);
+        assert!(matches!(err, Err(FaultSimError::WrongFaultArity { .. })));
+    }
+}

@@ -1,0 +1,217 @@
+//! A line-oriented text format for [`Datalog`]s, standing in for the
+//! tester's failure file (STDF-style datalogs in production):
+//!
+//! ```text
+//! datalog circuitA
+//! patterns 25
+//! fail 3 0 4
+//! fail 17 2
+//! ```
+//!
+//! `fail <pattern index> <observe point index>…` — one line per failing
+//! pattern, in application order. [`pretty`] renders the same information
+//! with tester coordinates (PO pins and scan chain/cell positions).
+
+use std::fmt::Write as _;
+
+use icd_netlist::Circuit;
+
+use crate::{Datalog, DatalogEntry, FaultSimError};
+
+/// Serializes a datalog to the text format; round-trips through
+/// [`parse`].
+pub fn write(datalog: &Datalog) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "datalog {}", datalog.circuit_name);
+    let _ = writeln!(out, "patterns {}", datalog.num_patterns);
+    for e in &datalog.entries {
+        let _ = write!(out, "fail {}", e.pattern_index);
+        for &o in &e.failing_outputs {
+            let _ = write!(out, " {o}");
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Parses the text format back into a [`Datalog`].
+///
+/// # Errors
+///
+/// Returns [`FaultSimError::ParseDatalog`] for malformed lines,
+/// out-of-range pattern indices or out-of-order entries.
+pub fn parse(text: &str) -> Result<Datalog, FaultSimError> {
+    let err = |line: usize, message: &str| FaultSimError::ParseDatalog {
+        line,
+        message: message.to_owned(),
+    };
+    let mut name: Option<String> = None;
+    let mut num_patterns: Option<usize> = None;
+    let mut entries: Vec<DatalogEntry> = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut words = line.split_whitespace();
+        match words.next() {
+            Some("datalog") => {
+                name = Some(
+                    words
+                        .next()
+                        .ok_or_else(|| err(lineno + 1, "missing circuit name"))?
+                        .to_owned(),
+                );
+            }
+            Some("patterns") => {
+                num_patterns = Some(
+                    words
+                        .next()
+                        .and_then(|w| w.parse().ok())
+                        .ok_or_else(|| err(lineno + 1, "missing pattern count"))?,
+                );
+            }
+            Some("fail") => {
+                let pattern_index: usize = words
+                    .next()
+                    .and_then(|w| w.parse().ok())
+                    .ok_or_else(|| err(lineno + 1, "missing pattern index"))?;
+                let total =
+                    num_patterns.ok_or_else(|| err(lineno + 1, "fail before patterns line"))?;
+                if pattern_index >= total {
+                    return Err(err(lineno + 1, "pattern index out of range"));
+                }
+                if let Some(last) = entries.last() {
+                    if last.pattern_index >= pattern_index {
+                        return Err(err(lineno + 1, "entries out of order"));
+                    }
+                }
+                let failing_outputs: Vec<usize> = words
+                    .map(|w| w.parse::<usize>())
+                    .collect::<Result<_, _>>()
+                    .map_err(|_| err(lineno + 1, "bad observe index"))?;
+                if failing_outputs.is_empty() {
+                    return Err(err(lineno + 1, "fail line without observe points"));
+                }
+                entries.push(DatalogEntry {
+                    pattern_index,
+                    failing_outputs,
+                });
+            }
+            _ => return Err(err(lineno + 1, "unknown keyword")),
+        }
+    }
+    Ok(Datalog {
+        circuit_name: name.ok_or_else(|| err(0, "missing datalog line"))?,
+        num_patterns: num_patterns.ok_or_else(|| err(0, "missing patterns line"))?,
+        entries,
+    })
+}
+
+/// Renders a datalog the way a tester would report it: per failing
+/// pattern, the miscomparing PO pins and scan (chain, cell) coordinates.
+pub fn pretty(datalog: &Datalog, circuit: &Circuit) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "datalog {} — {}/{} patterns failing",
+        datalog.circuit_name,
+        datalog.entries.len(),
+        datalog.num_patterns
+    );
+    for e in &datalog.entries {
+        let _ = write!(out, "  pattern {:>5}:", e.pattern_index);
+        for &o in &e.failing_outputs {
+            let _ = write!(out, " [{}]", circuit.tester_coordinate(o));
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Datalog {
+        Datalog {
+            circuit_name: "A".into(),
+            num_patterns: 25,
+            entries: vec![
+                DatalogEntry {
+                    pattern_index: 3,
+                    failing_outputs: vec![0, 4],
+                },
+                DatalogEntry {
+                    pattern_index: 17,
+                    failing_outputs: vec![2],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn round_trip() {
+        let log = sample();
+        let text = write(&log);
+        let back = parse(&text).unwrap();
+        assert_eq!(back, log);
+    }
+
+    #[test]
+    fn rejects_out_of_range_pattern() {
+        let text = "datalog A\npatterns 5\nfail 9 0\n";
+        assert!(matches!(
+            parse(text),
+            Err(FaultSimError::ParseDatalog { line: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_out_of_order_entries() {
+        let text = "datalog A\npatterns 9\nfail 5 0\nfail 2 0\n";
+        assert!(parse(text).is_err());
+    }
+
+    #[test]
+    fn rejects_missing_header() {
+        assert!(parse("fail 0 1\n").is_err());
+        assert!(parse("").is_err());
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let text = "# tester dump\ndatalog A\n\npatterns 25\nfail 1 0\n";
+        assert_eq!(parse(text).unwrap().entries.len(), 1);
+    }
+
+    #[test]
+    fn pretty_uses_tester_coordinates() {
+        use icd_cells::CellLibrary;
+        use icd_netlist::generator;
+        let cells = CellLibrary::standard();
+        let logic = cells.logic_library();
+        let cfg = generator::GeneratorConfig {
+            name: "t".into(),
+            gates: 60,
+            primary_inputs: 6,
+            primary_outputs: 4,
+            flip_flops: 4,
+            scan_chains: 2,
+            seed: 8,
+        };
+        let c = generator::generate(&cfg, &logic).unwrap();
+        let last = c.outputs().len() - 1; // a PPO by construction
+        let log = Datalog {
+            circuit_name: "t".into(),
+            num_patterns: 4,
+            entries: vec![DatalogEntry {
+                pattern_index: 0,
+                failing_outputs: vec![0, last],
+            }],
+        };
+        let s = pretty(&log, &c);
+        assert!(s.contains("chain"), "{s}");
+        assert!(s.contains("PO"), "{s}");
+    }
+}

@@ -1,0 +1,70 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by gate-level simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultSimError {
+    /// A pattern's width differs from the circuit's input count.
+    WrongPatternWidth {
+        /// Inputs the circuit declares.
+        expected: usize,
+        /// Width of the offending pattern.
+        got: usize,
+        /// Index of the offending pattern.
+        pattern: usize,
+    },
+    /// Bit-parallel simulation requires fully specified (`0`/`1`) patterns.
+    UnknownInPattern {
+        /// Index of the offending pattern.
+        pattern: usize,
+    },
+    /// The good machine produced an unknown value (library table with `U`
+    /// entries) where a known value is required.
+    UnknownGoodValue(String),
+    /// A faulty-cell model's table arity differs from its gate's.
+    WrongFaultArity {
+        /// Inputs the gate declares.
+        expected: usize,
+        /// Inputs of the supplied model.
+        got: usize,
+    },
+    /// A datalog text file could not be parsed.
+    ParseDatalog {
+        /// 1-based line number (0 for structural problems).
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for FaultSimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultSimError::WrongPatternWidth {
+                expected,
+                got,
+                pattern,
+            } => write!(
+                f,
+                "pattern {pattern} has width {got}, circuit expects {expected}"
+            ),
+            FaultSimError::UnknownInPattern { pattern } => {
+                write!(f, "pattern {pattern} contains U; bit-parallel simulation needs fully specified patterns")
+            }
+            FaultSimError::UnknownGoodValue(net) => {
+                write!(f, "good machine produced U on net {net:?}")
+            }
+            FaultSimError::WrongFaultArity { expected, got } => {
+                write!(
+                    f,
+                    "faulty-cell model has {got} inputs, the gate has {expected}"
+                )
+            }
+            FaultSimError::ParseDatalog { line, message } => {
+                write!(f, "datalog parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl Error for FaultSimError {}

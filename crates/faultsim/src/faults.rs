@@ -1,0 +1,366 @@
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::fmt;
+
+use icd_netlist::{Circuit, GateId, NetId};
+
+use crate::bitsim::{build_evaluators, BitValues};
+
+/// A classical gate-level fault, used by ATPG and by inter-cell diagnosis.
+///
+/// Transition faults follow the standard ordered-pattern-sequence
+/// semantics: the fault is excited at pattern `t` when the net transitions
+/// in the slow direction between patterns `t-1` and `t` (the first pattern
+/// never excites a transition fault).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GateFault {
+    /// The net is stuck at a constant value.
+    StuckAt {
+        /// The faulty net.
+        net: NetId,
+        /// The stuck value.
+        value: bool,
+    },
+    /// The `0 → 1` transition of the net is too slow.
+    SlowToRise {
+        /// The faulty net.
+        net: NetId,
+    },
+    /// The `1 → 0` transition of the net is too slow.
+    SlowToFall {
+        /// The faulty net.
+        net: NetId,
+    },
+    /// A dominant bridge: the victim takes the aggressor's value.
+    Bridging {
+        /// The dominated net.
+        victim: NetId,
+        /// The dominating net.
+        aggressor: NetId,
+    },
+}
+
+impl GateFault {
+    /// Shorthand constructor for stuck-at faults.
+    pub fn stuck_at(net: NetId, value: bool) -> Self {
+        GateFault::StuckAt { net, value }
+    }
+
+    /// The net whose value the fault corrupts.
+    pub fn site(&self) -> NetId {
+        match *self {
+            GateFault::StuckAt { net, .. }
+            | GateFault::SlowToRise { net }
+            | GateFault::SlowToFall { net } => net,
+            GateFault::Bridging { victim, .. } => victim,
+        }
+    }
+}
+
+impl fmt::Display for GateFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            GateFault::StuckAt { net, value } => {
+                write!(f, "{net} sa{}", u8::from(value))
+            }
+            GateFault::SlowToRise { net } => write!(f, "{net} str"),
+            GateFault::SlowToFall { net } => write!(f, "{net} stf"),
+            GateFault::Bridging { victim, aggressor } => {
+                write!(f, "{victim}<-{aggressor}")
+            }
+        }
+    }
+}
+
+/// Both stuck-at polarities on every net of the circuit (uncollapsed).
+pub fn enumerate_stuck_at(circuit: &Circuit) -> Vec<GateFault> {
+    circuit
+        .nets()
+        .flat_map(|n| {
+            [
+                GateFault::StuckAt {
+                    net: n,
+                    value: false,
+                },
+                GateFault::StuckAt {
+                    net: n,
+                    value: true,
+                },
+            ]
+        })
+        .collect()
+}
+
+/// Both transition-fault polarities on every net of the circuit.
+pub fn enumerate_transitions(circuit: &Circuit) -> Vec<GateFault> {
+    circuit
+        .nets()
+        .flat_map(|n| [GateFault::SlowToRise { net: n }, GateFault::SlowToFall { net: n }])
+        .collect()
+}
+
+/// The word at the fault site in the faulty machine (bit `t` = value under
+/// pattern `t`).
+fn faulty_site_word(good: &BitValues, fault: &GateFault, w: usize) -> u64 {
+    match *fault {
+        GateFault::StuckAt { value, .. } => {
+            if value {
+                !0u64
+            } else {
+                0u64
+            }
+        }
+        GateFault::SlowToRise { net } => {
+            let cur = good.word(net, w);
+            let prev = previous_word(good, net, w);
+            // A rising bit stays at 0.
+            cur & !(cur & !prev)
+        }
+        GateFault::SlowToFall { net } => {
+            let cur = good.word(net, w);
+            let prev = previous_word(good, net, w);
+            // A falling bit stays at 1.
+            cur | (!cur & prev)
+        }
+        GateFault::Bridging { aggressor, .. } => good.word(aggressor, w),
+    }
+}
+
+/// The value of `net` one pattern earlier, bit-aligned with word `w`. The
+/// first pattern's "previous" value is itself (no transition).
+fn previous_word(good: &BitValues, net: NetId, w: usize) -> u64 {
+    let cur = good.word(net, w);
+    let carry = if w == 0 {
+        cur & 1 // pattern 0 has no predecessor: replicate itself
+    } else {
+        good.word(net, w - 1) >> 63
+    };
+    (cur << 1) | carry
+}
+
+/// Parallel-pattern single-fault simulation: which patterns detect `fault`
+/// at at least one circuit output?
+///
+/// Feedback bridges (aggressor inside the victim's fanout cone) use the
+/// aggressor's *good* value, i.e. the loop is evaluated once.
+pub fn detects(circuit: &Circuit, good: &BitValues, fault: &GateFault) -> Vec<bool> {
+    let evals = build_evaluators(circuit).expect("good simulation already validated the library");
+    let mut detected = vec![false; good.num_patterns()];
+    let site = fault.site();
+
+    for w in 0..good.words_per_net() {
+        let tail = good.tail_mask(w);
+        let site_faulty = faulty_site_word(good, fault, w) & tail;
+        let site_good = good.word(site, w) & tail;
+        if site_faulty == site_good {
+            continue;
+        }
+
+        // Event-driven forward propagation of this word.
+        let mut overlay: HashMap<usize, u64> = HashMap::new();
+        overlay.insert(site.index(), site_faulty);
+        let mut heap: BinaryHeap<Reverse<(u32, GateId)>> = BinaryHeap::new();
+        let mut queued: HashMap<usize, ()> = HashMap::new();
+        for &g in circuit.fanout(site) {
+            if queued.insert(g.index(), ()).is_none() {
+                heap.push(Reverse((circuit.gate_level(g), g)));
+            }
+        }
+        let mut input_words: Vec<u64> = Vec::with_capacity(8);
+        while let Some(Reverse((_, gate))) = heap.pop() {
+            queued.remove(&gate.index());
+            input_words.clear();
+            for &n in circuit.gate_inputs(gate) {
+                input_words.push(
+                    overlay
+                        .get(&n.index())
+                        .copied()
+                        .unwrap_or_else(|| good.word(n, w)),
+                );
+            }
+            let eval = &evals[circuit.gate_type_id(gate).index()];
+            let new = eval.eval_word(&input_words);
+            let out = circuit.gate_output(gate);
+            if out == site {
+                continue; // the fault dominates its own net
+            }
+            let old = overlay
+                .get(&out.index())
+                .copied()
+                .unwrap_or_else(|| good.word(out, w));
+            if new != old {
+                overlay.insert(out.index(), new);
+                for &g in circuit.fanout(out) {
+                    if queued.insert(g.index(), ()).is_none() {
+                        heap.push(Reverse((circuit.gate_level(g), g)));
+                    }
+                }
+            }
+        }
+
+        let mut diff = 0u64;
+        for &out in circuit.outputs() {
+            if let Some(&v) = overlay.get(&out.index()) {
+                diff |= (v ^ good.word(out, w)) & tail;
+            }
+        }
+        if diff != 0 {
+            for t in 0..64 {
+                if (diff >> t) & 1 == 1 {
+                    detected[w * 64 + t] = true;
+                }
+            }
+        }
+    }
+    detected
+}
+
+/// Whether any pattern detects the fault.
+pub fn detects_any(circuit: &Circuit, good: &BitValues, fault: &GateFault) -> bool {
+    detects(circuit, good, fault).iter().any(|&d| d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::good_simulate;
+    use icd_logic::{Pattern, TruthTable};
+    use icd_netlist::{CircuitBuilder, GateType, Library};
+
+    fn lib() -> Library {
+        let mut lib = Library::new();
+        lib.insert(
+            GateType::new("INV", ["A"], TruthTable::from_fn(1, |b| !b[0])).unwrap(),
+        )
+        .unwrap();
+        lib.insert(
+            GateType::new(
+                "AND2",
+                ["A", "B"],
+                TruthTable::from_fn(2, |b| b[0] & b[1]),
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        lib
+    }
+
+    /// y = a & b
+    fn and_circuit(lib: &Library) -> Circuit {
+        let mut bld = CircuitBuilder::new("c", lib);
+        let a = bld.add_input("a");
+        let b = bld.add_input("b");
+        let y = bld.add_gate("AND2", &[a, b], None).unwrap();
+        bld.mark_output(y, "y");
+        bld.finish().unwrap()
+    }
+
+    fn all_patterns2() -> Vec<Pattern> {
+        (0..4)
+            .map(|i| Pattern::from_bits([(i & 1) == 1, (i & 2) == 2]))
+            .collect()
+    }
+
+    #[test]
+    fn stuck_at_detection_matches_truth() {
+        let lib = lib();
+        let c = and_circuit(&lib);
+        let good = good_simulate(&c, &all_patterns2()).unwrap();
+        let y = c.outputs()[0];
+        // y sa0 detected only where y is 1, i.e. pattern 3 (a=b=1).
+        let det = detects(&c, &good, &GateFault::stuck_at(y, false));
+        assert_eq!(det, vec![false, false, false, true]);
+        // a sa1 detected where a=0 & b=1 (pattern 2).
+        let a = c.inputs()[0];
+        let det = detects(&c, &good, &GateFault::stuck_at(a, true));
+        assert_eq!(det, vec![false, false, true, false]);
+    }
+
+    #[test]
+    fn undetectable_fault_is_undetected() {
+        let lib = lib();
+        let c = and_circuit(&lib);
+        // Only pattern 00: nothing distinguishes any stuck-at-0.
+        let good = good_simulate(&c, &[Pattern::from_bits([false, false])]).unwrap();
+        let y = c.outputs()[0];
+        assert!(!detects_any(&c, &good, &GateFault::stuck_at(y, false)));
+    }
+
+    #[test]
+    fn slow_to_rise_needs_a_rising_pair() {
+        let lib = lib();
+        let c = and_circuit(&lib);
+        let y = c.outputs()[0];
+        // Sequence: 00, 11, 11, 01. y = 0,1,1,0.
+        let pats: Vec<Pattern> = ["00", "11", "11", "10"]
+            .iter()
+            .map(|s| s.parse().unwrap())
+            .collect();
+        let good = good_simulate(&c, &pats).unwrap();
+        // y rises between patterns 0 and 1 only.
+        let det = detects(&c, &good, &GateFault::SlowToRise { net: y });
+        assert_eq!(det, vec![false, true, false, false]);
+        // y falls between 2 and 3.
+        let det = detects(&c, &good, &GateFault::SlowToFall { net: y });
+        assert_eq!(det, vec![false, false, false, true]);
+    }
+
+    #[test]
+    fn first_pattern_never_excites_transitions() {
+        let lib = lib();
+        let c = and_circuit(&lib);
+        let y = c.outputs()[0];
+        let good = good_simulate(&c, &[Pattern::from_bits([true, true])]).unwrap();
+        assert!(!detects_any(&c, &good, &GateFault::SlowToRise { net: y }));
+    }
+
+    #[test]
+    fn bridging_dominates_victim() {
+        let lib = lib();
+        let mut bld = CircuitBuilder::new("c", &lib);
+        let a = bld.add_input("a");
+        let b = bld.add_input("b");
+        let y = bld.add_gate("AND2", &[a, b], None).unwrap();
+        let ni = bld.add_gate("INV", &[a], None).unwrap();
+        bld.mark_output(y, "y");
+        bld.mark_output(ni, "ni");
+        let c = bld.finish().unwrap();
+        let good = good_simulate(&c, &all_patterns2()).unwrap();
+        // Victim = inverter output, aggressor = a: detected whenever
+        // !a != a, i.e. always... observed at output ni on every pattern.
+        let det = detects(
+            &c,
+            &good,
+            &GateFault::Bridging {
+                victim: ni,
+                aggressor: a,
+            },
+        );
+        assert_eq!(det, vec![true; 4]);
+    }
+
+    #[test]
+    fn enumerations_cover_all_nets() {
+        let lib = lib();
+        let c = and_circuit(&lib);
+        assert_eq!(enumerate_stuck_at(&c).len(), 2 * c.num_nets());
+        assert_eq!(enumerate_transitions(&c).len(), 2 * c.num_nets());
+    }
+
+    #[test]
+    fn transition_detection_across_word_boundary() {
+        let lib = lib();
+        let c = and_circuit(&lib);
+        let y = c.outputs()[0];
+        // 70 patterns alternating 11, 00 -> y toggles every pattern.
+        let pats: Vec<Pattern> = (0..70)
+            .map(|i| Pattern::from_bits([i % 2 == 0, i % 2 == 0]))
+            .collect();
+        let good = good_simulate(&c, &pats).unwrap();
+        let det = detects(&c, &good, &GateFault::SlowToRise { net: y });
+        // y rises at every even pattern except 0.
+        for (t, d) in det.iter().enumerate() {
+            assert_eq!(*d, t != 0 && t % 2 == 0, "pattern {t}");
+        }
+    }
+}

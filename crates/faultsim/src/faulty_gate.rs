@@ -1,0 +1,222 @@
+use icd_logic::{Lv, TruthTable};
+use icd_netlist::GateId;
+
+/// Two-pattern behaviour of a defective cell: the output observed at
+/// capture time for every (previous, current) input combination.
+///
+/// This is the gate-level artifact the defect-characterization step
+/// produces for delay-class defects (the paper's defects D3/D4). Entry
+/// index is `prev * 2^n + cur`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DelayTable {
+    inputs: usize,
+    entries: Vec<Lv>,
+}
+
+impl DelayTable {
+    /// Builds a table from a function of (previous, current) input bits.
+    pub fn from_fn<F: FnMut(&[bool], &[bool]) -> Lv>(inputs: usize, mut f: F) -> Self {
+        let combos = 1usize << inputs;
+        let mut entries = Vec::with_capacity(combos * combos);
+        let mut prev = vec![false; inputs];
+        let mut cur = vec![false; inputs];
+        for p in 0..combos {
+            for (k, b) in prev.iter_mut().enumerate() {
+                *b = (p >> k) & 1 == 1;
+            }
+            for c in 0..combos {
+                for (k, b) in cur.iter_mut().enumerate() {
+                    *b = (c >> k) & 1 == 1;
+                }
+                entries.push(f(&prev, &cur));
+            }
+        }
+        DelayTable { inputs, entries }
+    }
+
+    /// Number of cell inputs.
+    pub fn inputs(&self) -> usize {
+        self.inputs
+    }
+
+    /// The capture-time output for a (previous, current) input pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either slice's length differs from `inputs()`.
+    pub fn eval(&self, prev: &[bool], cur: &[bool]) -> Lv {
+        assert_eq!(prev.len(), self.inputs, "prev arity");
+        assert_eq!(cur.len(), self.inputs, "cur arity");
+        let combos = 1usize << self.inputs;
+        let mut p = 0usize;
+        let mut c = 0usize;
+        for k in 0..self.inputs {
+            if prev[k] {
+                p |= 1 << k;
+            }
+            if cur[k] {
+                c |= 1 << k;
+            }
+        }
+        self.entries[p * combos + c]
+    }
+
+    /// Whether any (prev, cur) pair produces a different output than the
+    /// steady-state `good` table — i.e. the defect is ever observable.
+    ///
+    /// A floating (`U`) late entry retains the previous output (charge
+    /// storage); the retained value is approximated by the previous good
+    /// value, so a float across a good-output transition counts as a
+    /// difference.
+    pub fn differs_from_static(&self, good: &TruthTable) -> bool {
+        let combos = 1usize << self.inputs;
+        for p in 0..combos {
+            for c in 0..combos {
+                let late = self.entries[p * combos + c];
+                let effective = if late == Lv::U {
+                    good.entries()[p]
+                } else {
+                    late
+                };
+                if effective.conflicts_with(good.entries()[c]) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}
+
+/// The behaviour of one defective cell instance, as characterized at
+/// switch level by the defect-injection campaign.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultyBehavior {
+    /// A static defect: the cell computes this (possibly partially
+    /// floating) truth table. `U` entries model a floating output, which
+    /// *retains its previous value* (charge storage) — this is how
+    /// CMOS stuck-open defects become two-pattern-dependent.
+    Static(TruthTable),
+    /// A resistive (delay-class) defect: the capture-time output depends on
+    /// the previous pattern.
+    Delay(DelayTable),
+}
+
+impl FaultyBehavior {
+    /// Number of cell inputs the behaviour expects.
+    pub fn inputs(&self) -> usize {
+        match self {
+            FaultyBehavior::Static(t) => t.inputs(),
+            FaultyBehavior::Delay(t) => t.inputs(),
+        }
+    }
+
+    /// The faulty cell's output at capture time.
+    ///
+    /// `prev_out` is the faulty machine's own output under the previous
+    /// pattern; a floating (`U`) result retains it.
+    pub fn eval(&self, prev: &[bool], cur: &[bool], prev_out: Lv) -> Lv {
+        let raw = match self {
+            FaultyBehavior::Static(t) => t.eval_bits(cur),
+            FaultyBehavior::Delay(t) => t.eval(prev, cur),
+        };
+        if raw == Lv::U {
+            prev_out
+        } else {
+            raw
+        }
+    }
+
+    /// Whether the behaviour ever disagrees with `good` — a cheap
+    /// pre-filter for the injection campaign.
+    pub fn ever_differs_from(&self, good: &TruthTable) -> bool {
+        match self {
+            FaultyBehavior::Static(t) => {
+                !good.differing_inputs(t).is_empty()
+                    || t.entries().contains(&Lv::U)
+            }
+            FaultyBehavior::Delay(t) => t.differs_from_static(good),
+        }
+    }
+}
+
+/// A defective cell instance inside a circuit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultyGate {
+    /// Which gate instance is defective.
+    pub gate: GateId,
+    /// Its characterized behaviour.
+    pub behavior: FaultyBehavior,
+}
+
+impl FaultyGate {
+    /// Creates a faulty gate.
+    pub fn new(gate: GateId, behavior: FaultyBehavior) -> Self {
+        FaultyGate { gate, behavior }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn and2() -> TruthTable {
+        TruthTable::from_fn(2, |b| b[0] & b[1])
+    }
+
+    #[test]
+    fn static_behavior_evaluates_table() {
+        let b = FaultyBehavior::Static(TruthTable::from_fn(2, |_| false));
+        assert_eq!(b.eval(&[true, true], &[true, true], Lv::Zero), Lv::Zero);
+        assert!(b.ever_differs_from(&and2()));
+    }
+
+    #[test]
+    fn floating_output_retains_previous_value() {
+        // A table that floats on (1,1).
+        let t = TruthTable::from_entries(
+            2,
+            vec![Lv::Zero, Lv::Zero, Lv::Zero, Lv::U],
+        )
+        .unwrap();
+        let b = FaultyBehavior::Static(t);
+        assert_eq!(b.eval(&[false, false], &[true, true], Lv::One), Lv::One);
+        assert_eq!(b.eval(&[false, false], &[true, true], Lv::Zero), Lv::Zero);
+        // Floating entries count as potentially faulty.
+        assert!(b.ever_differs_from(&and2()));
+    }
+
+    #[test]
+    fn delay_table_round_trip() {
+        // Slow output: late value = previous steady output.
+        let good = and2();
+        let t = DelayTable::from_fn(2, |prev, cur| {
+            let old = good.eval_bits(prev);
+            let new = good.eval_bits(cur);
+            if old.conflicts_with(new) {
+                old
+            } else {
+                new
+            }
+        });
+        assert_eq!(t.eval(&[false, false], &[true, true]), Lv::Zero); // late rise
+        assert_eq!(t.eval(&[true, true], &[true, false]), Lv::One); // late fall
+        assert_eq!(t.eval(&[true, true], &[true, true]), Lv::One); // stable
+        assert!(t.differs_from_static(&good));
+    }
+
+    #[test]
+    fn benign_delay_table_reports_no_difference() {
+        let good = and2();
+        let t = DelayTable::from_fn(2, |_prev, cur| good.eval_bits(cur));
+        assert!(!t.differs_from_static(&good));
+        let b = FaultyBehavior::Delay(t);
+        assert!(!b.ever_differs_from(&good));
+    }
+
+    #[test]
+    #[should_panic(expected = "cur arity")]
+    fn delay_eval_checks_arity() {
+        let t = DelayTable::from_fn(2, |_, _| Lv::Zero);
+        let _ = t.eval(&[false, false], &[false]);
+    }
+}

@@ -1,0 +1,144 @@
+//! Property-based tests for gate-level simulation: the bit-parallel good
+//! machine must agree with the serial ternary simulator, and fault
+//! detection must match first-principles predictions.
+
+use icd_cells::CellLibrary;
+use icd_faultsim::{
+    detects, good_simulate, run_test, ternary_simulate, FaultyBehavior, FaultyGate, GateFault,
+};
+use icd_logic::{Lv, Pattern};
+use icd_netlist::{generator, Circuit};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_circuit(seed: u64, gates: usize) -> Circuit {
+    let cells = CellLibrary::standard();
+    let logic = cells.logic_library();
+    let cfg = generator::GeneratorConfig {
+        name: format!("prop{seed}"),
+        gates,
+        primary_inputs: 6,
+        primary_outputs: 6,
+        flip_flops: 2,
+        scan_chains: 1,
+        seed,
+    };
+    generator::generate(&cfg, &logic).expect("generates")
+}
+
+fn random_patterns(circuit: &Circuit, count: usize, seed: u64) -> Vec<Pattern> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let w = circuit.inputs().len();
+    (0..count)
+        .map(|_| Pattern::from_bits((0..w).map(|_| rng.random_bool(0.5))))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Bit-parallel and serial ternary simulation agree on every net and
+    /// every pattern.
+    #[test]
+    fn bit_parallel_equals_ternary(seed in any::<u64>(), gates in 8usize..80, pats in 1usize..90) {
+        let circuit = random_circuit(seed, gates);
+        let patterns = random_patterns(&circuit, pats, seed ^ 1);
+        let bits = good_simulate(&circuit, &patterns).expect("simulates");
+        for (t, p) in patterns.iter().enumerate() {
+            let ternary = ternary_simulate(&circuit, p).expect("simulates");
+            for net in circuit.nets() {
+                prop_assert_eq!(
+                    Lv::from(bits.value(net, t)),
+                    ternary[net.index()],
+                    "net {} pattern {}",
+                    circuit.net_name(net),
+                    t
+                );
+            }
+        }
+    }
+
+    /// A stuck-at fault on a net that is itself an observe point is
+    /// detected exactly on the patterns where the good value differs from
+    /// the stuck value.
+    #[test]
+    fn stuck_at_on_observed_net_detected_iff_excited(seed in any::<u64>(), pats in 1usize..70) {
+        let circuit = random_circuit(seed, 30);
+        let patterns = random_patterns(&circuit, pats, seed ^ 2);
+        let good = good_simulate(&circuit, &patterns).expect("simulates");
+        for &out in circuit.outputs().iter().take(3) {
+            for value in [false, true] {
+                let det = detects(&circuit, &good, &GateFault::stuck_at(out, value));
+                for (t, d) in det.iter().enumerate() {
+                    prop_assert_eq!(*d, good.value(out, t) != value);
+                }
+            }
+        }
+    }
+
+    /// A faulty cell whose behaviour equals the good function never
+    /// fails.
+    #[test]
+    fn healthy_behavior_never_fails(seed in any::<u64>()) {
+        let circuit = random_circuit(seed, 40);
+        let patterns = random_patterns(&circuit, 16, seed ^ 3);
+        let gate = circuit.topo_order()[0];
+        let table = circuit.gate_type(gate).table().clone();
+        let faulty = FaultyGate::new(gate, FaultyBehavior::Static(table));
+        let log = run_test(&circuit, &patterns, &faulty).expect("tests");
+        prop_assert!(log.all_pass());
+    }
+
+    /// The complemented cell fails on every pattern where its output is
+    /// observable; the datalog is a subset of the activation patterns and
+    /// detection matches the equivalent stuck-at-style propagation.
+    #[test]
+    fn inverted_behavior_fails_where_observable(seed in any::<u64>()) {
+        let circuit = random_circuit(seed, 40);
+        let patterns = random_patterns(&circuit, 16, seed ^ 4);
+        let gate = circuit.topo_order()[0];
+        let good_table = circuit.gate_type(gate).table().clone();
+        let inverted = icd_logic::TruthTable::from_entries(
+            good_table.inputs(),
+            good_table.entries().iter().map(|&v| !v).collect(),
+        )
+        .expect("same size");
+        let faulty = FaultyGate::new(gate, FaultyBehavior::Static(inverted));
+        let log = run_test(&circuit, &patterns, &faulty).expect("tests");
+        // Each failing pattern must name at least one failing output.
+        for e in &log.entries {
+            prop_assert!(!e.failing_outputs.is_empty());
+            prop_assert!(e.pattern_index < patterns.len());
+        }
+        // Failing patterns are strictly increasing.
+        for w in log.entries.windows(2) {
+            prop_assert!(w[0].pattern_index < w[1].pattern_index);
+        }
+    }
+
+    /// Transition faults never fire on the first pattern and require a
+    /// transition on the faulty net.
+    #[test]
+    fn transition_faults_respect_sequencing(seed in any::<u64>(), pats in 2usize..40) {
+        let circuit = random_circuit(seed, 30);
+        let patterns = random_patterns(&circuit, pats, seed ^ 5);
+        let good = good_simulate(&circuit, &patterns).expect("simulates");
+        let net = circuit.gate_output(circuit.topo_order()[0]);
+        for fault in [GateFault::SlowToRise { net }, GateFault::SlowToFall { net }] {
+            let det = detects(&circuit, &good, &fault);
+            prop_assert!(!det[0], "first pattern cannot excite a transition");
+            for (t, d) in det.iter().enumerate().skip(1) {
+                if *d {
+                    let prev = good.value(net, t - 1);
+                    let cur = good.value(net, t);
+                    match fault {
+                        GateFault::SlowToRise { .. } => prop_assert!(!prev && cur),
+                        GateFault::SlowToFall { .. } => prop_assert!(prev && !cur),
+                        _ => unreachable!(),
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,375 @@
+use std::collections::HashMap;
+
+use icd_faultsim::{good_simulate, Datalog, DiffPropagator};
+use icd_logic::Lv;
+use icd_netlist::{Circuit, GateId, NetId};
+
+use crate::{gate_cpt, IntercellError};
+
+/// How many passing patterns are examined per candidate when counting
+/// contradictions; bounds the cost on long production test sets.
+const MAX_PASSING_SAMPLE: usize = 32;
+
+/// How many top candidates (by explained failing patterns) receive the
+/// passing-pattern contradiction analysis; the long tail keeps a zero
+/// count. Bounds the cost on multi-million-gate circuits where a failing
+/// pattern's critical paths can cross thousands of gates.
+const MAX_SCORED_CANDIDATES: usize = 64;
+
+/// One ranked inter-cell candidate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateCandidate {
+    /// The suspected gate instance.
+    pub gate: GateId,
+    /// Failing patterns on whose critical paths the gate's output lies
+    /// (type-1 evidence: "explains the failure").
+    pub explained: Vec<usize>,
+    /// Sampled passing patterns that contradict a single stuck-at defect at
+    /// the gate output (the output was observable with the same good value
+    /// as in the explained failures, yet the pattern passed).
+    pub contradictions: usize,
+    /// Whether the gate output held one consistent good value across all
+    /// explained failing patterns (a single static culprit is plausible).
+    pub consistent_static: bool,
+}
+
+impl GateCandidate {
+    /// Ranking key: more explained failures first, fewer contradictions
+    /// second.
+    fn rank_key(&self) -> (usize, std::cmp::Reverse<usize>) {
+        (self.explained.len(), std::cmp::Reverse(self.contradictions))
+    }
+}
+
+/// The result of inter-cell diagnosis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IntercellDiagnosis {
+    /// All candidates, ranked best-first.
+    pub candidates: Vec<GateCandidate>,
+    /// A greedy set cover of the failing patterns: the smallest (greedily)
+    /// group of gates that together explain every failing pattern. For a
+    /// single defect this is one gate; for multiple simultaneous defects it
+    /// names one gate per defect, with no assumption about which failing
+    /// pattern belongs to which defect.
+    pub multiplet: Vec<GateId>,
+    /// Failing patterns no candidate explains (ideally empty).
+    pub unexplained: Vec<usize>,
+}
+
+impl IntercellDiagnosis {
+    /// The best single suspected gate, if any candidate exists.
+    pub fn best(&self) -> Option<GateId> {
+        self.candidates.first().map(|c| c.gate)
+    }
+}
+
+/// Effect-cause inter-cell diagnosis: produces ranked suspected gates from
+/// the circuit, the applied patterns and the tester datalog.
+///
+/// For every failing pattern, gate-level [`gate_cpt`] traces the critical
+/// nets from each failing observe point; the drivers of those nets are the
+/// pattern's candidates. Candidates are then scored against sampled passing
+/// patterns and a greedy set cover produces the multiplet (see
+/// [`IntercellDiagnosis`]).
+///
+/// # Errors
+///
+/// Returns an error when the datalog references unknown patterns or
+/// outputs, or the patterns are malformed.
+pub fn diagnose(
+    circuit: &Circuit,
+    patterns: &[icd_logic::Pattern],
+    datalog: &Datalog,
+) -> Result<IntercellDiagnosis, IntercellError> {
+    let good = good_simulate(circuit, patterns)?;
+    diagnose_with_good(circuit, patterns, datalog, &good)
+}
+
+/// [`diagnose`] variant reusing a precomputed good simulation — the fast
+/// path when several diagnosis stages share one pattern set on a large
+/// circuit.
+///
+/// # Errors
+///
+/// Same as [`diagnose`].
+pub fn diagnose_with_good(
+    circuit: &Circuit,
+    patterns: &[icd_logic::Pattern],
+    datalog: &Datalog,
+    good: &icd_faultsim::BitValues,
+) -> Result<IntercellDiagnosis, IntercellError> {
+    // Phase 1: candidates from failing-pattern critical paths.
+    let mut explained: HashMap<GateId, Vec<usize>> = HashMap::new();
+    let mut fail_value: HashMap<GateId, Lv> = HashMap::new();
+    let mut consistent: HashMap<GateId, bool> = HashMap::new();
+
+    for entry in &datalog.entries {
+        let t = entry.pattern_index;
+        if t >= patterns.len() {
+            return Err(IntercellError::BadPatternIndex(t));
+        }
+        let base: Vec<Lv> = (0..circuit.num_nets())
+            .map(|i| Lv::from(good.value(NetId::from_index(i), t)))
+            .collect();
+        let mut seen_this_pattern: HashMap<GateId, ()> = HashMap::new();
+        for &oi in &entry.failing_outputs {
+            let &start = circuit
+                .outputs()
+                .get(oi)
+                .ok_or(IntercellError::BadOutputIndex(oi))?;
+            for net in gate_cpt(circuit, &base, start) {
+                if let Some(gate) = circuit.driver(net) {
+                    if seen_this_pattern.insert(gate, ()).is_none() {
+                        explained.entry(gate).or_default().push(t);
+                        let v = base[circuit.gate_output(gate).index()];
+                        match fail_value.get(&gate) {
+                            None => {
+                                fail_value.insert(gate, v);
+                                consistent.insert(gate, true);
+                            }
+                            Some(&prev) if prev == v => {}
+                            Some(_) => {
+                                consistent.insert(gate, false);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Phase 2: contradiction count against sampled passing patterns.
+    let passing = datalog.passing_pattern_indices();
+    let sample: Vec<usize> = passing
+        .iter()
+        .copied()
+        .take(MAX_PASSING_SAMPLE)
+        .collect();
+    let mut propagator = DiffPropagator::new(circuit);
+    let mut sample_bases: Vec<(usize, Vec<Lv>)> = Vec::with_capacity(sample.len());
+    for &t in &sample {
+        let base: Vec<Lv> = (0..circuit.num_nets())
+            .map(|i| Lv::from(good.value(NetId::from_index(i), t)))
+            .collect();
+        sample_bases.push((t, base));
+    }
+
+    // Preliminary ranking by explained failures; only the head of the
+    // list gets the (cone-bounded but non-trivial) contradiction scoring.
+    let mut candidates: Vec<GateCandidate> = explained
+        .into_iter()
+        .map(|(gate, explained)| GateCandidate {
+            gate,
+            explained,
+            contradictions: 0,
+            consistent_static: consistent.get(&gate).copied().unwrap_or(false),
+        })
+        .collect();
+    candidates.sort_by(|a, b| {
+        b.explained
+            .len()
+            .cmp(&a.explained.len())
+            .then(a.gate.cmp(&b.gate))
+    });
+    for candidate in candidates.iter_mut().take(MAX_SCORED_CANDIDATES) {
+        if !candidate.consistent_static {
+            continue;
+        }
+        let out = circuit.gate_output(candidate.gate);
+        let fail_v = fail_value[&candidate.gate];
+        for (_, base) in &sample_bases {
+            // If the defect were the stuck-at that explains the failures,
+            // a passing pattern with the same good value and an observable
+            // output would have failed too.
+            if base[out.index()] == fail_v {
+                let changed = propagator.propagate(circuit, base, &[(out, !fail_v)]);
+                if !changed.is_empty() {
+                    candidate.contradictions += 1;
+                }
+            }
+        }
+    }
+
+    candidates.sort_by(|a, b| {
+        b.rank_key()
+            .cmp(&a.rank_key())
+            .then(a.gate.cmp(&b.gate))
+    });
+
+    // Phase 3: greedy set cover over failing patterns.
+    let failing: Vec<usize> = datalog.failing_pattern_indices();
+    let mut uncovered: std::collections::HashSet<usize> = failing.iter().copied().collect();
+    let mut multiplet = Vec::new();
+    while !uncovered.is_empty() {
+        let best = candidates
+            .iter()
+            .filter(|c| !multiplet.contains(&c.gate))
+            .max_by_key(|c| {
+                (
+                    c.explained.iter().filter(|t| uncovered.contains(t)).count(),
+                    std::cmp::Reverse(c.contradictions),
+                    std::cmp::Reverse(c.gate),
+                )
+            });
+        match best {
+            Some(c) if c.explained.iter().any(|t| uncovered.contains(t)) => {
+                for t in &c.explained {
+                    uncovered.remove(t);
+                }
+                multiplet.push(c.gate);
+            }
+            _ => break,
+        }
+    }
+    let mut unexplained: Vec<usize> = uncovered.into_iter().collect();
+    unexplained.sort_unstable();
+
+    Ok(IntercellDiagnosis {
+        candidates,
+        multiplet,
+        unexplained,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icd_faultsim::{run_test, FaultyBehavior, FaultyGate};
+    use icd_logic::{Pattern, TruthTable};
+    use icd_netlist::{CircuitBuilder, GateType, Library};
+
+    fn lib() -> Library {
+        let mut lib = Library::new();
+        lib.insert(
+            GateType::new("INV", ["A"], TruthTable::from_fn(1, |b| !b[0])).unwrap(),
+        )
+        .unwrap();
+        lib.insert(
+            GateType::new(
+                "NAND2",
+                ["A", "B"],
+                TruthTable::from_fn(2, |b| !(b[0] & b[1])),
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        lib
+    }
+
+    /// Two NAND trees feeding two outputs.
+    fn circuit(lib: &Library) -> Circuit {
+        let mut bld = CircuitBuilder::new("c", lib);
+        let pis: Vec<_> = (0..4).map(|i| bld.add_input(&format!("a{i}"))).collect();
+        let x = bld
+            .add_gate("NAND2", &[pis[0], pis[1]], Some("U1"))
+            .unwrap();
+        let y = bld
+            .add_gate("NAND2", &[pis[2], pis[3]], Some("U2"))
+            .unwrap();
+        let z1 = bld.add_gate("INV", &[x], Some("U3")).unwrap();
+        let z2 = bld.add_gate("INV", &[y], Some("U4")).unwrap();
+        bld.mark_output(z1, "z1");
+        bld.mark_output(z2, "z2");
+        bld.finish().unwrap()
+    }
+
+    fn all_patterns4() -> Vec<Pattern> {
+        (0..16)
+            .map(|i| Pattern::from_bits((0..4).map(move |k| (i >> k) & 1 == 1)))
+            .collect()
+    }
+
+    #[test]
+    fn single_faulty_gate_is_top_candidate() {
+        let lib = lib();
+        let c = circuit(&lib);
+        let u1 = c.find_gate("U1").unwrap();
+        // U1 output stuck at 1 == faulty cell computing constant 1.
+        let faulty = FaultyGate::new(u1, FaultyBehavior::Static(TruthTable::from_fn(2, |_| true)));
+        let pats = all_patterns4();
+        let log = run_test(&c, &pats, &faulty).unwrap();
+        assert!(!log.all_pass());
+        let diag = diagnose(&c, &pats, &log).unwrap();
+        assert_eq!(diag.best(), Some(u1));
+        assert!(diag.unexplained.is_empty());
+        assert_eq!(diag.multiplet, vec![u1]);
+        // The candidate is consistent: the good output is always 0 when
+        // failing (stuck-at-1 excitation).
+        let top = &diag.candidates[0];
+        assert!(top.consistent_static);
+    }
+
+    #[test]
+    fn two_simultaneous_defects_need_a_two_gate_cover() {
+        let lib = lib();
+        let c = circuit(&lib);
+        let u1 = c.find_gate("U1").unwrap();
+        let u2 = c.find_gate("U2").unwrap();
+        let pats = all_patterns4();
+
+        // Merge the datalogs of two independent single-gate defects: this
+        // emulates two simultaneous defects in disjoint cones.
+        let f1 = FaultyGate::new(u1, FaultyBehavior::Static(TruthTable::from_fn(2, |_| true)));
+        let f2 = FaultyGate::new(u2, FaultyBehavior::Static(TruthTable::from_fn(2, |_| true)));
+        let log1 = run_test(&c, &pats, &f1).unwrap();
+        let log2 = run_test(&c, &pats, &f2).unwrap();
+        let mut merged = Datalog {
+            circuit_name: log1.circuit_name.clone(),
+            num_patterns: pats.len(),
+            entries: Vec::new(),
+        };
+        let mut by_t: std::collections::BTreeMap<usize, Vec<usize>> = Default::default();
+        for e in log1.entries.iter().chain(log2.entries.iter()) {
+            by_t.entry(e.pattern_index)
+                .or_default()
+                .extend(&e.failing_outputs);
+        }
+        for (t, outs) in by_t {
+            merged.entries.push(icd_faultsim::DatalogEntry {
+                pattern_index: t,
+                failing_outputs: outs,
+            });
+        }
+
+        let diag = diagnose(&c, &pats, &merged).unwrap();
+        assert!(diag.unexplained.is_empty());
+        assert_eq!(diag.multiplet.len(), 2);
+        assert!(diag.multiplet.contains(&u1));
+        assert!(diag.multiplet.contains(&u2));
+    }
+
+    #[test]
+    fn empty_datalog_yields_no_candidates() {
+        let lib = lib();
+        let c = circuit(&lib);
+        let pats = all_patterns4();
+        let log = Datalog {
+            circuit_name: "c".into(),
+            num_patterns: pats.len(),
+            entries: vec![],
+        };
+        let diag = diagnose(&c, &pats, &log).unwrap();
+        assert!(diag.candidates.is_empty());
+        assert!(diag.multiplet.is_empty());
+        assert!(diag.unexplained.is_empty());
+    }
+
+    #[test]
+    fn bad_indices_are_reported() {
+        let lib = lib();
+        let c = circuit(&lib);
+        let pats = all_patterns4();
+        let log = Datalog {
+            circuit_name: "c".into(),
+            num_patterns: pats.len(),
+            entries: vec![icd_faultsim::DatalogEntry {
+                pattern_index: 99,
+                failing_outputs: vec![0],
+            }],
+        };
+        assert!(matches!(
+            diagnose(&c, &pats, &log),
+            Err(IntercellError::BadPatternIndex(99))
+        ));
+    }
+}

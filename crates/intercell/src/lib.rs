@@ -1,0 +1,56 @@
+//! Inter-cell (gate-level) diagnosis and local pattern extraction.
+//!
+//! The paper's flow (Fig. 2) relies on a logic-level diagnosis front end
+//! ("any available commercial diagnosis tool can be adopted") to reduce the
+//! circuit to a handful of *suspected gates*, and on a *DUT simulation*
+//! step that derives, for each suspected gate, the local failing and
+//! passing patterns the intra-cell engine consumes. This crate provides
+//! both:
+//!
+//! * [`gate_cpt`] — classical critical path tracing at gate level
+//!   (Abramovici-style, as in the paper's reference \[2\]): from a failing
+//!   output, trace back critical nets through critical gate inputs.
+//! * [`diagnose`] — effect-cause candidate extraction and ranking. Each
+//!   failing pattern contributes the gates on its critical paths;
+//!   candidates are scored by explained failing patterns and contradicted
+//!   passing patterns, and a greedy set cover selects a *multiplet* of
+//!   candidates that together explain every failing pattern — without any
+//!   assumption on how failing patterns distribute over defects (the
+//!   multiple-defect, no-assumptions regime).
+//! * [`extract_local_patterns`] — the DUT-simulation step: local failing
+//!   patterns from the datalog, local passing patterns filtered by an
+//!   observability check (a fault effect at the suspected gate's output
+//!   must reach an observe point), plus the Fig.-4 taxonomy
+//!   ([`LocalPatterns::taxonomy`]): `lfp ∩ lpp ≠ ∅` proves the defect is
+//!   dynamic.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use icd_intercell::{diagnose, extract_local_patterns};
+//! # let circuit: icd_netlist::Circuit = unimplemented!();
+//! # let patterns: Vec<icd_logic::Pattern> = vec![];
+//! # let datalog: icd_faultsim::Datalog = Default::default();
+//! let result = diagnose(&circuit, &patterns, &datalog)?;
+//! for gate in &result.multiplet {
+//!     let local = extract_local_patterns(&circuit, &patterns, &datalog, *gate)?;
+//!     println!("{}: {} lfp / {} lpp", circuit.gate_name(*gate), local.lfp.len(), local.lpp.len());
+//! }
+//! # Ok::<(), icd_intercell::IntercellError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cpt;
+mod diagnose;
+mod error;
+mod local;
+
+pub use cpt::{gate_cpt, gate_cpt_exact};
+pub use diagnose::{diagnose, diagnose_with_good, GateCandidate, IntercellDiagnosis};
+pub use error::IntercellError;
+pub use local::{
+    extract_local_patterns, extract_local_patterns_with_good, DefectClassHint, LocalPattern,
+    LocalPatterns,
+};

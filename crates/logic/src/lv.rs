@@ -1,0 +1,230 @@
+use std::fmt;
+use std::ops::{BitAnd, BitOr, Not};
+
+/// A ternary logic value: `0`, `1` or `U` (unknown).
+///
+/// `U` is produced by the switch-level simulator for floating or fighting
+/// nodes and is the "unknown value" stored in the paper's suspect lists
+/// (eq. 1: `LVi = {0, 1, U}`).
+///
+/// The boolean operators follow standard three-valued (Kleene) logic:
+///
+/// ```
+/// use icd_logic::Lv;
+/// assert_eq!(Lv::Zero & Lv::U, Lv::Zero); // 0 dominates AND
+/// assert_eq!(Lv::One | Lv::U, Lv::One);   // 1 dominates OR
+/// assert_eq!(!Lv::U, Lv::U);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub enum Lv {
+    /// Logic zero.
+    Zero,
+    /// Logic one.
+    One,
+    /// Unknown / undriven / conflicting value.
+    #[default]
+    U,
+}
+
+impl Lv {
+    /// All three values, in a fixed order (useful for exhaustive tests).
+    pub const ALL: [Lv; 3] = [Lv::Zero, Lv::One, Lv::U];
+
+    /// Returns `true` when the value is `0` or `1`.
+    #[inline]
+    pub fn is_known(self) -> bool {
+        self != Lv::U
+    }
+
+    /// Converts a known value to `bool`; `None` for [`Lv::U`].
+    #[inline]
+    pub fn to_bool(self) -> Option<bool> {
+        match self {
+            Lv::Zero => Some(false),
+            Lv::One => Some(true),
+            Lv::U => None,
+        }
+    }
+
+    /// The complement, with `!U = U`.
+    ///
+    /// Equivalent to the `Not` operator; provided as a named method for use
+    /// in iterator chains.
+    #[inline]
+    pub fn complement(self) -> Lv {
+        match self {
+            Lv::Zero => Lv::One,
+            Lv::One => Lv::Zero,
+            Lv::U => Lv::U,
+        }
+    }
+
+    /// Whether `self` and `other` are definitely different (one is `0`, the
+    /// other `1`). `U` is never *definitely* different from anything.
+    #[inline]
+    pub fn conflicts_with(self, other: Lv) -> bool {
+        matches!(
+            (self, other),
+            (Lv::Zero, Lv::One) | (Lv::One, Lv::Zero)
+        )
+    }
+
+    /// The logic-value intersection of the paper's Fig. 10, used when
+    /// intersecting Bridging Suspect List entries (eq. 5).
+    ///
+    /// * equal known values meet to themselves,
+    /// * `0 ∩ 1 = U` — the couple is *kept* with an unknown value, modelling
+    ///   the strong dominant bridging fault case the paper calls out,
+    /// * `U` is absorbing: `U ∩ x = U` (once a value is unknown it stays
+    ///   unknown). This makes the operation an associative, commutative
+    ///   meet, so folding a suspect's value across any number of failing
+    ///   patterns is order-independent.
+    ///
+    /// ```
+    /// use icd_logic::Lv;
+    /// assert_eq!(Lv::Zero.meet(Lv::Zero), Lv::Zero);
+    /// assert_eq!(Lv::Zero.meet(Lv::One), Lv::U);
+    /// assert_eq!(Lv::U.meet(Lv::One), Lv::U);
+    /// ```
+    #[inline]
+    pub fn meet(self, other: Lv) -> Lv {
+        if self == other {
+            self
+        } else {
+            Lv::U
+        }
+    }
+}
+
+impl Not for Lv {
+    type Output = Lv;
+    #[inline]
+    fn not(self) -> Lv {
+        self.complement()
+    }
+}
+
+impl BitAnd for Lv {
+    type Output = Lv;
+    #[inline]
+    fn bitand(self, rhs: Lv) -> Lv {
+        match (self, rhs) {
+            (Lv::Zero, _) | (_, Lv::Zero) => Lv::Zero,
+            (Lv::One, Lv::One) => Lv::One,
+            _ => Lv::U,
+        }
+    }
+}
+
+impl BitOr for Lv {
+    type Output = Lv;
+    #[inline]
+    fn bitor(self, rhs: Lv) -> Lv {
+        match (self, rhs) {
+            (Lv::One, _) | (_, Lv::One) => Lv::One,
+            (Lv::Zero, Lv::Zero) => Lv::Zero,
+            _ => Lv::U,
+        }
+    }
+}
+
+impl From<bool> for Lv {
+    #[inline]
+    fn from(b: bool) -> Lv {
+        if b {
+            Lv::One
+        } else {
+            Lv::Zero
+        }
+    }
+}
+
+impl fmt::Display for Lv {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let c = match self {
+            Lv::Zero => '0',
+            Lv::One => '1',
+            Lv::U => 'U',
+        };
+        write!(f, "{c}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn complement_is_involutive_on_known_values() {
+        assert_eq!(!!Lv::Zero, Lv::Zero);
+        assert_eq!(!!Lv::One, Lv::One);
+        assert_eq!(!Lv::U, Lv::U);
+    }
+
+    #[test]
+    fn and_truth_table() {
+        assert_eq!(Lv::One & Lv::One, Lv::One);
+        assert_eq!(Lv::One & Lv::Zero, Lv::Zero);
+        assert_eq!(Lv::Zero & Lv::U, Lv::Zero);
+        assert_eq!(Lv::One & Lv::U, Lv::U);
+        assert_eq!(Lv::U & Lv::U, Lv::U);
+    }
+
+    #[test]
+    fn or_truth_table() {
+        assert_eq!(Lv::Zero | Lv::Zero, Lv::Zero);
+        assert_eq!(Lv::One | Lv::Zero, Lv::One);
+        assert_eq!(Lv::One | Lv::U, Lv::One);
+        assert_eq!(Lv::Zero | Lv::U, Lv::U);
+    }
+
+    #[test]
+    fn fig10_meet_table() {
+        // The full Fig. 10 table as implemented.
+        assert_eq!(Lv::Zero.meet(Lv::Zero), Lv::Zero);
+        assert_eq!(Lv::One.meet(Lv::One), Lv::One);
+        assert_eq!(Lv::Zero.meet(Lv::One), Lv::U);
+        assert_eq!(Lv::One.meet(Lv::Zero), Lv::U);
+        assert_eq!(Lv::U.meet(Lv::Zero), Lv::U);
+        assert_eq!(Lv::U.meet(Lv::One), Lv::U);
+        assert_eq!(Lv::Zero.meet(Lv::U), Lv::U);
+        assert_eq!(Lv::One.meet(Lv::U), Lv::U);
+        assert_eq!(Lv::U.meet(Lv::U), Lv::U);
+    }
+
+    #[test]
+    fn meet_is_commutative_and_idempotent() {
+        for a in Lv::ALL {
+            assert_eq!(a.meet(a), a);
+            for b in Lv::ALL {
+                assert_eq!(a.meet(b), b.meet(a));
+            }
+        }
+    }
+
+    #[test]
+    fn conflicts_only_between_opposite_known_values() {
+        assert!(Lv::Zero.conflicts_with(Lv::One));
+        assert!(Lv::One.conflicts_with(Lv::Zero));
+        assert!(!Lv::U.conflicts_with(Lv::One));
+        assert!(!Lv::Zero.conflicts_with(Lv::Zero));
+        assert!(!Lv::U.conflicts_with(Lv::U));
+    }
+
+    #[test]
+    fn display_round_trip() {
+        assert_eq!(Lv::Zero.to_string(), "0");
+        assert_eq!(Lv::One.to_string(), "1");
+        assert_eq!(Lv::U.to_string(), "U");
+    }
+
+    #[test]
+    fn kleene_de_morgan() {
+        for a in Lv::ALL {
+            for b in Lv::ALL {
+                assert_eq!(!(a & b), !a | !b);
+                assert_eq!(!(a | b), !a & !b);
+            }
+        }
+    }
+}

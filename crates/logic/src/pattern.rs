@@ -1,0 +1,267 @@
+use std::fmt;
+use std::str::FromStr;
+
+use crate::Lv;
+
+/// An input vector applied to a circuit's primary inputs (plus pseudo-primary
+/// inputs in full-scan mode) or to a single cell's inputs.
+///
+/// Patterns are ordered collections of [`Lv`]; production test patterns are
+/// fully specified (`0`/`1`) but ATPG intermediate cubes may contain `U`
+/// (don't-care) positions.
+///
+/// ```
+/// use icd_logic::{Lv, Pattern};
+/// let p: Pattern = "0111".parse()?;
+/// assert_eq!(p.len(), 4);
+/// assert_eq!(p[0], Lv::Zero);
+/// # Ok::<(), icd_logic::TruthTableError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Pattern {
+    values: Vec<Lv>,
+}
+
+impl Pattern {
+    /// Creates a pattern from any iterable of logic values.
+    pub fn new<I: IntoIterator<Item = Lv>>(values: I) -> Self {
+        Pattern {
+            values: values.into_iter().collect(),
+        }
+    }
+
+    /// Creates a fully specified pattern from booleans.
+    pub fn from_bits<I: IntoIterator<Item = bool>>(bits: I) -> Self {
+        Pattern {
+            values: bits.into_iter().map(Lv::from).collect(),
+        }
+    }
+
+    /// Creates an all-`U` (fully unspecified) pattern of the given width.
+    pub fn unknown(width: usize) -> Self {
+        Pattern {
+            values: vec![Lv::U; width],
+        }
+    }
+
+    /// Number of positions.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the pattern has no positions.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Whether every position is a known (`0`/`1`) value.
+    pub fn is_fully_specified(&self) -> bool {
+        self.values.iter().all(|v| v.is_known())
+    }
+
+    /// The values as a slice.
+    pub fn values(&self) -> &[Lv] {
+        &self.values
+    }
+
+    /// Mutable access to one position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn set(&mut self, index: usize, value: Lv) {
+        self.values[index] = value;
+    }
+
+    /// Iterates over the values.
+    pub fn iter(&self) -> std::slice::Iter<'_, Lv> {
+        self.values.iter()
+    }
+
+    /// Positions where `self` and `other` hold definitely different values.
+    pub fn conflicting_positions(&self, other: &Pattern) -> Vec<usize> {
+        self.values
+            .iter()
+            .zip(other.values.iter())
+            .enumerate()
+            .filter(|(_, (a, b))| a.conflicts_with(**b))
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+impl std::ops::Index<usize> for Pattern {
+    type Output = Lv;
+    fn index(&self, index: usize) -> &Lv {
+        &self.values[index]
+    }
+}
+
+impl FromIterator<Lv> for Pattern {
+    fn from_iter<I: IntoIterator<Item = Lv>>(iter: I) -> Self {
+        Pattern::new(iter)
+    }
+}
+
+impl FromIterator<bool> for Pattern {
+    fn from_iter<I: IntoIterator<Item = bool>>(iter: I) -> Self {
+        Pattern::from_bits(iter)
+    }
+}
+
+impl Extend<Lv> for Pattern {
+    fn extend<I: IntoIterator<Item = Lv>>(&mut self, iter: I) {
+        self.values.extend(iter);
+    }
+}
+
+impl<'a> IntoIterator for &'a Pattern {
+    type Item = &'a Lv;
+    type IntoIter = std::slice::Iter<'a, Lv>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.values.iter()
+    }
+}
+
+impl IntoIterator for Pattern {
+    type Item = Lv;
+    type IntoIter = std::vec::IntoIter<Lv>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.values.into_iter()
+    }
+}
+
+impl fmt::Display for Pattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for v in &self.values {
+            write!(f, "{v}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for Pattern {
+    type Err = crate::TruthTableError;
+
+    /// Parses a string of `0`, `1` and `U`/`X` characters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TruthTableError`](crate::TruthTableError) when the string
+    /// contains any other character.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        s.chars()
+            .map(|c| match c {
+                '0' => Ok(Lv::Zero),
+                '1' => Ok(Lv::One),
+                'U' | 'u' | 'X' | 'x' => Ok(Lv::U),
+                other => Err(crate::TruthTableError::BadPatternChar(other)),
+            })
+            .collect::<Result<Vec<_>, _>>()
+            .map(Pattern::new)
+    }
+}
+
+/// A two-pattern (launch, capture) test used for delay-fault analysis.
+///
+/// The paper's dynamic faulty behaviours "depend not only on the local gate
+/// input values but also on the previous local values" (§3.1); a
+/// `PatternPair` records both.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct PatternPair {
+    /// The first (launch / initialization) vector.
+    pub launch: Pattern,
+    /// The second (capture / observation) vector.
+    pub capture: Pattern,
+}
+
+impl PatternPair {
+    /// Creates a pair from two equally sized patterns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two patterns have different widths.
+    pub fn new(launch: Pattern, capture: Pattern) -> Self {
+        assert_eq!(
+            launch.len(),
+            capture.len(),
+            "launch and capture widths differ"
+        );
+        PatternPair { launch, capture }
+    }
+
+    /// Positions that transition (definitely change value) between launch
+    /// and capture.
+    pub fn transitioning_positions(&self) -> Vec<usize> {
+        self.launch.conflicting_positions(&self.capture)
+    }
+
+    /// Whether any position transitions.
+    pub fn has_transition(&self) -> bool {
+        !self.transitioning_positions().is_empty()
+    }
+}
+
+impl fmt::Display for PatternPair {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}->{}", self.launch, self.capture)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        let p: Pattern = "01U1".parse().unwrap();
+        assert_eq!(p.to_string(), "01U1");
+        assert!(!p.is_fully_specified());
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("01a1".parse::<Pattern>().is_err());
+    }
+
+    #[test]
+    fn from_bits_is_fully_specified() {
+        let p = Pattern::from_bits([true, false, true]);
+        assert!(p.is_fully_specified());
+        assert_eq!(p.to_string(), "101");
+    }
+
+    #[test]
+    fn conflicting_positions_ignore_u() {
+        let a: Pattern = "01U0".parse().unwrap();
+        let b: Pattern = "11U1".parse().unwrap();
+        assert_eq!(a.conflicting_positions(&b), vec![0, 3]);
+    }
+
+    #[test]
+    fn pair_transitions() {
+        let pair = PatternPair::new("0011".parse().unwrap(), "0101".parse().unwrap());
+        assert_eq!(pair.transitioning_positions(), vec![1, 2]);
+        assert!(pair.has_transition());
+    }
+
+    #[test]
+    #[should_panic(expected = "widths differ")]
+    fn pair_width_mismatch_panics() {
+        let _ = PatternPair::new("00".parse().unwrap(), "000".parse().unwrap());
+    }
+
+    #[test]
+    fn unknown_pattern() {
+        let p = Pattern::unknown(3);
+        assert_eq!(p.to_string(), "UUU");
+        assert!(!p.is_fully_specified());
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn collect_from_bools() {
+        let p: Pattern = [true, true, false].into_iter().collect();
+        assert_eq!(p.to_string(), "110");
+    }
+}

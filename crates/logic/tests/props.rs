@@ -1,0 +1,80 @@
+//! Property-based tests for the ternary logic foundation.
+
+use icd_logic::{Lv, Pattern, TruthTable};
+use proptest::prelude::*;
+
+fn arb_lv() -> impl Strategy<Value = Lv> {
+    prop_oneof![Just(Lv::Zero), Just(Lv::One), Just(Lv::U)]
+}
+
+fn arb_pattern(max_len: usize) -> impl Strategy<Value = Pattern> {
+    prop::collection::vec(arb_lv(), 0..=max_len).prop_map(Pattern::new)
+}
+
+proptest! {
+    #[test]
+    fn meet_is_associative(a in arb_lv(), b in arb_lv(), c in arb_lv()) {
+        prop_assert_eq!(a.meet(b).meet(c), a.meet(b.meet(c)));
+    }
+
+    #[test]
+    fn meet_with_u_is_absorbing(a in arb_lv()) {
+        prop_assert_eq!(Lv::U.meet(a), Lv::U);
+        prop_assert_eq!(a.meet(Lv::U), Lv::U);
+    }
+
+    #[test]
+    fn and_or_absorption_on_known(a in any::<bool>(), b in any::<bool>()) {
+        let (a, b) = (Lv::from(a), Lv::from(b));
+        prop_assert_eq!(a & (a | b), a);
+        prop_assert_eq!(a | (a & b), a);
+    }
+
+    #[test]
+    fn pattern_display_parse_round_trip(p in arb_pattern(64)) {
+        let s = p.to_string();
+        let back: Pattern = s.parse().unwrap();
+        prop_assert_eq!(back, p);
+    }
+
+    #[test]
+    fn conflicting_positions_symmetric(a in arb_pattern(32), b in arb_pattern(32)) {
+        let n = a.len().min(b.len());
+        let a = Pattern::new(a.values()[..n].to_vec());
+        let b = Pattern::new(b.values()[..n].to_vec());
+        prop_assert_eq!(a.conflicting_positions(&b), b.conflicting_positions(&a));
+    }
+
+    #[test]
+    fn truth_table_ternary_eval_conservative(
+        entries in prop::collection::vec(any::<bool>(), 8),
+        values in prop::collection::vec(arb_lv(), 3),
+    ) {
+        // A ternary evaluation that returns a known value must equal the
+        // boolean evaluation of every completion of the inputs.
+        let t = TruthTable::from_entries(
+            3,
+            entries.iter().copied().map(Lv::from).collect(),
+        ).unwrap();
+        let out = t.eval(&values).unwrap();
+        if out.is_known() {
+            // Enumerate completions.
+            let unknown: Vec<usize> = values
+                .iter()
+                .enumerate()
+                .filter(|(_, v)| !v.is_known())
+                .map(|(i, _)| i)
+                .collect();
+            for combo in 0..(1usize << unknown.len()) {
+                let mut bits: Vec<bool> = values
+                    .iter()
+                    .map(|v| v.to_bool().unwrap_or(false))
+                    .collect();
+                for (j, pos) in unknown.iter().enumerate() {
+                    bits[*pos] = (combo >> j) & 1 == 1;
+                }
+                prop_assert_eq!(t.eval_bits(&bits), out);
+            }
+        }
+    }
+}

@@ -1,0 +1,687 @@
+use std::collections::HashMap;
+
+use crate::{GateId, GateType, Library, NetId, NetlistError, TypeId};
+
+/// Sequential metadata retained by the full-scan abstraction.
+///
+/// The stored gate graph is purely combinational: every flip-flop's Q pin is
+/// a pseudo-primary input and its D pin a pseudo-primary output. The counts
+/// here reproduce the paper's Table 1 / Table 6 circuit characteristics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ScanInfo {
+    /// Number of scan flip-flops.
+    pub flip_flops: usize,
+    /// Number of scan chains the flip-flops are stitched into.
+    pub scan_chains: usize,
+}
+
+/// One scan flip-flop in the full-scan abstraction: the pseudo-primary
+/// input its Q pin drives and the pseudo-primary output its D pin is
+/// observed at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScanCell {
+    /// The Q-side pseudo-primary input net.
+    pub ppi: NetId,
+    /// The D-side pseudo-primary output net.
+    pub ppo: NetId,
+}
+
+/// Where the tester observes a miscompare: a primary output pin or a scan
+/// cell at a (chain, shift position) coordinate — the form real datalogs
+/// report failures in.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TesterCoordinate {
+    /// A primary output pin.
+    Po {
+        /// Position in the circuit's output list.
+        index: usize,
+        /// The pin's net name.
+        name: String,
+    },
+    /// A scan cell, addressed by chain and shift position.
+    ScanCell {
+        /// Scan chain index.
+        chain: usize,
+        /// Position within the chain (0 = closest to scan-out).
+        position: usize,
+    },
+}
+
+impl std::fmt::Display for TesterCoordinate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TesterCoordinate::Po { name, .. } => write!(f, "PO {name}"),
+            TesterCoordinate::ScanCell { chain, position } => {
+                write!(f, "chain {chain} cell {position}")
+            }
+        }
+    }
+}
+
+/// A flattened, levelized gate-level circuit.
+///
+/// Storage is flat (offset arrays rather than per-gate vectors) so that the
+/// multi-million-gate circuits of the paper's Table 6 stay cheap to build
+/// and walk. Construct circuits with [`CircuitBuilder`] or by parsing the
+/// [`format`](crate::format) text format.
+#[derive(Debug, Clone)]
+pub struct Circuit {
+    name: String,
+    library: Library,
+    scan: ScanInfo,
+
+    // Nets.
+    net_driver: Vec<Option<GateId>>,
+    net_names: HashMap<NetId, String>,
+    nets_by_name: HashMap<String, NetId>,
+
+    // Gates, flat.
+    gate_type: Vec<TypeId>,
+    gate_output: Vec<NetId>,
+    gate_input_offset: Vec<u32>,
+    gate_inputs: Vec<NetId>,
+    gate_names: HashMap<GateId, String>,
+    gates_by_name: HashMap<String, GateId>,
+
+    // Interface.
+    inputs: Vec<NetId>,
+    outputs: Vec<NetId>,
+    scan_chains: Vec<Vec<ScanCell>>,
+
+    // Derived.
+    topo_order: Vec<GateId>,
+    gate_level: Vec<u32>,
+    fanout_offset: Vec<u32>,
+    fanout: Vec<GateId>,
+    max_level: u32,
+}
+
+impl Circuit {
+    /// The circuit name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The owned library the circuit's gates reference.
+    pub fn library(&self) -> &Library {
+        &self.library
+    }
+
+    /// Scan metadata.
+    pub fn scan_info(&self) -> ScanInfo {
+        self.scan
+    }
+
+    /// Number of gate instances.
+    pub fn num_gates(&self) -> usize {
+        self.gate_type.len()
+    }
+
+    /// Number of nets (including primary inputs).
+    pub fn num_nets(&self) -> usize {
+        self.net_driver.len()
+    }
+
+    /// Primary inputs (including pseudo-primary inputs), in order.
+    pub fn inputs(&self) -> &[NetId] {
+        &self.inputs
+    }
+
+    /// Primary outputs (including pseudo-primary outputs), in order.
+    pub fn outputs(&self) -> &[NetId] {
+        &self.outputs
+    }
+
+    /// The gate driving `net`, or `None` for primary inputs.
+    pub fn driver(&self, net: NetId) -> Option<GateId> {
+        self.net_driver[net.index()]
+    }
+
+    /// The gates whose inputs are connected to `net`.
+    pub fn fanout(&self, net: NetId) -> &[GateId] {
+        let i = net.index();
+        let lo = self.fanout_offset[i] as usize;
+        let hi = self.fanout_offset[i + 1] as usize;
+        &self.fanout[lo..hi]
+    }
+
+    /// The input nets of a gate, in pin order.
+    pub fn gate_inputs(&self, gate: GateId) -> &[NetId] {
+        let i = gate.index();
+        let lo = self.gate_input_offset[i] as usize;
+        let hi = self.gate_input_offset[i + 1] as usize;
+        &self.gate_inputs[lo..hi]
+    }
+
+    /// The output net of a gate.
+    pub fn gate_output(&self, gate: GateId) -> NetId {
+        self.gate_output[gate.index()]
+    }
+
+    /// The library type of a gate.
+    pub fn gate_type_id(&self, gate: GateId) -> TypeId {
+        self.gate_type[gate.index()]
+    }
+
+    /// The library type of a gate, resolved.
+    pub fn gate_type(&self, gate: GateId) -> &GateType {
+        self.library.gate_type(self.gate_type[gate.index()])
+    }
+
+    /// Gates in a valid topological (level) order for single-pass
+    /// simulation.
+    pub fn topo_order(&self) -> &[GateId] {
+        &self.topo_order
+    }
+
+    /// The logic level of a gate (primary inputs are level 0).
+    pub fn gate_level(&self, gate: GateId) -> u32 {
+        self.gate_level[gate.index()]
+    }
+
+    /// The largest gate level in the circuit.
+    pub fn max_level(&self) -> u32 {
+        self.max_level
+    }
+
+    /// The printable name of a net (explicit name or `n<id>`).
+    pub fn net_name(&self, net: NetId) -> String {
+        self.net_names
+            .get(&net)
+            .cloned()
+            .unwrap_or_else(|| net.to_string())
+    }
+
+    /// The printable name of a gate (explicit name or `g<id>`).
+    pub fn gate_name(&self, gate: GateId) -> String {
+        self.gate_names
+            .get(&gate)
+            .cloned()
+            .unwrap_or_else(|| gate.to_string())
+    }
+
+    /// Finds a net by explicit name.
+    pub fn find_net(&self, name: &str) -> Option<NetId> {
+        self.nets_by_name.get(name).copied()
+    }
+
+    /// Finds a gate by explicit name.
+    pub fn find_gate(&self, name: &str) -> Option<GateId> {
+        self.gates_by_name.get(name).copied()
+    }
+
+    /// Iterates over all gate ids.
+    pub fn gates(&self) -> impl Iterator<Item = GateId> {
+        (0..self.num_gates()).map(GateId::from_index)
+    }
+
+    /// Iterates over all net ids.
+    pub fn nets(&self) -> impl Iterator<Item = NetId> {
+        (0..self.num_nets()).map(NetId::from_index)
+    }
+
+    /// Whether `net` is a primary (or pseudo-primary) input.
+    pub fn is_input(&self, net: NetId) -> bool {
+        self.net_driver[net.index()].is_none()
+    }
+
+    /// The stitched scan chains (empty when the circuit carries only the
+    /// aggregate [`ScanInfo`] counts).
+    pub fn scan_chains(&self) -> &[Vec<ScanCell>] {
+        &self.scan_chains
+    }
+
+    /// The tester coordinate of an observe point: a scan (chain, position)
+    /// when the output is a stitched pseudo-primary output, the PO pin
+    /// otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `output_index` is out of range.
+    pub fn tester_coordinate(&self, output_index: usize) -> TesterCoordinate {
+        let net = self.outputs[output_index];
+        for (chain, cells) in self.scan_chains.iter().enumerate() {
+            if let Some(position) = cells.iter().position(|c| c.ppo == net) {
+                return TesterCoordinate::ScanCell { chain, position };
+            }
+        }
+        TesterCoordinate::Po {
+            index: output_index,
+            name: self.net_name(net),
+        }
+    }
+}
+
+/// Incremental builder for [`Circuit`]s.
+///
+/// See the [crate-level example](crate) for typical usage.
+#[derive(Debug)]
+pub struct CircuitBuilder<'lib> {
+    name: String,
+    library: &'lib Library,
+    scan: ScanInfo,
+
+    net_driver: Vec<Option<GateId>>,
+    net_names: HashMap<NetId, String>,
+    nets_by_name: HashMap<String, NetId>,
+
+    gate_type: Vec<TypeId>,
+    gate_output: Vec<NetId>,
+    gate_input_offset: Vec<u32>,
+    gate_inputs: Vec<NetId>,
+    gate_names: HashMap<GateId, String>,
+    gates_by_name: HashMap<String, GateId>,
+
+    inputs: Vec<NetId>,
+    outputs: Vec<NetId>,
+    scan_chains: Vec<Vec<ScanCell>>,
+}
+
+impl<'lib> CircuitBuilder<'lib> {
+    /// Starts a new circuit using gate types from `library`.
+    pub fn new(name: impl Into<String>, library: &'lib Library) -> Self {
+        CircuitBuilder {
+            name: name.into(),
+            library,
+            scan: ScanInfo::default(),
+            net_driver: Vec::new(),
+            net_names: HashMap::new(),
+            nets_by_name: HashMap::new(),
+            gate_type: Vec::new(),
+            gate_output: Vec::new(),
+            gate_input_offset: vec![0],
+            gate_inputs: Vec::new(),
+            gate_names: HashMap::new(),
+            gates_by_name: HashMap::new(),
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+            scan_chains: Vec::new(),
+        }
+    }
+
+    /// Records scan metadata for the circuit.
+    pub fn set_scan_info(&mut self, scan: ScanInfo) {
+        self.scan = scan;
+    }
+
+    /// Records the stitched scan chains (also updates the aggregate
+    /// counts).
+    pub fn set_scan_chains(&mut self, chains: Vec<Vec<ScanCell>>) {
+        self.scan = ScanInfo {
+            flip_flops: chains.iter().map(Vec::len).sum(),
+            scan_chains: chains.len(),
+        };
+        self.scan_chains = chains;
+    }
+
+    fn new_net(&mut self) -> NetId {
+        let id = NetId::from_index(self.net_driver.len());
+        self.net_driver.push(None);
+        id
+    }
+
+    fn name_net(&mut self, net: NetId, name: &str) {
+        self.net_names.insert(net, name.to_owned());
+        self.nets_by_name.insert(name.to_owned(), net);
+    }
+
+    /// Adds a named primary (or pseudo-primary) input net.
+    pub fn add_input(&mut self, name: &str) -> NetId {
+        let id = self.intern_net(name);
+        self.inputs.push(id);
+        id
+    }
+
+    /// Adds an anonymous primary input net.
+    pub fn add_anonymous_input(&mut self) -> NetId {
+        let id = self.new_net();
+        self.inputs.push(id);
+        id
+    }
+
+    /// Returns the net with the given name, creating an (as yet undriven)
+    /// placeholder if necessary. Used by the text-format parser, which may
+    /// reference nets before their drivers are declared.
+    pub fn intern_net(&mut self, name: &str) -> NetId {
+        if let Some(&id) = self.nets_by_name.get(name) {
+            return id;
+        }
+        let id = self.new_net();
+        self.name_net(id, name);
+        id
+    }
+
+    /// Instantiates a gate with a fresh anonymous output net.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the gate type is unknown or the input count is
+    /// wrong.
+    pub fn add_gate(
+        &mut self,
+        type_name: &str,
+        input_nets: &[NetId],
+        instance_name: Option<&str>,
+    ) -> Result<NetId, NetlistError> {
+        let output = self.new_net();
+        self.add_gate_driving(type_name, input_nets, output, instance_name)?;
+        Ok(output)
+    }
+
+    /// Instantiates a gate that drives an existing net.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the gate type is unknown, the input count is
+    /// wrong, or `output` already has a driver.
+    pub fn add_gate_driving(
+        &mut self,
+        type_name: &str,
+        input_nets: &[NetId],
+        output: NetId,
+        instance_name: Option<&str>,
+    ) -> Result<GateId, NetlistError> {
+        let type_id = self
+            .library
+            .find(type_name)
+            .ok_or_else(|| NetlistError::UnknownGateType(type_name.to_owned()))?;
+        let gate_type = self.library.gate_type(type_id);
+        if gate_type.num_inputs() != input_nets.len() {
+            return Err(NetlistError::WrongPinCount {
+                gate_type: type_name.to_owned(),
+                expected: gate_type.num_inputs(),
+                got: input_nets.len(),
+            });
+        }
+        if self.net_driver[output.index()].is_some() {
+            return Err(NetlistError::MultipleDrivers(
+                self.net_names
+                    .get(&output)
+                    .cloned()
+                    .unwrap_or_else(|| output.to_string()),
+            ));
+        }
+        let gate = GateId::from_index(self.gate_type.len());
+        self.net_driver[output.index()] = Some(gate);
+        self.gate_type.push(type_id);
+        self.gate_output.push(output);
+        self.gate_inputs.extend_from_slice(input_nets);
+        self.gate_input_offset.push(self.gate_inputs.len() as u32);
+        if let Some(name) = instance_name {
+            self.gate_names.insert(gate, name.to_owned());
+            self.gates_by_name.insert(name.to_owned(), gate);
+        }
+        Ok(gate)
+    }
+
+    /// Marks a net as a primary (or pseudo-primary) output, giving it a
+    /// name.
+    pub fn mark_output(&mut self, net: NetId, name: &str) {
+        if !self.nets_by_name.contains_key(name) {
+            self.name_net(net, name);
+        }
+        self.outputs.push(net);
+    }
+
+    /// Marks a net as an output without naming it.
+    pub fn mark_output_anonymous(&mut self, net: NetId) {
+        self.outputs.push(net);
+    }
+
+    /// Number of gates added so far.
+    pub fn num_gates(&self) -> usize {
+        self.gate_type.len()
+    }
+
+    /// Number of nets created so far.
+    pub fn num_nets(&self) -> usize {
+        self.net_driver.len()
+    }
+
+    /// Validates the graph, levelizes it and produces the [`Circuit`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::UndrivenNet`] for nets that are used but
+    /// neither driven nor inputs, and [`NetlistError::CombinationalCycle`]
+    /// when the gate graph is cyclic.
+    pub fn finish(self) -> Result<Circuit, NetlistError> {
+        let num_gates = self.gate_type.len();
+        let num_nets = self.net_driver.len();
+        let input_set: Vec<bool> = {
+            let mut v = vec![false; num_nets];
+            for &i in &self.inputs {
+                v[i.index()] = true;
+            }
+            v
+        };
+
+        // Every used net must be driven or an input.
+        for &net in self.gate_inputs.iter().chain(self.outputs.iter()) {
+            if self.net_driver[net.index()].is_none() && !input_set[net.index()] {
+                return Err(NetlistError::UndrivenNet(
+                    self.net_names
+                        .get(&net)
+                        .cloned()
+                        .unwrap_or_else(|| net.to_string()),
+                ));
+            }
+        }
+
+        // Fanout (net -> consuming gates), counting-sort style.
+        let mut fanout_offset = vec![0u32; num_nets + 1];
+        for &net in &self.gate_inputs {
+            fanout_offset[net.index() + 1] += 1;
+        }
+        for i in 0..num_nets {
+            fanout_offset[i + 1] += fanout_offset[i];
+        }
+        let mut cursor = fanout_offset.clone();
+        let mut fanout = vec![GateId::from_index(0); self.gate_inputs.len()];
+        for g in 0..num_gates {
+            let lo = self.gate_input_offset[g] as usize;
+            let hi = self.gate_input_offset[g + 1] as usize;
+            for &net in &self.gate_inputs[lo..hi] {
+                let slot = cursor[net.index()];
+                fanout[slot as usize] = GateId::from_index(g);
+                cursor[net.index()] = slot + 1;
+            }
+        }
+
+        // Kahn levelization over gates.
+        let mut pending: Vec<u32> = (0..num_gates)
+            .map(|g| {
+                let lo = self.gate_input_offset[g] as usize;
+                let hi = self.gate_input_offset[g + 1] as usize;
+                self.gate_inputs[lo..hi]
+                    .iter()
+                    .filter(|n| self.net_driver[n.index()].is_some())
+                    .count() as u32
+            })
+            .collect();
+        let mut gate_level = vec![0u32; num_gates];
+        let mut topo_order = Vec::with_capacity(num_gates);
+        let mut queue: Vec<GateId> = (0..num_gates)
+            .filter(|&g| pending[g] == 0)
+            .map(GateId::from_index)
+            .collect();
+        let mut head = 0;
+        while head < queue.len() {
+            let gate = queue[head];
+            head += 1;
+            topo_order.push(gate);
+            let out = self.gate_output[gate.index()];
+            let level = gate_level[gate.index()];
+            let lo = fanout_offset[out.index()] as usize;
+            let hi = fanout_offset[out.index() + 1] as usize;
+            for &succ in &fanout[lo..hi] {
+                let s = succ.index();
+                gate_level[s] = gate_level[s].max(level + 1);
+                pending[s] -= 1;
+                if pending[s] == 0 {
+                    queue.push(succ);
+                }
+            }
+        }
+        if topo_order.len() != num_gates {
+            // Find one gate on a cycle for the error message.
+            let stuck = (0..num_gates)
+                .find(|&g| pending[g] > 0)
+                .expect("cycle implies a stuck gate");
+            let net = self.gate_output[stuck];
+            return Err(NetlistError::CombinationalCycle(
+                self.net_names
+                    .get(&net)
+                    .cloned()
+                    .unwrap_or_else(|| net.to_string()),
+            ));
+        }
+        let max_level = gate_level.iter().copied().max().unwrap_or(0);
+
+        Ok(Circuit {
+            name: self.name,
+            library: self.library.clone(),
+            scan: self.scan,
+            net_driver: self.net_driver,
+            net_names: self.net_names,
+            nets_by_name: self.nets_by_name,
+            gate_type: self.gate_type,
+            gate_output: self.gate_output,
+            gate_input_offset: self.gate_input_offset,
+            gate_inputs: self.gate_inputs,
+            gate_names: self.gate_names,
+            gates_by_name: self.gates_by_name,
+            inputs: self.inputs,
+            outputs: self.outputs,
+            scan_chains: self.scan_chains,
+            topo_order,
+            gate_level,
+            fanout_offset,
+            fanout,
+            max_level,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icd_logic::TruthTable;
+
+    fn small_library() -> Library {
+        let mut lib = Library::new();
+        lib.insert(
+            GateType::new("INV", ["A"], TruthTable::from_fn(1, |b| !b[0])).unwrap(),
+        )
+        .unwrap();
+        lib.insert(
+            GateType::new(
+                "NAND2",
+                ["A", "B"],
+                TruthTable::from_fn(2, |b| !(b[0] & b[1])),
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        lib
+    }
+
+    #[test]
+    fn build_two_gate_chain() {
+        let lib = small_library();
+        let mut b = CircuitBuilder::new("chain", &lib);
+        let a = b.add_input("a");
+        let c = b.add_input("c");
+        let x = b.add_gate("NAND2", &[a, c], Some("U1")).unwrap();
+        let y = b.add_gate("INV", &[x], Some("U2")).unwrap();
+        b.mark_output(y, "y");
+        let circuit = b.finish().unwrap();
+
+        assert_eq!(circuit.num_gates(), 2);
+        assert_eq!(circuit.inputs().len(), 2);
+        assert_eq!(circuit.outputs().len(), 1);
+        let u1 = circuit.find_gate("U1").unwrap();
+        let u2 = circuit.find_gate("U2").unwrap();
+        assert_eq!(circuit.gate_level(u1), 0);
+        assert_eq!(circuit.gate_level(u2), 1);
+        assert_eq!(circuit.fanout(circuit.gate_output(u1)), &[u2]);
+        assert_eq!(circuit.topo_order(), &[u1, u2]);
+        assert_eq!(circuit.gate_type(u2).name(), "INV");
+    }
+
+    #[test]
+    fn wrong_pin_count_rejected() {
+        let lib = small_library();
+        let mut b = CircuitBuilder::new("bad", &lib);
+        let a = b.add_input("a");
+        assert!(matches!(
+            b.add_gate("NAND2", &[a], None),
+            Err(NetlistError::WrongPinCount { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_type_rejected() {
+        let lib = small_library();
+        let mut b = CircuitBuilder::new("bad", &lib);
+        let a = b.add_input("a");
+        assert!(matches!(
+            b.add_gate("XOR9", &[a], None),
+            Err(NetlistError::UnknownGateType(_))
+        ));
+    }
+
+    #[test]
+    fn undriven_net_detected() {
+        let lib = small_library();
+        let mut b = CircuitBuilder::new("bad", &lib);
+        let ghost = b.intern_net("ghost");
+        let a = b.add_input("a");
+        let y = b.add_gate("NAND2", &[a, ghost], None).unwrap();
+        b.mark_output(y, "y");
+        assert!(matches!(
+            b.finish(),
+            Err(NetlistError::UndrivenNet(name)) if name == "ghost"
+        ));
+    }
+
+    #[test]
+    fn multiple_drivers_detected() {
+        let lib = small_library();
+        let mut b = CircuitBuilder::new("bad", &lib);
+        let a = b.add_input("a");
+        let y = b.add_gate("INV", &[a], None).unwrap();
+        assert!(matches!(
+            b.add_gate_driving("INV", &[a], y, None),
+            Err(NetlistError::MultipleDrivers(_))
+        ));
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let lib = small_library();
+        let mut b = CircuitBuilder::new("bad", &lib);
+        let a = b.add_input("a");
+        let loop_net = b.intern_net("loop");
+        let x = b.add_gate("NAND2", &[a, loop_net], None).unwrap();
+        b.add_gate_driving("INV", &[x], loop_net, None).unwrap();
+        b.mark_output(x, "y");
+        assert!(matches!(
+            b.finish(),
+            Err(NetlistError::CombinationalCycle(_))
+        ));
+    }
+
+    #[test]
+    fn derived_names_are_stable() {
+        let lib = small_library();
+        let mut b = CircuitBuilder::new("n", &lib);
+        let a = b.add_input("a");
+        let y = b.add_gate("INV", &[a], None).unwrap();
+        b.mark_output_anonymous(y);
+        let c = b.finish().unwrap();
+        assert_eq!(c.net_name(a), "a");
+        assert_eq!(c.net_name(y), "n1");
+        assert_eq!(c.gate_name(GateId::from_index(0)), "g0");
+    }
+}

@@ -1,0 +1,333 @@
+//! A small structural text format for gate-level circuits.
+//!
+//! The format is line-oriented:
+//!
+//! ```text
+//! circuit demo
+//! scan 30 1
+//! input a b c
+//! output y
+//! gate U1 NAND2 a b -> n1
+//! gate U2 INV n1 -> y
+//! ```
+//!
+//! * `circuit <name>` — must be the first non-comment line.
+//! * `scan <flip_flops> <scan_chains>` — optional aggregate metadata.
+//! * `chain <ppi>:<ppo>...` — optional stitched scan chain (one line per
+//!   chain, cells in shift order); supersedes the `scan` counts.
+//! * `input <net>...` / `output <net>...` — interface nets.
+//! * `gate <instance> <type> <input net>... -> <output net>`.
+//! * `#` starts a comment; blank lines are ignored.
+//!
+//! Nets may be referenced before the line that drives them.
+
+use std::fmt::Write as _;
+
+use crate::{Circuit, CircuitBuilder, Library, NetlistError, ScanCell, ScanInfo};
+
+/// Parses a circuit from the text format.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Parse`] for malformed lines and the usual
+/// construction errors ([`NetlistError::UnknownGateType`],
+/// [`NetlistError::UndrivenNet`], …) for semantic problems.
+pub fn parse(text: &str, library: &Library) -> Result<Circuit, NetlistError> {
+    let mut builder: Option<CircuitBuilder<'_>> = None;
+    let mut scan = ScanInfo::default();
+    let mut chains: Vec<Vec<(String, String)>> = Vec::new();
+    let mut outputs: Vec<String> = Vec::new();
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut words = line.split_whitespace();
+        let keyword = words.next().expect("non-empty line has a first word");
+        let err = |message: String| NetlistError::Parse {
+            line: lineno + 1,
+            message,
+        };
+        match keyword {
+            "circuit" => {
+                let name = words
+                    .next()
+                    .ok_or_else(|| err("missing circuit name".into()))?;
+                if builder.is_some() {
+                    return Err(err("duplicate circuit line".into()));
+                }
+                builder = Some(CircuitBuilder::new(name, library));
+            }
+            "scan" => {
+                let ff = words
+                    .next()
+                    .and_then(|w| w.parse().ok())
+                    .ok_or_else(|| err("scan needs a flip-flop count".into()))?;
+                let chains_count = words
+                    .next()
+                    .and_then(|w| w.parse().ok())
+                    .ok_or_else(|| err("scan needs a chain count".into()))?;
+                scan = ScanInfo {
+                    flip_flops: ff,
+                    scan_chains: chains_count,
+                };
+            }
+            "chain" => {
+                if builder.is_none() {
+                    return Err(err("chain before circuit line".into()));
+                }
+                let mut cells = Vec::new();
+                for word in words {
+                    let (ppi, ppo) = word
+                        .split_once(':')
+                        .ok_or_else(|| err(format!("chain cell {word:?} is not ppi:ppo")))?;
+                    cells.push((ppi.to_owned(), ppo.to_owned()));
+                }
+                chains.push(cells);
+            }
+            "input" => {
+                let b = builder
+                    .as_mut()
+                    .ok_or_else(|| err("input before circuit line".into()))?;
+                for name in words {
+                    b.add_input(name);
+                }
+            }
+            "output" => {
+                if builder.is_none() {
+                    return Err(err("output before circuit line".into()));
+                }
+                outputs.extend(words.map(str::to_owned));
+            }
+            "gate" => {
+                let b = builder
+                    .as_mut()
+                    .ok_or_else(|| err("gate before circuit line".into()))?;
+                let instance = words
+                    .next()
+                    .ok_or_else(|| err("gate needs an instance name".into()))?;
+                let type_name = words
+                    .next()
+                    .ok_or_else(|| err("gate needs a type name".into()))?;
+                let rest: Vec<&str> = words.collect();
+                let arrow = rest
+                    .iter()
+                    .position(|w| *w == "->")
+                    .ok_or_else(|| err("gate line is missing '->'".into()))?;
+                if arrow + 2 != rest.len() {
+                    return Err(err("exactly one net must follow '->'".into()));
+                }
+                let input_ids: Vec<_> =
+                    rest[..arrow].iter().map(|n| b.intern_net(n)).collect();
+                let output_id = b.intern_net(rest[arrow + 1]);
+                b.add_gate_driving(type_name, &input_ids, output_id, Some(instance))?;
+            }
+            other => {
+                return Err(err(format!("unknown keyword {other:?}")));
+            }
+        }
+    }
+
+    let mut builder = builder.ok_or(NetlistError::Parse {
+        line: 0,
+        message: "no circuit line found".into(),
+    })?;
+    builder.set_scan_info(scan);
+    if !chains.is_empty() {
+        let resolved: Vec<Vec<ScanCell>> = chains
+            .iter()
+            .map(|cells| {
+                cells
+                    .iter()
+                    .map(|(ppi, ppo)| ScanCell {
+                        ppi: builder.intern_net(ppi),
+                        ppo: builder.intern_net(ppo),
+                    })
+                    .collect()
+            })
+            .collect();
+        builder.set_scan_chains(resolved);
+    }
+    for name in outputs {
+        let net = builder.intern_net(&name);
+        builder.mark_output(net, &name);
+    }
+    builder.finish()
+}
+
+/// Serializes a circuit to the text format.
+///
+/// The output round-trips through [`parse`] (given the same library).
+pub fn write(circuit: &Circuit) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "circuit {}", circuit.name());
+    let scan = circuit.scan_info();
+    if scan.flip_flops > 0 || scan.scan_chains > 0 {
+        let _ = writeln!(out, "scan {} {}", scan.flip_flops, scan.scan_chains);
+    }
+    for chain in circuit.scan_chains() {
+        let _ = write!(out, "chain");
+        for cell in chain {
+            let _ = write!(
+                out,
+                " {}:{}",
+                circuit.net_name(cell.ppi),
+                circuit.net_name(cell.ppo)
+            );
+        }
+        let _ = writeln!(out);
+    }
+    let _ = write!(out, "input");
+    for &net in circuit.inputs() {
+        let _ = write!(out, " {}", circuit.net_name(net));
+    }
+    let _ = writeln!(out);
+    let _ = write!(out, "output");
+    for &net in circuit.outputs() {
+        let _ = write!(out, " {}", circuit.net_name(net));
+    }
+    let _ = writeln!(out);
+    for gate in circuit.topo_order() {
+        let _ = write!(
+            out,
+            "gate {} {}",
+            circuit.gate_name(*gate),
+            circuit.gate_type(*gate).name()
+        );
+        for &net in circuit.gate_inputs(*gate) {
+            let _ = write!(out, " {}", circuit.net_name(net));
+        }
+        let _ = writeln!(out, " -> {}", circuit.net_name(circuit.gate_output(*gate)));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GateType;
+    use icd_logic::TruthTable;
+
+    fn lib() -> Library {
+        let mut lib = Library::new();
+        lib.insert(
+            GateType::new("INV", ["A"], TruthTable::from_fn(1, |b| !b[0])).unwrap(),
+        )
+        .unwrap();
+        lib.insert(
+            GateType::new(
+                "NAND2",
+                ["A", "B"],
+                TruthTable::from_fn(2, |b| !(b[0] & b[1])),
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        lib
+    }
+
+    const DEMO: &str = "\
+circuit demo
+scan 3 1
+input a b
+output y  # a comment
+gate U1 NAND2 a b -> n1
+gate U2 INV n1 -> y
+";
+
+    #[test]
+    fn parse_demo() {
+        let c = parse(DEMO, &lib()).unwrap();
+        assert_eq!(c.name(), "demo");
+        assert_eq!(c.num_gates(), 2);
+        assert_eq!(c.scan_info().flip_flops, 3);
+        assert!(c.find_gate("U1").is_some());
+        assert_eq!(c.outputs().len(), 1);
+    }
+
+    #[test]
+    fn round_trip() {
+        let c = parse(DEMO, &lib()).unwrap();
+        let text = write(&c);
+        let c2 = parse(&text, &lib()).unwrap();
+        assert_eq!(c2.num_gates(), c.num_gates());
+        assert_eq!(c2.inputs().len(), c.inputs().len());
+        assert_eq!(c2.outputs().len(), c.outputs().len());
+        assert_eq!(c2.scan_info(), c.scan_info());
+    }
+
+    #[test]
+    fn scan_chains_round_trip() {
+        let text = "\
+circuit sc
+input a si0 si1
+output y so0 so1
+chain si0:so0
+chain si1:so1
+gate U1 NAND2 a si0 -> so0
+gate U2 INV si1 -> so1
+gate U3 INV a -> y
+";
+        let c = parse(text, &lib()).unwrap();
+        assert_eq!(c.scan_chains().len(), 2);
+        assert_eq!(c.scan_info().flip_flops, 2);
+        let text2 = write(&c);
+        let c2 = parse(&text2, &lib()).unwrap();
+        assert_eq!(c2.scan_chains().len(), 2);
+        for (a, b) in c.scan_chains().iter().zip(c2.scan_chains()) {
+            assert_eq!(a.len(), b.len());
+        }
+        // Tester coordinates resolve through the chains.
+        let so0 = c.outputs().iter().position(|&n| c.net_name(n) == "so0").unwrap();
+        assert!(matches!(
+            c.tester_coordinate(so0),
+            crate::TesterCoordinate::ScanCell { chain: 0, position: 0 }
+        ));
+    }
+
+    #[test]
+    fn malformed_chain_cell_is_parse_error() {
+        let text = "circuit x\ninput a\nchain a-b\n";
+        assert!(matches!(
+            parse(text, &lib()),
+            Err(NetlistError::Parse { line: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn forward_references_allowed() {
+        let text = "\
+circuit fwd
+input a
+output y
+gate U2 INV n1 -> y
+gate U1 INV a -> n1
+";
+        let c = parse(text, &lib()).unwrap();
+        assert_eq!(c.num_gates(), 2);
+    }
+
+    #[test]
+    fn missing_arrow_is_parse_error() {
+        let text = "circuit x\ninput a\ngate U1 INV a y\n";
+        assert!(matches!(
+            parse(text, &lib()),
+            Err(NetlistError::Parse { line: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_keyword_reported_with_line() {
+        let text = "circuit x\nfrobnicate\n";
+        assert!(matches!(
+            parse(text, &lib()),
+            Err(NetlistError::Parse { line: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn no_circuit_line_is_error() {
+        assert!(parse("input a\n", &lib()).is_err());
+    }
+}

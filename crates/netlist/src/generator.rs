@@ -1,0 +1,355 @@
+//! Deterministic synthetic circuit generation.
+//!
+//! The paper evaluates on proprietary ST Microelectronics products; the only
+//! circuit properties the diagnosis flow consumes are the gate graph, its
+//! size and the scan structure (Tables 1 and 6). This module generates
+//! random — but seeded, hence reproducible — scan circuits with the same
+//! characteristics: a levelized DAG of library cells with realistic fanout
+//! locality.
+//!
+//! Presets reproduce the paper's circuits:
+//!
+//! | circuit | gates | flip-flops | scan chains | source |
+//! |---------|-------|-----------|-------------|--------|
+//! | A | 258 | 30 | 1 | Table 1 |
+//! | B | 698 804 | 56 373 | 25 | Table 1 |
+//! | H | 698 804 | 56 373 | 25 | Table 6 |
+//! | M | 896 417 | 60 006 | 219 | Table 6 |
+//! | C | 1 995 419 | 183 868 | 43 | Table 6 |
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{Circuit, CircuitBuilder, Library, NetId, NetlistError, ScanInfo};
+
+/// Parameters for [`generate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GeneratorConfig {
+    /// Circuit name.
+    pub name: String,
+    /// Number of gate instances.
+    pub gates: usize,
+    /// Number of primary inputs (pseudo-primary inputs for the flip-flops
+    /// are added on top).
+    pub primary_inputs: usize,
+    /// Number of primary outputs (pseudo-primary outputs for the flip-flops
+    /// are added on top).
+    pub primary_outputs: usize,
+    /// Number of scan flip-flops.
+    pub flip_flops: usize,
+    /// Number of scan chains.
+    pub scan_chains: usize,
+    /// RNG seed; the same seed and library produce the same circuit.
+    pub seed: u64,
+}
+
+impl GeneratorConfig {
+    /// A copy of the configuration with gate / flip-flop / interface counts
+    /// divided by `divisor` (min 1 each). Handy for fast test runs of
+    /// experiments defined on the full-size circuits.
+    #[must_use]
+    pub fn scaled_down(&self, divisor: usize) -> GeneratorConfig {
+        let d = divisor.max(1);
+        GeneratorConfig {
+            name: format!("{}_div{}", self.name, d),
+            gates: (self.gates / d).max(8),
+            primary_inputs: (self.primary_inputs / d).max(4),
+            primary_outputs: (self.primary_outputs / d).max(4),
+            flip_flops: (self.flip_flops / d).max(1),
+            scan_chains: self.scan_chains.min((self.flip_flops / d).max(1)),
+            seed: self.seed,
+        }
+    }
+}
+
+/// Generates a random full-scan circuit from library cells.
+///
+/// Every gate draws its inputs from previously created nets with a locality
+/// bias (recent nets are preferred), which produces the deep, reconvergent
+/// cones real netlists have. Outputs are chosen to cover otherwise-unused
+/// nets first, so no logic dangles.
+///
+/// # Errors
+///
+/// Returns an error when the library is empty or contains only cells wider
+/// than the available net count.
+pub fn generate(config: &GeneratorConfig, library: &Library) -> Result<Circuit, NetlistError> {
+    if library.is_empty() {
+        return Err(NetlistError::UnknownGateType("<empty library>".into()));
+    }
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut builder = CircuitBuilder::new(config.name.clone(), library);
+    builder.set_scan_info(ScanInfo {
+        flip_flops: config.flip_flops,
+        scan_chains: config.scan_chains,
+    });
+
+    let mut nets: Vec<NetId> = Vec::with_capacity(config.gates + config.primary_inputs);
+    for i in 0..config.primary_inputs {
+        nets.push(builder.add_input(&format!("pi{i}")));
+    }
+    for i in 0..config.flip_flops {
+        nets.push(builder.add_input(&format!("ppi{i}")));
+    }
+
+    let types: Vec<(String, usize)> = library
+        .iter()
+        .map(|(_, t)| (t.name().to_owned(), t.num_inputs()))
+        .collect();
+
+    let mut used = vec![false; config.primary_inputs + config.flip_flops + config.gates];
+    for gate_index in 0..config.gates {
+        // Pick a type narrow enough for the nets created so far.
+        let (type_name, width) = loop {
+            let cand = &types[rng.random_range(0..types.len())];
+            if cand.1 <= nets.len() {
+                break cand.clone();
+            }
+        };
+        let mut inputs = Vec::with_capacity(width);
+        for _ in 0..width {
+            // Locality bias: 75% of pins connect within a sliding window.
+            let pick = if nets.len() > 64 && rng.random_bool(0.75) {
+                let lo = nets.len() - 64;
+                rng.random_range(lo..nets.len())
+            } else {
+                rng.random_range(0..nets.len())
+            };
+            inputs.push(nets[pick]);
+            used[nets[pick].index()] = true;
+        }
+        let out = builder.add_gate(&type_name, &inputs, None)?;
+        debug_assert_eq!(out.index(), config.primary_inputs + config.flip_flops + gate_index);
+        nets.push(out);
+    }
+
+    // Choose observe points: dangling nets first, random gate outputs after.
+    let first_gate_net = config.primary_inputs + config.flip_flops;
+    let mut observe: Vec<NetId> = nets[first_gate_net..]
+        .iter()
+        .copied()
+        .filter(|n| !used[n.index()])
+        .collect();
+    let wanted = config.primary_outputs + config.flip_flops;
+    while observe.len() < wanted && nets.len() > first_gate_net {
+        observe.push(nets[rng.random_range(first_gate_net..nets.len())]);
+    }
+    // If the circuit has no gates at all, observe inputs directly.
+    if nets.len() <= first_gate_net {
+        observe.extend_from_slice(&nets);
+    }
+    observe.truncate(wanted.max(1));
+    for (i, net) in observe.iter().enumerate() {
+        builder.mark_output(*net, &format!("po{i}"));
+    }
+
+    // Stitch the flip-flops into scan chains (round-robin): the last
+    // `flip_flops` observe points are the pseudo-primary outputs paired
+    // positionally with the `ppi*` inputs.
+    if config.flip_flops > 0 && config.scan_chains > 0 && observe.len() >= config.flip_flops {
+        let ppis: Vec<NetId> = nets[config.primary_inputs
+            ..config.primary_inputs + config.flip_flops]
+            .to_vec();
+        let ppos: Vec<NetId> = observe[observe.len() - config.flip_flops..].to_vec();
+        let mut chains: Vec<Vec<crate::ScanCell>> = vec![Vec::new(); config.scan_chains];
+        for (i, (&ppi, &ppo)) in ppis.iter().zip(ppos.iter()).enumerate() {
+            chains[i % config.scan_chains].push(crate::ScanCell { ppi, ppo });
+        }
+        builder.set_scan_chains(chains);
+    }
+
+    builder.finish()
+}
+
+fn preset(name: &str, gates: usize, ffs: usize, chains: usize, seed: u64) -> GeneratorConfig {
+    GeneratorConfig {
+        name: name.to_owned(),
+        gates,
+        // Interface sizes are not published; use plausible counts that scale
+        // sub-linearly with the core.
+        primary_inputs: (gates as f64).sqrt() as usize / 2 + 8,
+        primary_outputs: (gates as f64).sqrt() as usize / 2 + 8,
+        flip_flops: ffs,
+        scan_chains: chains,
+        seed,
+    }
+}
+
+/// Circuit A of Table 1: 258 gates, 30 flip-flops, 1 scan chain.
+pub fn circuit_a() -> GeneratorConfig {
+    preset("A", 258, 30, 1, 0xA_2014)
+}
+
+/// Circuit B of Table 1: 698 804 gates, 56 373 flip-flops, 25 scan chains.
+pub fn circuit_b() -> GeneratorConfig {
+    preset("B", 698_804, 56_373, 25, 0xB_2014)
+}
+
+/// Circuit H of Table 6 (CMOS 90 nm, same characteristics as B).
+pub fn circuit_h() -> GeneratorConfig {
+    preset("H", 698_804, 56_373, 25, 0x11_2014)
+}
+
+/// Circuit M of Table 6: 896 417 gates, 60 006 flip-flops, 219 scan chains.
+pub fn circuit_m() -> GeneratorConfig {
+    preset("M", 896_417, 60_006, 219, 0x12_2014)
+}
+
+/// Circuit C of Table 6: 1 995 419 gates, 183 868 flip-flops, 43 scan
+/// chains (CMOS 55 nm).
+pub fn circuit_c() -> GeneratorConfig {
+    preset("C", 1_995_419, 183_868, 43, 0x13_2014)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GateType;
+    use icd_logic::TruthTable;
+
+    fn lib() -> Library {
+        let mut lib = Library::new();
+        lib.insert(
+            GateType::new("INV", ["A"], TruthTable::from_fn(1, |b| !b[0])).unwrap(),
+        )
+        .unwrap();
+        lib.insert(
+            GateType::new(
+                "NAND2",
+                ["A", "B"],
+                TruthTable::from_fn(2, |b| !(b[0] & b[1])),
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        lib.insert(
+            GateType::new(
+                "NOR3",
+                ["A", "B", "C"],
+                TruthTable::from_fn(3, |b| !(b[0] | b[1] | b[2])),
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        lib
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = GeneratorConfig {
+            name: "t".into(),
+            gates: 200,
+            primary_inputs: 10,
+            primary_outputs: 10,
+            flip_flops: 5,
+            scan_chains: 1,
+            seed: 7,
+        };
+        let a = generate(&cfg, &lib()).unwrap();
+        let b = generate(&cfg, &lib()).unwrap();
+        assert_eq!(a.num_gates(), b.num_gates());
+        for g in a.gates() {
+            assert_eq!(a.gate_inputs(g), b.gate_inputs(g));
+            assert_eq!(a.gate_type_id(g), b.gate_type_id(g));
+        }
+    }
+
+    #[test]
+    fn counts_match_config() {
+        let cfg = GeneratorConfig {
+            name: "t".into(),
+            gates: 150,
+            primary_inputs: 12,
+            primary_outputs: 9,
+            flip_flops: 4,
+            scan_chains: 2,
+            seed: 1,
+        };
+        let c = generate(&cfg, &lib()).unwrap();
+        assert_eq!(c.num_gates(), 150);
+        assert_eq!(c.inputs().len(), 12 + 4);
+        assert_eq!(c.outputs().len(), 9 + 4);
+        assert_eq!(c.scan_info().flip_flops, 4);
+        assert_eq!(c.scan_info().scan_chains, 2);
+    }
+
+    #[test]
+    fn every_gate_output_reaches_fanout_or_po() {
+        let cfg = GeneratorConfig {
+            name: "t".into(),
+            gates: 120,
+            primary_inputs: 8,
+            primary_outputs: 60,
+            flip_flops: 0,
+            scan_chains: 0,
+            seed: 3,
+        };
+        let c = generate(&cfg, &lib()).unwrap();
+        // Every dangling net must have been promoted to an output, as long
+        // as the requested output count allows it.
+        let dangling_unobserved = c
+            .gates()
+            .map(|g| c.gate_output(g))
+            .filter(|&n| c.fanout(n).is_empty() && !c.outputs().contains(&n))
+            .count();
+        assert_eq!(dangling_unobserved, 0);
+    }
+
+    #[test]
+    fn circuit_a_preset_matches_table1() {
+        let cfg = circuit_a();
+        let c = generate(&cfg, &lib()).unwrap();
+        assert_eq!(c.num_gates(), 258);
+        assert_eq!(c.scan_info().flip_flops, 30);
+        assert_eq!(c.scan_info().scan_chains, 1);
+    }
+
+    #[test]
+    fn scan_chains_are_stitched_round_robin() {
+        let cfg = GeneratorConfig {
+            name: "t".into(),
+            gates: 100,
+            primary_inputs: 8,
+            primary_outputs: 6,
+            flip_flops: 7,
+            scan_chains: 3,
+            seed: 5,
+        };
+        let c = generate(&cfg, &lib()).unwrap();
+        let chains = c.scan_chains();
+        assert_eq!(chains.len(), 3);
+        assert_eq!(chains.iter().map(Vec::len).sum::<usize>(), 7);
+        // Round-robin: lengths differ by at most one.
+        let min = chains.iter().map(Vec::len).min().unwrap();
+        let max = chains.iter().map(Vec::len).max().unwrap();
+        assert!(max - min <= 1);
+        // Every PPO resolves to a scan coordinate; POs stay POs.
+        use crate::TesterCoordinate;
+        let mut scan_coords = 0;
+        for i in 0..c.outputs().len() {
+            match c.tester_coordinate(i) {
+                TesterCoordinate::ScanCell { chain, .. } => {
+                    assert!(chain < 3);
+                    scan_coords += 1;
+                }
+                TesterCoordinate::Po { index, .. } => assert_eq!(index, i),
+            }
+        }
+        assert_eq!(scan_coords, 7);
+        // PPIs are inputs.
+        for chain in chains {
+            for cell in chain {
+                assert!(c.is_input(cell.ppi));
+            }
+        }
+    }
+
+    #[test]
+    fn scaled_down_keeps_structure() {
+        let cfg = circuit_b().scaled_down(1000);
+        assert!(cfg.gates >= 8);
+        assert!(cfg.flip_flops >= 1);
+        let c = generate(&cfg, &lib()).unwrap();
+        assert_eq!(c.num_gates(), cfg.gates);
+    }
+}

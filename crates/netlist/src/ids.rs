@@ -1,0 +1,64 @@
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$meta:meta])* $name:ident, $prefix:literal) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        pub struct $name(pub(crate) u32);
+
+        impl $name {
+            /// Creates an id from a raw index.
+            #[inline]
+            pub fn from_index(index: usize) -> Self {
+                debug_assert!(index <= u32::MAX as usize);
+                $name(index as u32)
+            }
+
+            /// The raw index backing this id.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifier of a net (wire) in a [`Circuit`](crate::Circuit).
+    NetId,
+    "n"
+);
+id_type!(
+    /// Identifier of a gate instance in a [`Circuit`](crate::Circuit).
+    GateId,
+    "g"
+);
+id_type!(
+    /// Identifier of a [`GateType`](crate::GateType) within a
+    /// [`Library`](crate::Library).
+    TypeId,
+    "t"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_index() {
+        let id = NetId::from_index(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(id.to_string(), "n42");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(GateId::from_index(1) < GateId::from_index(2));
+    }
+}

@@ -1,0 +1,186 @@
+use std::collections::HashMap;
+
+use icd_logic::{Lv, TruthTable};
+
+use crate::{NetlistError, TypeId};
+
+/// The logic-level view of one standard cell: a name, ordered input pin
+/// names and a (possibly ternary) truth table.
+///
+/// The transistor-level view of the same cell lives in the `icd-cells`
+/// crate; both views share the cell name, which is how the intra-cell
+/// diagnosis flow moves from a suspected gate instance to the transistor
+/// netlist it must analyze.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GateType {
+    name: String,
+    input_names: Vec<String>,
+    table: TruthTable,
+}
+
+impl GateType {
+    /// Creates a gate type.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::PinNameCountMismatch`] when the number of pin
+    /// names differs from the truth table's input count.
+    pub fn new<S, I>(name: S, input_names: I, table: TruthTable) -> Result<Self, NetlistError>
+    where
+        S: Into<String>,
+        I: IntoIterator,
+        I::Item: Into<String>,
+    {
+        let name = name.into();
+        let input_names: Vec<String> = input_names.into_iter().map(Into::into).collect();
+        if input_names.len() != table.inputs() {
+            return Err(NetlistError::PinNameCountMismatch {
+                gate_type: name,
+                table_inputs: table.inputs(),
+                names: input_names.len(),
+            });
+        }
+        Ok(GateType {
+            name,
+            input_names,
+            table,
+        })
+    }
+
+    /// The cell name (e.g. `"AO8DHVTX1"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Ordered input pin names.
+    pub fn input_names(&self) -> &[String] {
+        &self.input_names
+    }
+
+    /// Number of inputs.
+    pub fn num_inputs(&self) -> usize {
+        self.input_names.len()
+    }
+
+    /// The logic function.
+    pub fn table(&self) -> &TruthTable {
+        &self.table
+    }
+
+    /// Evaluates the cell on ternary input values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len()` differs from the cell's input count.
+    pub fn eval(&self, values: &[Lv]) -> Lv {
+        self.table
+            .eval(values)
+            .expect("input count checked at construction")
+    }
+}
+
+/// An ordered collection of [`GateType`]s addressable by name or [`TypeId`].
+#[derive(Debug, Clone, Default)]
+pub struct Library {
+    types: Vec<GateType>,
+    by_name: HashMap<String, TypeId>,
+}
+
+impl Library {
+    /// Creates an empty library.
+    pub fn new() -> Self {
+        Library::default()
+    }
+
+    /// Adds a gate type, returning its id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::DuplicateGateType`] when a type with the same
+    /// name is already present.
+    pub fn insert(&mut self, gate_type: GateType) -> Result<TypeId, NetlistError> {
+        if self.by_name.contains_key(gate_type.name()) {
+            return Err(NetlistError::DuplicateGateType(gate_type.name().to_owned()));
+        }
+        let id = TypeId::from_index(self.types.len());
+        self.by_name.insert(gate_type.name().to_owned(), id);
+        self.types.push(gate_type);
+        Ok(id)
+    }
+
+    /// Looks a type up by name.
+    pub fn find(&self, name: &str) -> Option<TypeId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The type behind an id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to this library.
+    pub fn gate_type(&self, id: TypeId) -> &GateType {
+        &self.types[id.index()]
+    }
+
+    /// Number of types.
+    pub fn len(&self) -> usize {
+        self.types.len()
+    }
+
+    /// Whether the library is empty.
+    pub fn is_empty(&self) -> bool {
+        self.types.is_empty()
+    }
+
+    /// Iterates over `(id, type)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (TypeId, &GateType)> {
+        self.types
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (TypeId::from_index(i), t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inv() -> GateType {
+        GateType::new("INV", ["A"], TruthTable::from_fn(1, |b| !b[0])).unwrap()
+    }
+
+    #[test]
+    fn insert_and_find() {
+        let mut lib = Library::new();
+        let id = lib.insert(inv()).unwrap();
+        assert_eq!(lib.find("INV"), Some(id));
+        assert_eq!(lib.gate_type(id).name(), "INV");
+        assert_eq!(lib.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_rejected() {
+        let mut lib = Library::new();
+        lib.insert(inv()).unwrap();
+        assert!(matches!(
+            lib.insert(inv()),
+            Err(NetlistError::DuplicateGateType(_))
+        ));
+    }
+
+    #[test]
+    fn pin_count_must_match_table() {
+        let err = GateType::new("BAD", ["A", "B"], TruthTable::from_fn(1, |b| b[0]));
+        assert!(matches!(
+            err,
+            Err(NetlistError::PinNameCountMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn eval_uses_table() {
+        let t = inv();
+        assert_eq!(t.eval(&[Lv::Zero]), Lv::One);
+        assert_eq!(t.eval(&[Lv::U]), Lv::U);
+    }
+}

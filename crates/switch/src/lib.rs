@@ -1,0 +1,56 @@
+//! Transistor-level cell netlists and a switch-level simulator.
+//!
+//! The paper's intra-cell diagnosis runs a "fault-free simulation … using a
+//! switch-level simulation. In the switch-level simulation, the transistors
+//! (i.e., nMOS and pMOS) behave as on-off switches" (§3.2.2, after
+//! COSMOS \[3\]). This crate provides that engine:
+//!
+//! * [`CellNetlist`] / [`CellNetlistBuilder`] — a single-output CMOS cell
+//!   described as a network of nMOS/pMOS switches over named nets
+//!   (`Net118`, `T5` … exactly the vocabulary of the paper's Figs. 1, 6–8).
+//! * [`solve`](CellNetlist::solve) — ternary steady-state evaluation.
+//!   A net takes a known value only when *every* possibly conducting path
+//!   from it reaches fixed nodes (rails / inputs / pinned nets) of that one
+//!   value; floating or fighting nets evaluate to [`Lv::U`].
+//! * [`Forcing`] — the hook used by both critical path tracing (pin a net
+//!   to its complement, override one transistor's effective gate value) and
+//!   switch-level defect emulation (stuck-on/off transistors, rail shorts,
+//!   dominant bridges).
+//! * [`CellNetlist::truth_table`] / [`CellNetlist::solve_two_pattern`] —
+//!   extraction of the logic view and two-pattern (delay) behaviour.
+//!
+//! # Example
+//!
+//! ```
+//! use icd_logic::Lv;
+//! use icd_switch::{CellNetlistBuilder, Forcing};
+//!
+//! // A CMOS inverter: one pMOS, one nMOS.
+//! let mut b = CellNetlistBuilder::new("INV");
+//! let a = b.input("A");
+//! let z = b.output("Z");
+//! b.pmos("P0", a, b.vdd(), z);
+//! b.nmos("N0", a, b.gnd(), z);
+//! let inv = b.finish()?;
+//!
+//! let vals = inv.solve(&[Lv::Zero], &Forcing::none())?;
+//! assert_eq!(vals.value(inv.output()), Lv::One);
+//! # Ok::<(), icd_switch::SwitchError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod netlist;
+pub mod samples;
+mod sim;
+pub mod spice;
+
+pub use netlist::{
+    CellNetlist, CellNetlistBuilder, SwitchError, TNetId, Terminal, Transistor, TransistorId,
+    TransistorKind,
+};
+pub use sim::{Forcing, NodeValues};
+
+// Re-exported for doc examples.
+pub use icd_logic::Lv;

@@ -1,0 +1,563 @@
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Identifier of a net inside a [`CellNetlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TNetId(pub(crate) u32);
+
+impl TNetId {
+    /// The raw index backing this id.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for TNetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tn{}", self.0)
+    }
+}
+
+/// Identifier of a transistor inside a [`CellNetlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TransistorId(pub(crate) u32);
+
+impl TransistorId {
+    /// The raw index backing this id.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for TransistorId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tr{}", self.0)
+    }
+}
+
+/// nMOS or pMOS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TransistorKind {
+    /// Conducts when the gate is `1`.
+    Nmos,
+    /// Conducts when the gate is `0`.
+    Pmos,
+}
+
+/// One of the three terminals of a transistor — the unit in which the paper
+/// reports suspects (`T5G`, `N0S`, `P4S`, …).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Terminal {
+    /// The gate (control) terminal.
+    Gate,
+    /// The source terminal.
+    Source,
+    /// The drain terminal.
+    Drain,
+}
+
+impl fmt::Display for Terminal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let c = match self {
+            Terminal::Gate => 'G',
+            Terminal::Source => 'S',
+            Terminal::Drain => 'D',
+        };
+        write!(f, "{c}")
+    }
+}
+
+/// A single MOS switch.
+///
+/// `source`/`drain` are interchangeable electrically; the distinction is
+/// kept because the paper reports suspects per named terminal ("the drain
+/// of transistor N2").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Transistor {
+    /// nMOS or pMOS.
+    pub kind: TransistorKind,
+    /// Net connected to the gate terminal.
+    pub gate: TNetId,
+    /// Net connected to the source terminal.
+    pub source: TNetId,
+    /// Net connected to the drain terminal.
+    pub drain: TNetId,
+    /// Schematic name (`"T5"`, `"N0"`, `"P4"`, …).
+    pub name: String,
+}
+
+impl Transistor {
+    /// The net attached to a terminal.
+    pub fn terminal_net(&self, terminal: Terminal) -> TNetId {
+        match terminal {
+            Terminal::Gate => self.gate,
+            Terminal::Source => self.source,
+            Terminal::Drain => self.drain,
+        }
+    }
+
+    /// Given one channel net, the net on the other side of the channel, or
+    /// `None` when `net` is not a channel terminal of this transistor.
+    pub fn channel_other_side(&self, net: TNetId) -> Option<TNetId> {
+        if net == self.source {
+            Some(self.drain)
+        } else if net == self.drain {
+            Some(self.source)
+        } else {
+            None
+        }
+    }
+}
+
+/// Role of a net within a cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetClass {
+    /// The positive supply rail (always `1`).
+    Vdd,
+    /// The ground rail (always `0`).
+    Gnd,
+    /// The `i`-th cell input.
+    Input(usize),
+    /// The cell output.
+    Output,
+    /// An internal net.
+    Internal,
+}
+
+/// Errors produced while building or simulating cell netlists.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SwitchError {
+    /// Two nets were declared with the same name.
+    DuplicateNet(String),
+    /// Two transistors were declared with the same name.
+    DuplicateTransistor(String),
+    /// The cell has no output net.
+    NoOutput(String),
+    /// A transistor's source and drain are the same net.
+    DegenerateChannel(String),
+    /// The output net is not connected to any transistor channel.
+    UnconnectedOutput(String),
+    /// `solve` was called with the wrong number of input values.
+    WrongArity {
+        /// Inputs the cell declares.
+        expected: usize,
+        /// Values supplied.
+        got: usize,
+    },
+    /// The relaxation did not reach a fixed point (feedback structure).
+    NoConvergence(String),
+}
+
+impl fmt::Display for SwitchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SwitchError::DuplicateNet(n) => write!(f, "net {n:?} declared twice"),
+            SwitchError::DuplicateTransistor(n) => {
+                write!(f, "transistor {n:?} declared twice")
+            }
+            SwitchError::NoOutput(c) => write!(f, "cell {c:?} has no output net"),
+            SwitchError::DegenerateChannel(n) => {
+                write!(f, "transistor {n:?} has source == drain")
+            }
+            SwitchError::UnconnectedOutput(c) => {
+                write!(f, "cell {c:?} output touches no transistor channel")
+            }
+            SwitchError::WrongArity { expected, got } => {
+                write!(f, "cell expects {expected} input values, got {got}")
+            }
+            SwitchError::NoConvergence(c) => {
+                write!(f, "switch-level relaxation did not converge for cell {c:?}")
+            }
+        }
+    }
+}
+
+impl Error for SwitchError {}
+
+/// A single-output CMOS cell at transistor level.
+///
+/// Build with [`CellNetlistBuilder`]; evaluate with
+/// [`solve`](CellNetlist::solve) and friends (defined in the simulator
+/// module).
+#[derive(Debug, Clone)]
+pub struct CellNetlist {
+    pub(crate) name: String,
+    pub(crate) net_names: Vec<String>,
+    pub(crate) net_class: Vec<NetClass>,
+    pub(crate) transistors: Vec<Transistor>,
+    pub(crate) inputs: Vec<TNetId>,
+    pub(crate) output: TNetId,
+    pub(crate) vdd: TNetId,
+    pub(crate) gnd: TNetId,
+    /// Channel adjacency: for each net, (transistor, other side).
+    pub(crate) channel_adj: Vec<Vec<(TransistorId, TNetId)>>,
+    nets_by_name: HashMap<String, TNetId>,
+    transistors_by_name: HashMap<String, TransistorId>,
+}
+
+impl CellNetlist {
+    /// The cell name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Ordered input nets.
+    pub fn inputs(&self) -> &[TNetId] {
+        &self.inputs
+    }
+
+    /// Number of inputs.
+    pub fn num_inputs(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// The output net.
+    pub fn output(&self) -> TNetId {
+        self.output
+    }
+
+    /// The VDD rail net.
+    pub fn vdd(&self) -> TNetId {
+        self.vdd
+    }
+
+    /// The GND rail net.
+    pub fn gnd(&self) -> TNetId {
+        self.gnd
+    }
+
+    /// Number of nets (rails included).
+    pub fn num_nets(&self) -> usize {
+        self.net_names.len()
+    }
+
+    /// Number of transistors — the paper's "complexity" column.
+    pub fn num_transistors(&self) -> usize {
+        self.transistors.len()
+    }
+
+    /// The name of a net.
+    pub fn net_name(&self, net: TNetId) -> &str {
+        &self.net_names[net.index()]
+    }
+
+    /// The role of a net.
+    pub fn net_class(&self, net: TNetId) -> NetClass {
+        self.net_class[net.index()]
+    }
+
+    /// Whether a net is a supply rail.
+    pub fn is_rail(&self, net: TNetId) -> bool {
+        matches!(self.net_class(net), NetClass::Vdd | NetClass::Gnd)
+    }
+
+    /// The transistor behind an id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to this cell.
+    pub fn transistor(&self, id: TransistorId) -> &Transistor {
+        &self.transistors[id.index()]
+    }
+
+    /// All transistors with their ids.
+    pub fn transistors(&self) -> impl Iterator<Item = (TransistorId, &Transistor)> {
+        self.transistors
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (TransistorId(i as u32), t))
+    }
+
+    /// All net ids.
+    pub fn nets(&self) -> impl Iterator<Item = TNetId> {
+        (0..self.net_names.len() as u32).map(TNetId)
+    }
+
+    /// Finds a net by name.
+    pub fn find_net(&self, name: &str) -> Option<TNetId> {
+        self.nets_by_name.get(name).copied()
+    }
+
+    /// Finds a transistor by name.
+    pub fn find_transistor(&self, name: &str) -> Option<TransistorId> {
+        self.transistors_by_name.get(name).copied()
+    }
+
+    /// Transistors whose channel touches `net`, with the opposite channel
+    /// net.
+    pub fn channel_neighbors(&self, net: TNetId) -> &[(TransistorId, TNetId)] {
+        &self.channel_adj[net.index()]
+    }
+
+    /// Transistors whose *gate* is connected to `net`.
+    pub fn gate_loads(&self, net: TNetId) -> impl Iterator<Item = TransistorId> + '_ {
+        self.transistors
+            .iter()
+            .enumerate()
+            .filter(move |(_, t)| t.gate == net)
+            .map(|(i, _)| TransistorId(i as u32))
+    }
+
+    /// A human-readable terminal name in the paper's style (`"T5G"`).
+    pub fn terminal_name(&self, transistor: TransistorId, terminal: Terminal) -> String {
+        format!("{}{}", self.transistor(transistor).name, terminal)
+    }
+}
+
+/// Builder for [`CellNetlist`].
+///
+/// Rails are created implicitly; nets are created on first use through
+/// [`input`](CellNetlistBuilder::input), [`output`](CellNetlistBuilder::output)
+/// and [`net`](CellNetlistBuilder::net).
+#[derive(Debug)]
+pub struct CellNetlistBuilder {
+    name: String,
+    net_names: Vec<String>,
+    net_class: Vec<NetClass>,
+    nets_by_name: HashMap<String, TNetId>,
+    transistors: Vec<Transistor>,
+    transistors_by_name: HashMap<String, TransistorId>,
+    inputs: Vec<TNetId>,
+    output: Option<TNetId>,
+    error: Option<SwitchError>,
+}
+
+impl CellNetlistBuilder {
+    /// Starts a cell. VDD and GND exist from the outset.
+    pub fn new(name: impl Into<String>) -> Self {
+        let mut b = CellNetlistBuilder {
+            name: name.into(),
+            net_names: Vec::new(),
+            net_class: Vec::new(),
+            nets_by_name: HashMap::new(),
+            transistors: Vec::new(),
+            transistors_by_name: HashMap::new(),
+            inputs: Vec::new(),
+            output: None,
+            error: None,
+        };
+        b.raw_net("VDD", NetClass::Vdd);
+        b.raw_net("GND", NetClass::Gnd);
+        b
+    }
+
+    fn raw_net(&mut self, name: &str, class: NetClass) -> TNetId {
+        if self.nets_by_name.contains_key(name) {
+            self.error
+                .get_or_insert(SwitchError::DuplicateNet(name.to_owned()));
+            return self.nets_by_name[name];
+        }
+        let id = TNetId(self.net_names.len() as u32);
+        self.net_names.push(name.to_owned());
+        self.net_class.push(class);
+        self.nets_by_name.insert(name.to_owned(), id);
+        id
+    }
+
+    /// The VDD rail.
+    pub fn vdd(&self) -> TNetId {
+        TNetId(0)
+    }
+
+    /// The GND rail.
+    pub fn gnd(&self) -> TNetId {
+        TNetId(1)
+    }
+
+    /// Declares the next cell input.
+    pub fn input(&mut self, name: &str) -> TNetId {
+        let idx = self.inputs.len();
+        let id = self.raw_net(name, NetClass::Input(idx));
+        self.inputs.push(id);
+        id
+    }
+
+    /// Declares the cell output.
+    pub fn output(&mut self, name: &str) -> TNetId {
+        let id = self.raw_net(name, NetClass::Output);
+        self.output = Some(id);
+        id
+    }
+
+    /// Declares an internal net.
+    pub fn net(&mut self, name: &str) -> TNetId {
+        self.raw_net(name, NetClass::Internal)
+    }
+
+    fn transistor(
+        &mut self,
+        kind: TransistorKind,
+        name: &str,
+        gate: TNetId,
+        source: TNetId,
+        drain: TNetId,
+    ) -> TransistorId {
+        if source == drain {
+            self.error
+                .get_or_insert(SwitchError::DegenerateChannel(name.to_owned()));
+        }
+        if self.transistors_by_name.contains_key(name) {
+            self.error
+                .get_or_insert(SwitchError::DuplicateTransistor(name.to_owned()));
+            return self.transistors_by_name[name];
+        }
+        let id = TransistorId(self.transistors.len() as u32);
+        self.transistors.push(Transistor {
+            kind,
+            gate,
+            source,
+            drain,
+            name: name.to_owned(),
+        });
+        self.transistors_by_name.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Adds an nMOS switch (conducts when `gate` is `1`).
+    pub fn nmos(&mut self, name: &str, gate: TNetId, source: TNetId, drain: TNetId) -> TransistorId {
+        self.transistor(TransistorKind::Nmos, name, gate, source, drain)
+    }
+
+    /// Adds a pMOS switch (conducts when `gate` is `0`).
+    pub fn pmos(&mut self, name: &str, gate: TNetId, source: TNetId, drain: TNetId) -> TransistorId {
+        self.transistor(TransistorKind::Pmos, name, gate, source, drain)
+    }
+
+    /// Validates and produces the cell.
+    ///
+    /// # Errors
+    ///
+    /// Reports the first structural problem: duplicate names, degenerate
+    /// channels, a missing or channel-unconnected output.
+    pub fn finish(self) -> Result<CellNetlist, SwitchError> {
+        if let Some(e) = self.error {
+            return Err(e);
+        }
+        let output = self
+            .output
+            .ok_or_else(|| SwitchError::NoOutput(self.name.clone()))?;
+        let mut channel_adj: Vec<Vec<(TransistorId, TNetId)>> =
+            vec![Vec::new(); self.net_names.len()];
+        for (i, t) in self.transistors.iter().enumerate() {
+            let id = TransistorId(i as u32);
+            channel_adj[t.source.index()].push((id, t.drain));
+            channel_adj[t.drain.index()].push((id, t.source));
+        }
+        if channel_adj[output.index()].is_empty() {
+            return Err(SwitchError::UnconnectedOutput(self.name));
+        }
+        Ok(CellNetlist {
+            name: self.name,
+            net_names: self.net_names,
+            net_class: self.net_class,
+            transistors: self.transistors,
+            inputs: self.inputs,
+            output,
+            vdd: TNetId(0),
+            gnd: TNetId(1),
+            channel_adj,
+            nets_by_name: self.nets_by_name,
+            transistors_by_name: self.transistors_by_name,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inverter() -> CellNetlist {
+        let mut b = CellNetlistBuilder::new("INV");
+        let a = b.input("A");
+        let z = b.output("Z");
+        b.pmos("P0", a, b.vdd(), z);
+        b.nmos("N0", a, b.gnd(), z);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn build_inverter() {
+        let inv = inverter();
+        assert_eq!(inv.num_transistors(), 2);
+        assert_eq!(inv.num_inputs(), 1);
+        assert_eq!(inv.net_name(inv.output()), "Z");
+        assert_eq!(inv.channel_neighbors(inv.output()).len(), 2);
+        assert_eq!(inv.find_transistor("P0").map(|t| t.index()), Some(0));
+    }
+
+    #[test]
+    fn terminal_names_match_paper_style() {
+        let inv = inverter();
+        let n0 = inv.find_transistor("N0").unwrap();
+        assert_eq!(inv.terminal_name(n0, Terminal::Source), "N0S");
+        assert_eq!(inv.terminal_name(n0, Terminal::Gate), "N0G");
+    }
+
+    #[test]
+    fn missing_output_rejected() {
+        let mut b = CellNetlistBuilder::new("BAD");
+        let a = b.input("A");
+        b.nmos("N0", a, b.gnd(), a);
+        // source == drain triggers first; rebuild without it.
+        let mut b = CellNetlistBuilder::new("BAD");
+        let _ = b.input("A");
+        assert!(matches!(b.finish(), Err(SwitchError::NoOutput(_))));
+    }
+
+    #[test]
+    fn degenerate_channel_rejected() {
+        let mut b = CellNetlistBuilder::new("BAD");
+        let a = b.input("A");
+        let z = b.output("Z");
+        b.nmos("N0", a, z, z);
+        assert!(matches!(
+            b.finish(),
+            Err(SwitchError::DegenerateChannel(_))
+        ));
+    }
+
+    #[test]
+    fn unconnected_output_rejected() {
+        let mut b = CellNetlistBuilder::new("BAD");
+        let a = b.input("A");
+        let _z = b.output("Z");
+        let inner = b.net("n1");
+        b.nmos("N0", a, b.gnd(), inner);
+        assert!(matches!(
+            b.finish(),
+            Err(SwitchError::UnconnectedOutput(_))
+        ));
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut b = CellNetlistBuilder::new("BAD");
+        let a = b.input("A");
+        let _ = b.input("A");
+        let z = b.output("Z");
+        b.nmos("N0", a, b.gnd(), z);
+        assert!(matches!(b.finish(), Err(SwitchError::DuplicateNet(_))));
+    }
+
+    #[test]
+    fn channel_other_side() {
+        let inv = inverter();
+        let n0 = inv.find_transistor("N0").unwrap();
+        let t = inv.transistor(n0);
+        assert_eq!(t.channel_other_side(inv.gnd()), Some(inv.output()));
+        assert_eq!(t.channel_other_side(inv.output()), Some(inv.gnd()));
+        let a = inv.find_net("A").unwrap();
+        assert_eq!(t.channel_other_side(a), None);
+    }
+
+    #[test]
+    fn gate_loads() {
+        let inv = inverter();
+        let a = inv.find_net("A").unwrap();
+        assert_eq!(inv.gate_loads(a).count(), 2);
+        assert_eq!(inv.gate_loads(inv.output()).count(), 0);
+    }
+}

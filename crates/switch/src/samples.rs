@@ -1,0 +1,230 @@
+//! Sample cell generation: random complementary series-parallel CMOS
+//! cells, used by property tests and benchmarks across the workspace.
+//!
+//! A random boolean expression tree over the inputs is implemented as the
+//! pull-down network (series for AND, parallel for OR) with the dual
+//! pull-up network, i.e. the cell computes the complement of the tree —
+//! the construction every static CMOS complex gate follows. By
+//! construction the cell is fully complementary, so its truth table must
+//! be fully specified; the test suites assert exactly that.
+
+use crate::{CellNetlist, CellNetlistBuilder, SwitchError, TNetId};
+
+/// A boolean expression tree over cell inputs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// An input leaf (index into the cell's inputs).
+    Input(usize),
+    /// Conjunction of sub-expressions.
+    And(Vec<Expr>),
+    /// Disjunction of sub-expressions.
+    Or(Vec<Expr>),
+}
+
+impl Expr {
+    /// Evaluates the tree over concrete input bits.
+    pub fn eval(&self, bits: &[bool]) -> bool {
+        match self {
+            Expr::Input(i) => bits[*i],
+            Expr::And(children) => children.iter().all(|c| c.eval(bits)),
+            Expr::Or(children) => children.iter().any(|c| c.eval(bits)),
+        }
+    }
+
+    /// Number of leaves (= transistors per network).
+    pub fn leaves(&self) -> usize {
+        match self {
+            Expr::Input(_) => 1,
+            Expr::And(children) | Expr::Or(children) => {
+                children.iter().map(Expr::leaves).sum()
+            }
+        }
+    }
+}
+
+/// A tiny deterministic PRNG (xorshift64*), so the crate needs no `rand`
+/// dependency for sample generation.
+struct Prng(u64);
+
+impl Prng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        self.0 = x;
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xbf58476d1ce4e5b9);
+        x ^= x >> 27;
+        x = x.wrapping_mul(0x94d049bb133111eb);
+        x ^ (x >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+fn random_expr(rng: &mut Prng, inputs: usize, depth: usize, budget: &mut usize) -> Expr {
+    if depth == 0 || *budget == 0 || rng.below(3) == 0 {
+        return Expr::Input(rng.below(inputs));
+    }
+    let arity = 2 + rng.below(2);
+    let children: Vec<Expr> = (0..arity)
+        .map(|_| {
+            *budget = budget.saturating_sub(1);
+            random_expr(rng, inputs, depth - 1, budget)
+        })
+        .collect();
+    if rng.below(2) == 0 {
+        Expr::And(children)
+    } else {
+        Expr::Or(children)
+    }
+}
+
+/// Generates a seeded random expression tree over `inputs` inputs.
+pub fn random_expr_tree(seed: u64, inputs: usize) -> Expr {
+    let mut rng = Prng(seed);
+    let mut budget = 10;
+    random_expr(&mut rng, inputs.max(1), 3, &mut budget)
+}
+
+struct NetAlloc {
+    count: usize,
+}
+
+impl NetAlloc {
+    fn fresh(&mut self, b: &mut CellNetlistBuilder, prefix: &str) -> TNetId {
+        self.count += 1;
+        b.net(&format!("{prefix}{}", self.count))
+    }
+}
+
+/// Builds the nMOS network for `expr` between `top` and `bottom`
+/// (series for AND, parallel for OR).
+#[allow(clippy::too_many_arguments)]
+fn build_network(
+    b: &mut CellNetlistBuilder,
+    alloc: &mut NetAlloc,
+    expr: &Expr,
+    inputs: &[TNetId],
+    top: TNetId,
+    bottom: TNetId,
+    nmos: bool,
+    counter: &mut usize,
+) {
+    match expr {
+        Expr::Input(i) => {
+            *counter += 1;
+            let name = format!("{}{}", if nmos { "N" } else { "P" }, *counter);
+            if nmos {
+                b.nmos(&name, inputs[*i], top, bottom);
+            } else {
+                b.pmos(&name, inputs[*i], top, bottom);
+            }
+        }
+        Expr::And(children) => {
+            // Series chain.
+            let mut current = top;
+            for (k, child) in children.iter().enumerate() {
+                let next = if k + 1 == children.len() {
+                    bottom
+                } else {
+                    alloc.fresh(b, if nmos { "sn" } else { "sp" })
+                };
+                build_network(b, alloc, child, inputs, current, next, nmos, counter);
+                current = next;
+            }
+        }
+        Expr::Or(children) => {
+            // Parallel branches.
+            for child in children {
+                build_network(b, alloc, child, inputs, top, bottom, nmos, counter);
+            }
+        }
+    }
+}
+
+fn dual(expr: &Expr) -> Expr {
+    match expr {
+        Expr::Input(i) => Expr::Input(*i),
+        Expr::And(children) => Expr::Or(children.iter().map(dual).collect()),
+        Expr::Or(children) => Expr::And(children.iter().map(dual).collect()),
+    }
+}
+
+/// Builds the complementary static CMOS cell computing `!expr` over
+/// `inputs` inputs.
+///
+/// # Errors
+///
+/// Returns an error only for structurally impossible expressions (never
+/// for trees produced by [`random_expr_tree`]).
+pub fn cell_from_expr(name: &str, inputs: usize, expr: &Expr) -> Result<CellNetlist, SwitchError> {
+    let mut b = CellNetlistBuilder::new(name);
+    let input_nets: Vec<TNetId> = (0..inputs)
+        .map(|i| b.input(&format!("I{i}")))
+        .collect();
+    let z = b.output("Z");
+    let mut alloc = NetAlloc { count: 0 };
+    let mut counter = 0usize;
+    // Pull-down implements expr (conducts => Z low).
+    let (vdd, gnd) = (b.vdd(), b.gnd());
+    build_network(&mut b, &mut alloc, expr, &input_nets, z, gnd, true, &mut counter);
+    // Pull-up implements the dual (conducts <=> expr is false => Z high).
+    let up = dual(expr);
+    build_network(&mut b, &mut alloc, &up, &input_nets, vdd, z, false, &mut counter);
+    b.finish()
+}
+
+/// Generates a seeded random complementary CMOS cell with `inputs`
+/// inputs; the returned expression is the *pull-down* function, so the
+/// cell computes its complement.
+///
+/// ```
+/// use icd_switch::samples::random_cell;
+/// let (cell, expr) = random_cell(42, 3)?;
+/// let table = cell.truth_table()?;
+/// // Complementary by construction: fully specified table.
+/// assert!(table.entries().iter().all(|v| v.is_known()));
+/// # let _ = expr;
+/// # Ok::<(), icd_switch::SwitchError>(())
+/// ```
+pub fn random_cell(seed: u64, inputs: usize) -> Result<(CellNetlist, Expr), SwitchError> {
+    let expr = random_expr_tree(seed, inputs);
+    let cell = cell_from_expr(&format!("RAND{seed}"), inputs, &expr)?;
+    Ok((cell, expr))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icd_logic::Lv;
+
+    #[test]
+    fn random_cells_are_complementary_and_correct() {
+        for seed in 0..50u64 {
+            let inputs = 2 + (seed as usize % 3);
+            let (cell, expr) = random_cell(seed, inputs).expect("builds");
+            let table = cell.truth_table().expect("evaluates");
+            for combo in 0..(1usize << inputs) {
+                let bits: Vec<bool> = (0..inputs).map(|k| (combo >> k) & 1 == 1).collect();
+                let want = Lv::from(!expr.eval(&bits));
+                assert_eq!(
+                    table.eval_bits(&bits),
+                    want,
+                    "seed {seed} combo {bits:?} (expr {expr:?})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn transistor_count_is_twice_the_leaves() {
+        let (cell, expr) = random_cell(7, 3).expect("builds");
+        assert_eq!(cell.num_transistors(), 2 * expr.leaves());
+    }
+
+    #[test]
+    fn expression_trees_are_deterministic() {
+        assert_eq!(random_expr_tree(9, 4), random_expr_tree(9, 4));
+    }
+}

@@ -1,0 +1,107 @@
+//! Property-based tests for the switch-level simulator, driven by random
+//! complementary series-parallel CMOS cells.
+
+use icd_switch::samples::random_cell;
+use icd_switch::{Forcing, Lv};
+use proptest::prelude::*;
+
+fn bits(combo: usize, n: usize) -> Vec<bool> {
+    (0..n).map(|k| (combo >> k) & 1 == 1).collect()
+}
+
+proptest! {
+    /// Complementary cells never float or fight: the derived table is
+    /// fully specified and equals the complement of the pull-down
+    /// expression.
+    #[test]
+    fn random_cells_evaluate_their_expression(seed in any::<u64>(), inputs in 1usize..5) {
+        let (cell, expr) = random_cell(seed, inputs).expect("builds");
+        let table = cell.truth_table().expect("evaluates");
+        for combo in 0..(1usize << inputs) {
+            let b = bits(combo, inputs);
+            prop_assert_eq!(table.eval_bits(&b), Lv::from(!expr.eval(&b)));
+        }
+    }
+
+    /// The solver is a pure function of its inputs.
+    #[test]
+    fn solve_is_deterministic(seed in any::<u64>(), combo in any::<usize>()) {
+        let (cell, _) = random_cell(seed, 3).expect("builds");
+        let b = bits(combo % 8, 3);
+        let v1 = cell.solve_bits(&b, &Forcing::none()).expect("solves");
+        let v2 = cell.solve_bits(&b, &Forcing::none()).expect("solves");
+        prop_assert_eq!(v1, v2);
+    }
+
+    /// Pinning a net to the value it already settled at changes nothing:
+    /// the steady state is a fixed point.
+    #[test]
+    fn pinning_settled_value_is_identity(seed in any::<u64>(), combo in any::<usize>()) {
+        let (cell, _) = random_cell(seed, 3).expect("builds");
+        let b = bits(combo % 8, 3);
+        let base = cell.solve_bits(&b, &Forcing::none()).expect("solves");
+        for net in cell.nets() {
+            let v = base.value(net);
+            if !v.is_known() {
+                continue;
+            }
+            let pinned = cell
+                .solve_bits(&b, &Forcing::none().pin(net, v))
+                .expect("solves");
+            prop_assert_eq!(
+                pinned.value(cell.output()),
+                base.value(cell.output()),
+                "pinning {} to its value {} moved the output",
+                cell.net_name(net),
+                v
+            );
+        }
+    }
+
+    /// Overriding a transistor's gate with its current effective value is
+    /// a no-op.
+    #[test]
+    fn redundant_gate_override_is_identity(seed in any::<u64>(), combo in any::<usize>()) {
+        let (cell, _) = random_cell(seed, 3).expect("builds");
+        let b = bits(combo % 8, 3);
+        let base = cell.solve_bits(&b, &Forcing::none()).expect("solves");
+        for (tid, t) in cell.transistors() {
+            let g = base.value(t.gate);
+            let forced = cell
+                .solve_bits(&b, &Forcing::none().override_gate(tid, g))
+                .expect("solves");
+            prop_assert_eq!(forced, base.clone());
+        }
+    }
+
+    /// With no slow elements the late capture snapshot equals the settled
+    /// one.
+    #[test]
+    fn two_pattern_without_slow_elements_is_static(
+        seed in any::<u64>(),
+        launch in any::<usize>(),
+        capture in any::<usize>(),
+    ) {
+        let (cell, _) = random_cell(seed, 3).expect("builds");
+        let l: Vec<Lv> = bits(launch % 8, 3).into_iter().map(Lv::from).collect();
+        let c: Vec<Lv> = bits(capture % 8, 3).into_iter().map(Lv::from).collect();
+        let out = cell
+            .solve_two_pattern(&l, &c, &Forcing::none(), &[], &[])
+            .expect("solves");
+        prop_assert_eq!(out.capture_late, out.capture_settled);
+    }
+
+    /// A slow net that does not transition leaves the late snapshot
+    /// untouched.
+    #[test]
+    fn stable_slow_net_changes_nothing(seed in any::<u64>(), combo in any::<usize>()) {
+        let (cell, _) = random_cell(seed, 3).expect("builds");
+        let v: Vec<Lv> = bits(combo % 8, 3).into_iter().map(Lv::from).collect();
+        for net in cell.nets() {
+            let out = cell
+                .solve_two_pattern(&v, &v, &Forcing::none(), &[net], &[])
+                .expect("solves");
+            prop_assert_eq!(out.capture_late, out.capture_settled);
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Interactive cell exploration: print a cell's transistor netlist, its
+//! derived truth table, and the critical-path trace for a chosen input
+//! vector — the Figs.-6–8 walkthrough for any cell and stimulus. With
+//! `--diagnose` a sample defect is injected and the step-by-step Fig.-9
+//! procedure trace is shown.
+//!
+//! Run with: `cargo run -p icd-examples --bin cell_explorer [CELL] [VECTOR] [--diagnose]`
+//! e.g. `cargo run -p icd-examples --bin cell_explorer AO8DHVTX1 0111 --diagnose`
+
+use icd_cells::CellLibrary;
+use icd_core::{diagnose_traced, transistor_cpt, LocalTest};
+use icd_defects::{characterize, Defect};
+use icd_logic::{Lv, Pattern};
+use icd_switch::TransistorKind;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let cell_name = args.next().unwrap_or_else(|| "AO8DHVTX1".to_owned());
+    let vector = args.next().unwrap_or_else(|| "0111".to_owned());
+
+    let cells = CellLibrary::standard();
+    let Some(cell) = cells.get(&cell_name) else {
+        eprintln!("unknown cell {cell_name:?}; available cells:");
+        for c in cells.iter() {
+            eprintln!("  {}", c.name());
+        }
+        std::process::exit(1);
+    };
+    let nl = cell.netlist();
+
+    println!("cell {}", nl.name());
+    println!(
+        "inputs: {}",
+        nl.inputs()
+            .iter()
+            .map(|&n| nl.net_name(n).to_owned())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    println!("transistors:");
+    for (_, t) in nl.transistors() {
+        let kind = match t.kind {
+            TransistorKind::Nmos => "nmos",
+            TransistorKind::Pmos => "pmos",
+        };
+        println!(
+            "  {:<4} {}  gate={:<8} source={:<8} drain={:<8}",
+            t.name,
+            kind,
+            nl.net_name(t.gate),
+            nl.net_name(t.source),
+            nl.net_name(t.drain)
+        );
+    }
+
+    let table = nl.truth_table()?;
+    println!("\ntruth table (inputs LSB-first): {table}");
+
+    let pattern: Pattern = vector.parse()?;
+    if pattern.len() != nl.num_inputs() {
+        eprintln!(
+            "vector {vector:?} has width {}, cell expects {}",
+            pattern.len(),
+            nl.num_inputs()
+        );
+        std::process::exit(1);
+    }
+    let inputs: Vec<Lv> = pattern.iter().copied().collect();
+    let outcome = transistor_cpt(nl, &inputs)?;
+    println!(
+        "\ncritical path trace under {} (output {} = {}):",
+        vector,
+        nl.net_name(nl.output()),
+        outcome.values.value(nl.output())
+    );
+    for item in &outcome.trace {
+        println!(
+            "  {:<10} = {}",
+            item.display(nl),
+            outcome.suspects.value(item).expect("traced item")
+        );
+    }
+
+    if std::env::args().any(|a| a == "--diagnose") {
+        // Inject a representative defect (first internal net shorted to
+        // ground) and show the Fig.-9 procedure step by step.
+        let victim = nl
+            .nets()
+            .find(|&n| {
+                !nl.is_rail(n) && n != nl.output() && !nl.inputs().contains(&n)
+            })
+            .unwrap_or(nl.output());
+        let defect = Defect::hard_short(victim, nl.gnd());
+        let ch = characterize(nl, &defect)?;
+        println!("\ninjected for diagnosis: {}", defect.describe(nl));
+        let Some(behavior) = ch.behavior else {
+            println!("defect not observable; nothing to diagnose");
+            return Ok(());
+        };
+        let good = nl.truth_table()?;
+        let n = nl.num_inputs();
+        let mut lfp = Vec::new();
+        let mut lpp = Vec::new();
+        for combo in 0..(1usize << n) {
+            let bits: Vec<bool> = (0..n).map(|k| (combo >> k) & 1 == 1).collect();
+            let g = good.eval_bits(&bits);
+            let f = behavior.eval(&bits, &bits, g);
+            if f.conflicts_with(g) {
+                lfp.push(LocalTest::static_vector(bits));
+            } else {
+                lpp.push(LocalTest::static_vector(bits));
+            }
+        }
+        if lfp.is_empty() {
+            println!("defect produces no static failures (dynamic only)");
+            return Ok(());
+        }
+        let (report, trace) = diagnose_traced(nl, &lfp, &lpp)?;
+        println!("procedure trace (list sizes after each step):");
+        print!("{trace}");
+        println!("final report:");
+        print!("{}", report.summary(nl));
+    }
+    Ok(())
+}

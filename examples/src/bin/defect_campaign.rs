@@ -1,0 +1,98 @@
+//! A yield-learning campaign on one cell: inject many random physical
+//! defects (the paper's 30 % stuck-at / 30 % bridging / 40 % delay mix),
+//! diagnose each at cell level, and report accuracy and resolution
+//! statistics — the §4.1 methodology in miniature.
+//!
+//! Run with: `cargo run -p icd-examples --bin defect_campaign [CELL] [COUNT]`
+
+use icd_cells::CellLibrary;
+use icd_core::{diagnose, LocalTest};
+use icd_defects::{sample_defects, BehaviorClass, MixConfig};
+use icd_logic::Lv;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let cell_name = args.next().unwrap_or_else(|| "AO8DHVTX1".to_owned());
+    let count: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(50);
+
+    let cells = CellLibrary::standard();
+    let cell = cells
+        .get(&cell_name)
+        .ok_or_else(|| format!("unknown cell {cell_name:?}"))?
+        .netlist();
+    println!(
+        "campaign: {} random observable defects on {} ({} transistors)",
+        count,
+        cell.name(),
+        cell.num_transistors()
+    );
+
+    let good = cell.truth_table()?;
+    let n = cell.num_inputs();
+    let sample = sample_defects(cell, count, &MixConfig::default(), 2024)?;
+
+    let mut per_class: std::collections::BTreeMap<String, (usize, usize, usize)> =
+        Default::default();
+    for injected in &sample {
+        let behavior = injected
+            .characterization
+            .behavior
+            .as_ref()
+            .expect("sampled defects are observable");
+
+        // Exhaustive two-pattern test of the faulty cell.
+        let mut lfp = Vec::new();
+        let mut lpp = Vec::new();
+        for prev in 0..(1usize << n) {
+            for cur in 0..(1usize << n) {
+                let pb: Vec<bool> = (0..n).map(|k| (prev >> k) & 1 == 1).collect();
+                let cb: Vec<bool> = (0..n).map(|k| (cur >> k) & 1 == 1).collect();
+                let prev_good = good.eval_bits(&pb);
+                let raw = behavior.eval(&pb, &cb, prev_good);
+                let eff = if raw == Lv::U { prev_good } else { raw };
+                if eff.conflicts_with(good.eval_bits(&cb)) {
+                    lfp.push(LocalTest::two_pattern(pb, cb));
+                } else {
+                    lpp.push(LocalTest::two_pattern(pb, cb));
+                }
+            }
+        }
+        if lfp.is_empty() {
+            continue;
+        }
+        let report = diagnose(cell, &lfp, &lpp)?;
+        let truth = &injected.characterization.ground_truth;
+        let hit = truth
+            .nets
+            .iter()
+            .any(|t| report.suspect_nets(cell).contains(t))
+            || truth
+                .transistors
+                .iter()
+                .any(|t| report.suspect_transistors().contains(t));
+        let entry = per_class
+            .entry(injected.characterization.class.to_string())
+            .or_default();
+        entry.0 += 1;
+        if hit {
+            entry.1 += 1;
+            entry.2 += report.net_resolution(cell);
+        }
+    }
+
+    println!(
+        "\n{:<12} {:>8} {:>8} {:>16}",
+        "class", "runs", "hits", "avg net resol."
+    );
+    for (class, (runs, hits, resol)) in &per_class {
+        println!(
+            "{:<12} {:>8} {:>8} {:>16.2}",
+            class,
+            runs,
+            hits,
+            if *hits > 0 { *resol as f64 / *hits as f64 } else { 0.0 }
+        );
+    }
+    let _ = BehaviorClass::StuckLike; // classes shown via Display above
+    Ok(())
+}

@@ -1,0 +1,134 @@
+//! The complete Fig.-2 flow on a full circuit: production test with a
+//! defective die, datalog, inter-cell (gate-level) diagnosis, DUT
+//! simulation and intra-cell diagnosis — the yield-learning scenario the
+//! paper's introduction motivates.
+//!
+//! Run with: `cargo run -p icd-examples --bin full_flow`
+
+use icd_atpg::{generate_test_set, TestSetConfig};
+use icd_cells::CellLibrary;
+use icd_core::{diagnose, LocalTest};
+use icd_defects::{characterize, Defect};
+use icd_faultsim::{run_test, FaultyGate};
+use icd_intercell::{diagnose as inter_diagnose, extract_local_patterns};
+use icd_netlist::generator;
+use icd_switch::Terminal;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Build the device under test: the paper's circuit A (258 gates,
+    //    30 scan flip-flops, 1 scan chain) from the standard library.
+    let cells = CellLibrary::standard();
+    let logic = cells.logic_library();
+    let circuit = generator::generate(&generator::circuit_a(), &logic)?;
+    println!(
+        "circuit {}: {} gates, {} observe points",
+        circuit.name(),
+        circuit.num_gates(),
+        circuit.outputs().len()
+    );
+
+    // 2. Generate the production test set: 25 transition-fault patterns,
+    //    as in the paper's §4.1.
+    let patterns = generate_test_set(&circuit, &TestSetConfig::transition(25, 42));
+    println!("test set: {} ordered patterns", patterns.len());
+
+    // 3. Manufacture a defective die: one AO8DHVTX1 instance has a
+    //    resistive open at T7's gate contact (a delay defect).
+    let cell = cells.get("AO8DHVTX1").expect("standard cell").netlist();
+    let gate = circuit
+        .gates()
+        .find(|&g| circuit.gate_type(g).name() == "AO8DHVTX1")
+        .expect("circuit A instantiates AO8DHVTX1");
+    let t7 = cell.find_transistor("T7").expect("T7 exists");
+    let defect = Defect::resistive_open(t7, Terminal::Gate);
+    let ch = characterize(cell, &defect)?;
+    println!(
+        "defective die: {} in instance {} ({} class)",
+        defect.describe(cell),
+        circuit.gate_name(gate),
+        ch.class
+    );
+
+    // 4. Production test: the tester records the datalog.
+    let faulty = FaultyGate::new(gate, ch.behavior.expect("observable"));
+    let datalog = run_test(&circuit, &patterns, &faulty)?;
+    println!(
+        "datalog: {} failing of {} patterns",
+        datalog.entries.len(),
+        datalog.num_patterns
+    );
+    if datalog.all_pass() {
+        println!("the defect escaped this test set — nothing to diagnose");
+        return Ok(());
+    }
+
+    // 5. Inter-cell diagnosis: from failing outputs to suspected gates.
+    let inter = inter_diagnose(&circuit, &patterns, &datalog)?;
+    println!("inter-cell candidates (top 3):");
+    for c in inter.candidates.iter().take(3) {
+        println!(
+            "  {} ({}) explains {} failing patterns, {} contradictions",
+            circuit.gate_name(c.gate),
+            circuit.gate_type(c.gate).name(),
+            c.explained.len(),
+            c.contradictions
+        );
+    }
+
+    // 6. DUT simulation + intra-cell diagnosis for each top suspect, as
+    //    the paper's flow prescribes ("the intra-cell diagnosis is
+    //    executed for each Suspected Gate"). An empty report exonerates a
+    //    suspect and moves PFA to the next one.
+    let mut confirmed = false;
+    for candidate in inter.candidates.iter().take(4) {
+        let suspected = candidate.gate;
+        let local = extract_local_patterns(&circuit, &patterns, &datalog, suspected)?;
+        let lfp: Vec<LocalTest> = local
+            .lfp
+            .iter()
+            .map(|p| LocalTest::two_pattern(p.previous.clone(), p.inputs.clone()))
+            .collect();
+        let lpp: Vec<LocalTest> = local
+            .lpp
+            .iter()
+            .map(|p| LocalTest::two_pattern(p.previous.clone(), p.inputs.clone()))
+            .collect();
+        if lfp.is_empty() {
+            continue;
+        }
+        let suspected_cell = cells
+            .get(circuit.gate_type(suspected).name())
+            .expect("library cell")
+            .netlist();
+        let report = diagnose(suspected_cell, &lfp, &lpp)?;
+        println!(
+            "\nintra-cell diagnosis of {} ({}; {} lfp / {} lpp):",
+            circuit.gate_name(suspected),
+            suspected_cell.name(),
+            lfp.len(),
+            lpp.len()
+        );
+        print!("{}", report.summary(suspected_cell));
+        if report.is_empty() {
+            continue; // exonerated: try the next suspected gate
+        }
+
+        // 7. "PFA": check the candidates against the known injection.
+        if suspected == gate {
+            let implicated = report.suspect_transistors().contains(&t7)
+                || report
+                    .suspect_nets(suspected_cell)
+                    .contains(&cell.transistor(t7).gate);
+            println!(
+                "\nPFA at the reported location would {} the defect",
+                if implicated { "confirm" } else { "miss" }
+            );
+            confirmed = implicated;
+            break;
+        }
+    }
+    if !confirmed {
+        println!("\nthe defect hides behind an equivalent location for this test set");
+    }
+    Ok(())
+}

@@ -1,0 +1,119 @@
+//! Physical-failure-analysis guidance: the consumer-facing report the
+//! diagnosis flow exists to produce. Two dies are analyzed — one with an
+//! intra-cell defect (PFA should cross-section inside the cell) and one
+//! with an inter-cell bridge (the empty suspect list redirects PFA to the
+//! routing, the paper's circuit-C verdict).
+//!
+//! Run with: `cargo run -p icd-examples --bin pfa_guidance`
+
+use icd_atpg::{generate_test_set, TestSetConfig};
+use icd_cells::CellLibrary;
+use icd_core::{diagnose, DiagnosisReport, LocalTest};
+use icd_defects::{characterize, Defect};
+use icd_faultsim::{run_test, run_test_gate_fault, Datalog, FaultyGate, GateFault};
+use icd_intercell::{diagnose as inter_diagnose, extract_local_patterns};
+use icd_netlist::{generator, Circuit};
+
+struct Analysis {
+    suspected: String,
+    cell_name: String,
+    report: DiagnosisReport,
+}
+
+fn analyze(
+    cells: &CellLibrary,
+    circuit: &Circuit,
+    patterns: &[icd_logic::Pattern],
+    datalog: &Datalog,
+) -> Result<Option<Analysis>, Box<dyn std::error::Error>> {
+    if datalog.all_pass() {
+        return Ok(None);
+    }
+    let inter = inter_diagnose(circuit, patterns, datalog)?;
+    let Some(suspected) = inter.best() else {
+        return Ok(None);
+    };
+    let local = extract_local_patterns(circuit, patterns, datalog, suspected)?;
+    let lfp: Vec<LocalTest> = local
+        .lfp
+        .iter()
+        .map(|p| LocalTest::two_pattern(p.previous.clone(), p.inputs.clone()))
+        .collect();
+    let lpp: Vec<LocalTest> = local
+        .lpp
+        .iter()
+        .map(|p| LocalTest::two_pattern(p.previous.clone(), p.inputs.clone()))
+        .collect();
+    let cell_name = circuit.gate_type(suspected).name().to_owned();
+    let cell = cells.get(&cell_name).expect("library cell").netlist();
+    let report = diagnose(cell, &lfp, &lpp)?;
+    Ok(Some(Analysis {
+        suspected: circuit.gate_name(suspected),
+        cell_name,
+        report,
+    }))
+}
+
+fn print_guidance(cells: &CellLibrary, die: &str, analysis: Option<&Analysis>) {
+    println!("=== PFA guidance for die {die} ===");
+    match analysis {
+        None => println!("device passed or no candidate: no PFA target"),
+        Some(a) if a.report.is_empty() => {
+            println!("suspected instance : {} ({})", a.suspected, a.cell_name);
+            println!("intra-cell verdict : EMPTY suspect list");
+            println!("-> do NOT de-layer the cell; inspect the surrounding routing");
+            println!("   (inter-cell defect, as in the paper's circuit-C case)");
+        }
+        Some(a) => {
+            let cell = cells.get(&a.cell_name).expect("library cell").netlist();
+            println!("suspected instance : {} ({})", a.suspected, a.cell_name);
+            println!("cross-section plan :");
+            for c in &a.report.candidates {
+                println!("   {}", c.description);
+            }
+            println!(
+                "   ({} locations over {} nets)",
+                a.report.resolution(),
+                a.report.net_resolution(cell)
+            );
+        }
+    }
+    println!();
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cells = CellLibrary::standard();
+    let logic = cells.logic_library();
+    let circuit = generator::generate(&generator::circuit_a(), &logic)?;
+    let patterns = generate_test_set(&circuit, &TestSetConfig::transition(25, 9));
+
+    // Die 1: an intra-cell defect (internal node shorted to ground).
+    let cell = cells.get("AO7SVTX1").expect("standard cell").netlist();
+    let gate = circuit
+        .gates()
+        .find(|&g| circuit.gate_type(g).name() == "AO7SVTX1")
+        .expect("instantiated");
+    let a_net = cell.find_net("A").expect("input A");
+    let ch = characterize(cell, &Defect::hard_short(a_net, cell.gnd()))?;
+    let faulty = FaultyGate::new(gate, ch.behavior.expect("observable"));
+    let datalog = run_test(&circuit, &patterns, &faulty)?;
+    // The tester reports failures at scan coordinates, as on real ATE:
+    print!("{}", icd_faultsim::datalog_text::pretty(&datalog, &circuit));
+    println!();
+    let analysis = analyze(&cells, &circuit, &patterns, &datalog)?;
+    print_guidance(&cells, "W07-D13 (intra-cell defect)", analysis.as_ref());
+
+    // Die 2: an inter-cell bridge between two routing nets.
+    let gates: Vec<_> = circuit.gates().collect();
+    let victim = circuit.gate_output(gates[gates.len() / 4]);
+    let aggressor = circuit.gate_output(gates[3 * gates.len() / 4]);
+    let datalog = run_test_gate_fault(
+        &circuit,
+        &patterns,
+        &GateFault::Bridging { victim, aggressor },
+    )?;
+    let analysis = analyze(&cells, &circuit, &patterns, &datalog)?;
+    print_guidance(&cells, "W07-D21 (inter-cell bridge)", analysis.as_ref());
+
+    Ok(())
+}

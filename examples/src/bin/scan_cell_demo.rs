@@ -1,0 +1,70 @@
+//! Sequential-cell demonstration: the paper's future-work direction
+//! ("extend the proposed approach to handle scan flip-flops") at the
+//! substrate level. The charge-retentive switch-level mode simulates a
+//! transmission-gate D latch and a scan D flip-flop through a clocked
+//! input sequence — the structures a future sequential intra-cell
+//! diagnosis would trace.
+//!
+//! Run with: `cargo run -p icd-examples --bin scan_cell_demo`
+
+use icd_cells::sequential::{dlhvtx1, sdffhvtx1};
+use icd_logic::Lv;
+use icd_switch::{spice, Forcing};
+
+fn drive(cell: &icd_switch::CellNetlist, steps: &[(&str, Vec<bool>)]) {
+    let sequence: Vec<Vec<Lv>> = steps
+        .iter()
+        .map(|(_, bits)| bits.iter().copied().map(Lv::from).collect())
+        .collect();
+    let states = cell
+        .solve_sequence(&sequence, &Forcing::none())
+        .expect("sequence evaluates");
+    for ((label, bits), state) in steps.iter().zip(states.iter()) {
+        let inputs: String = bits.iter().map(|&b| if b { '1' } else { '0' }).collect();
+        println!(
+            "  {label:<28} inputs={inputs}  Q={}",
+            state.value(cell.output())
+        );
+    }
+}
+
+fn main() {
+    let latch = dlhvtx1();
+    println!(
+        "D latch {} ({} transistors): transparent while CK=1",
+        latch.name(),
+        latch.num_transistors()
+    );
+    drive(
+        &latch,
+        &[
+            ("open, write 1", vec![true, true]),
+            ("close", vec![true, false]),
+            ("D falls while closed", vec![false, false]),
+            ("open, follow D=0", vec![false, true]),
+            ("close, hold 0", vec![true, false]),
+        ],
+    );
+
+    let ff = sdffhvtx1();
+    println!(
+        "\nscan flip-flop {} ({} transistors): D/SI/SE/CK",
+        ff.name(),
+        ff.num_transistors()
+    );
+    drive(
+        &ff,
+        &[
+            ("CK low, master samples D=1", vec![true, false, false, false]),
+            ("rising edge: capture 1", vec![true, false, false, true]),
+            ("D falls, CK high: Q holds", vec![false, false, false, true]),
+            ("CK low, master samples D=0", vec![false, false, false, false]),
+            ("rising edge: capture 0", vec![true, false, false, true]),
+            ("scan mode: sample SI=1", vec![false, true, true, false]),
+            ("rising edge: shift SI", vec![false, true, true, true]),
+        ],
+    );
+
+    println!("\nSPICE view of the latch (for analog cross-checking):");
+    print!("{}", spice::to_spice(&latch, &spice::SpiceOptions::default()));
+}

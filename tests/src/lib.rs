@@ -1,0 +1,50 @@
+//! Shared helpers for the cross-crate integration tests.
+//!
+//! The actual tests live in `tests/tests/*.rs`; this small library builds
+//! the experiment fixtures they share.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use icd_cells::CellLibrary;
+use icd_core::LocalTest;
+use icd_faultsim::FaultyBehavior;
+use icd_logic::Lv;
+use icd_switch::CellNetlist;
+
+/// Exhaustively tests a faulty cell behaviour at the cell boundary and
+/// splits the two-pattern space into local failing / passing patterns,
+/// applying the tester's charge-retention semantics.
+///
+/// # Panics
+///
+/// Panics if the cell cannot be evaluated (impossible for library cells).
+pub fn exhaustive_local_patterns(
+    cell: &CellNetlist,
+    behavior: &FaultyBehavior,
+) -> (Vec<LocalTest>, Vec<LocalTest>) {
+    let good = cell.truth_table().expect("library cells evaluate");
+    let n = cell.num_inputs();
+    let mut lfp = Vec::new();
+    let mut lpp = Vec::new();
+    for prev in 0..(1usize << n) {
+        for cur in 0..(1usize << n) {
+            let pb: Vec<bool> = (0..n).map(|k| (prev >> k) & 1 == 1).collect();
+            let cb: Vec<bool> = (0..n).map(|k| (cur >> k) & 1 == 1).collect();
+            let prev_good = good.eval_bits(&pb);
+            let raw = behavior.eval(&pb, &cb, prev_good);
+            let effective = if raw == Lv::U { prev_good } else { raw };
+            if effective.conflicts_with(good.eval_bits(&cb)) {
+                lfp.push(LocalTest::two_pattern(pb, cb));
+            } else {
+                lpp.push(LocalTest::two_pattern(pb, cb));
+            }
+        }
+    }
+    (lfp, lpp)
+}
+
+/// The standard cell library, built once per call (cheap).
+pub fn cells() -> CellLibrary {
+    CellLibrary::standard()
+}

@@ -1,0 +1,149 @@
+//! Cell-level soundness of the intra-cell diagnosis: across the whole
+//! library and many random defects, a correctly-extracted local pattern
+//! set must implicate the injected location.
+
+use icd_core::diagnose;
+use icd_defects::{characterize, sample_defects, BehaviorClass, Defect, MixConfig};
+use icd_integration::{cells, exhaustive_local_patterns};
+
+#[test]
+fn rail_shorts_are_always_implicated() {
+    // A hard short of any signal net to a rail, when observable with a
+    // clean (non-floating) table, must keep the shorted net in the GSL.
+    let lib = cells();
+    for cell in lib.iter() {
+        let nl = cell.netlist();
+        for net in nl.nets() {
+            if nl.is_rail(net) {
+                continue;
+            }
+            for rail in [nl.vdd(), nl.gnd()] {
+                let ch = characterize(nl, &Defect::hard_short(net, rail)).expect("characterizes");
+                let Some(behavior) = ch.behavior else {
+                    continue;
+                };
+                // Only assert for clean static behaviours: floating/fight
+                // cases legitimately become dynamic evidence.
+                let icd_faultsim::FaultyBehavior::Static(table) = &behavior else {
+                    continue;
+                };
+                if table.entries().iter().any(|v| !v.is_known()) {
+                    continue;
+                }
+                let (lfp, lpp) = exhaustive_local_patterns(nl, &behavior);
+                if lfp.is_empty() {
+                    continue;
+                }
+                let report = diagnose(nl, &lfp, &lpp).expect("diagnoses");
+                assert!(
+                    report.suspect_nets(nl).contains(&net),
+                    "{}: {} not implicated\n{}",
+                    nl.name(),
+                    nl.net_name(net),
+                    report.summary(nl)
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn random_defects_rarely_evade_diagnosis() {
+    // Statistical soundness across the full library and all defect
+    // classes: at least 85% of observable random defects must be
+    // implicated by the cell-level diagnosis.
+    let lib = cells();
+    let mut runs = 0usize;
+    let mut hits = 0usize;
+    for (i, cell) in lib.iter().enumerate() {
+        let nl = cell.netlist();
+        let sample =
+            sample_defects(nl, 12, &MixConfig::default(), 7_000 + i as u64).expect("samples");
+        for injected in &sample {
+            let behavior = injected
+                .characterization
+                .behavior
+                .as_ref()
+                .expect("observable");
+            let (lfp, lpp) = exhaustive_local_patterns(nl, behavior);
+            if lfp.is_empty() {
+                continue;
+            }
+            let report = diagnose(nl, &lfp, &lpp).expect("diagnoses");
+            runs += 1;
+            let truth = &injected.characterization.ground_truth;
+            let hit = truth
+                .nets
+                .iter()
+                .any(|n| report.suspect_nets(nl).contains(n))
+                || truth
+                    .transistors
+                    .iter()
+                    .any(|t| report.suspect_transistors().contains(t));
+            if hit {
+                hits += 1;
+            }
+        }
+    }
+    assert!(runs > 100, "campaign too small: {runs}");
+    let rate = hits as f64 / runs as f64;
+    assert!(
+        rate >= 0.85,
+        "cell-level hit rate {rate:.2} ({hits}/{runs}) below 0.85"
+    );
+}
+
+#[test]
+fn benign_class_defects_never_reach_diagnosis() {
+    let lib = cells();
+    let nl = lib.get("AO7SVTX1").expect("exists").netlist();
+    let z = nl.output();
+    let a = nl.find_net("A").expect("A");
+    let ch = characterize(
+        nl,
+        &Defect::Short {
+            a: z,
+            b: a,
+            resistance: 1e9,
+        },
+    )
+    .expect("characterizes");
+    assert_eq!(ch.class, BehaviorClass::Benign);
+    assert!(ch.behavior.is_none());
+}
+
+#[test]
+fn dynamic_only_reports_have_no_static_candidates() {
+    use icd_core::FaultModel;
+    let lib = cells();
+    for cell in lib.iter().take(6) {
+        let nl = cell.netlist();
+        let mix = MixConfig {
+            stuck: 0.0,
+            bridge: 0.0,
+            delay: 1.0,
+            ..MixConfig::default()
+        };
+        let sample = sample_defects(nl, 4, &mix, 31).expect("samples");
+        for injected in &sample {
+            let behavior = injected
+                .characterization
+                .behavior
+                .as_ref()
+                .expect("observable");
+            let (lfp, lpp) = exhaustive_local_patterns(nl, behavior);
+            if lfp.is_empty() {
+                continue;
+            }
+            let report = diagnose(nl, &lfp, &lpp).expect("diagnoses");
+            if report.dynamic_only {
+                assert!(report.gsl.is_empty());
+                assert!(report.gbsl.is_empty());
+                assert!(report
+                    .candidates
+                    .iter()
+                    .all(|c| c.model == FaultModel::SlowTransition));
+            }
+        }
+    }
+}

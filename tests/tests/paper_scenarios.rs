@@ -1,0 +1,90 @@
+//! The paper's silicon case studies, asserted as regression tests at
+//! quick scale.
+
+use icd_bench::{silicon, RunScale};
+
+#[test]
+fn table7_cases_confirm_like_the_paper() {
+    let (_, cases) = silicon::table7(RunScale::quick()).expect("table 7 runs");
+    assert_eq!(cases.len(), 3);
+    for case in &cases {
+        assert!(
+            case.pfa_confirms,
+            "case {} did not confirm: {}",
+            case.sample, case.intra_result
+        );
+    }
+    // H1 must single out the A-aggressor bridge, as in Fig. 11.
+    let h1 = &cases[0];
+    assert!(h1.intra_result.contains("A aggressor"), "{}", h1.intra_result);
+    // H2 must report the Net61 stuck-at-0, as in Table 7.
+    let h2 = &cases[1];
+    assert!(h2.intra_result.contains("Net61 Sa0"), "{}", h2.intra_result);
+    // H3 must implicate transistor N0 with a delay model.
+    let h3 = &cases[2];
+    assert!(h3.intra_result.contains("N0 delay"), "{}", h3.intra_result);
+}
+
+#[test]
+fn circuit_m_multiple_open_is_localized() {
+    let (_, case) = silicon::circuit_m_report(RunScale::quick()).expect("circuit M runs");
+    assert!(case.pfa_confirms, "M not confirmed: {}", case.intra_result);
+    // The equivalent-open region (the dead pull-up branch through Net61)
+    // must be named.
+    assert!(
+        case.intra_result.contains("Net61") || case.intra_result.contains("T2"),
+        "{}",
+        case.intra_result
+    );
+}
+
+#[test]
+fn circuit_c_inter_cell_defect_yields_empty_list() {
+    let report = silicon::circuit_c_report(RunScale::quick()).expect("circuit C runs");
+    assert!(
+        report.contains("empty suspect list redirects PFA outside the cell (correct)"),
+        "{report}"
+    );
+    assert!(
+        report.contains("all approaches implicate the actual short: yes"),
+        "{report}"
+    );
+}
+
+#[test]
+fn dictionary_comparison_shows_cpt_cost_advantage() {
+    let cmp = silicon::case_c2().expect("comparison runs");
+    assert!(cmp.all_hit);
+    // The paper's complexity argument: the dictionaries need O(n²) serial
+    // injections while CPT needs two simulations per pattern.
+    assert!(cmp.defect_dict_size > 50);
+    assert!(cmp.fault_dict_size > 10);
+    assert!(
+        cmp.cpt_seconds < cmp.defect_dict_seconds,
+        "CPT ({}s) should beat dictionary build ({}s)",
+        cmp.cpt_seconds,
+        cmp.defect_dict_seconds
+    );
+}
+
+#[test]
+fn figures_regenerate() {
+    let fig1 = icd_bench::figures::fig1_defect_classes().expect("fig1");
+    // The resistance sweep must traverse the behaviour bands.
+    assert!(fig1.contains("stuck-at"));
+    assert!(fig1.contains("delay"));
+    assert!(fig1.contains("benign"));
+    let fig6 = icd_bench::figures::fig6_walkthrough().expect("fig6");
+    assert!(fig6.contains("Net118"));
+}
+
+#[test]
+fn tables_regenerate_with_hits() {
+    let t2 = icd_bench::tables::table2().expect("table2");
+    let t3 = icd_bench::tables::table3().expect("table3");
+    let t4 = icd_bench::tables::table4().expect("table4");
+    for (name, table) in [("t2", &t2), ("t3", &t3), ("t4", &t4)] {
+        let hits = table.matches(" yes").count();
+        assert!(hits >= 3, "{name} has too few hits:\n{table}");
+    }
+}
