@@ -183,10 +183,8 @@ mod tests {
 
     fn lib() -> Library {
         let mut lib = Library::new();
-        lib.insert(
-            GateType::new("INV", ["A"], TruthTable::from_fn(1, |b| !b[0])).unwrap(),
-        )
-        .unwrap();
+        lib.insert(GateType::new("INV", ["A"], TruthTable::from_fn(1, |b| !b[0])).unwrap())
+            .unwrap();
         lib.insert(
             GateType::new(
                 "NAND2",
@@ -311,9 +309,7 @@ mod tests {
         };
         let c = generator::generate(&cfg, &lib).unwrap();
         let patterns: Vec<icd_logic::Pattern> = (0..32u32)
-            .map(|i| {
-                icd_logic::Pattern::from_bits((0..5).map(move |k| (i >> k) & 1 == 1))
-            })
+            .map(|i| icd_logic::Pattern::from_bits((0..5).map(move |k| (i >> k) & 1 == 1)))
             .collect();
         let good = icd_faultsim::good_simulate(&c, &patterns).unwrap();
         let collapsed = collapse_stuck_at(&c);

@@ -40,6 +40,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::panic))]
 #![warn(missing_docs)]
 
 mod collapse;
@@ -48,6 +49,4 @@ mod testgen;
 
 pub use collapse::{collapse_stuck_at, CollapsedFaults};
 pub use podem::{justify, podem, transition_pair};
-pub use testgen::{
-    fault_coverage, random_patterns, generate_test_set, FaultKind, TestSetConfig,
-};
+pub use testgen::{fault_coverage, generate_test_set, random_patterns, FaultKind, TestSetConfig};

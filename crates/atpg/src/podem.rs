@@ -4,11 +4,7 @@ use icd_netlist::{Circuit, NetId};
 
 /// Simulates the circuit in three-valued logic under a primary-input
 /// assignment, optionally forcing one net (the faulty machine).
-fn simulate(
-    circuit: &Circuit,
-    pi_values: &[Lv],
-    force: Option<(NetId, Lv)>,
-) -> Vec<Lv> {
+fn simulate(circuit: &Circuit, pi_values: &[Lv], force: Option<(NetId, Lv)>) -> Vec<Lv> {
     let mut values = vec![Lv::U; circuit.num_nets()];
     for (i, &net) in circuit.inputs().iter().enumerate() {
         values[net.index()] = pi_values[i];
@@ -25,12 +21,7 @@ fn simulate(
             }
         }
         ins.clear();
-        ins.extend(
-            circuit
-                .gate_inputs(gate)
-                .iter()
-                .map(|&n| values[n.index()]),
-        );
+        ins.extend(circuit.gate_inputs(gate).iter().map(|&n| values[n.index()]));
         values[out.index()] = circuit
             .gate_type(gate)
             .table()
@@ -99,9 +90,7 @@ fn backtrace(circuit: &Circuit, good: &[Lv], mut net: NetId, mut value: Lv) -> O
         };
         let table = circuit.gate_type(gate).table();
         let inputs = circuit.gate_inputs(gate);
-        let j = inputs
-            .iter()
-            .position(|&n| good[n.index()] == Lv::U)?;
+        let j = inputs.iter().position(|&n| good[n.index()] == Lv::U)?;
         // Choose the value for input j that makes `value` reachable.
         let mut chosen = None;
         let mut ins: Vec<Lv> = inputs.iter().map(|&n| good[n.index()]).collect();
@@ -166,19 +155,15 @@ fn podem_engine(circuit: &Circuit, goal: &Goal, max_backtracks: usize) -> Option
                     if frontier.is_empty() {
                         (false, true, None)
                     } else {
-                        let fronts: Vec<NetId> = frontier
-                            .iter()
-                            .map(|&g| circuit.gate_output(g))
-                            .collect();
+                        let fronts: Vec<NetId> =
+                            frontier.iter().map(|&g| circuit.gate_output(g)).collect();
                         if !x_path_exists(circuit, &good, &faulty, &fronts) {
                             (false, true, None)
                         } else {
                             let gate = frontier[0];
                             let table = circuit.gate_type(gate).table();
                             let inputs = circuit.gate_inputs(gate);
-                            let j = inputs
-                                .iter()
-                                .position(|&n| good[n.index()] == Lv::U);
+                            let j = inputs.iter().position(|&n| good[n.index()] == Lv::U);
                             match j {
                                 None => (false, true, None),
                                 Some(j) => {
@@ -275,6 +260,7 @@ fn podem_engine(circuit: &Circuit, goal: &Goal, max_backtracks: usize) -> Option
 ///
 /// Panics if `fault` is not a stuck-at fault — transition tests are built
 /// from stuck-at tests by [`transition_pair`].
+#[allow(clippy::panic)] // documented API contract, not on the diagnosis path
 pub fn podem(circuit: &Circuit, fault: &GateFault, max_backtracks: usize) -> Option<Pattern> {
     let GateFault::StuckAt { net, value } = *fault else {
         panic!("podem targets stuck-at faults; use transition_pair for delay faults");
@@ -312,6 +298,7 @@ pub fn justify(
 /// # Panics
 ///
 /// Panics if `fault` is not a transition fault.
+#[allow(clippy::panic)] // documented API contract, not on the diagnosis path
 pub fn transition_pair(
     circuit: &Circuit,
     fault: &GateFault,
@@ -337,26 +324,14 @@ mod tests {
 
     fn lib() -> Library {
         let mut lib = Library::new();
+        lib.insert(GateType::new("INV", ["A"], TruthTable::from_fn(1, |b| !b[0])).unwrap())
+            .unwrap();
         lib.insert(
-            GateType::new("INV", ["A"], TruthTable::from_fn(1, |b| !b[0])).unwrap(),
+            GateType::new("AND2", ["A", "B"], TruthTable::from_fn(2, |b| b[0] & b[1])).unwrap(),
         )
         .unwrap();
         lib.insert(
-            GateType::new(
-                "AND2",
-                ["A", "B"],
-                TruthTable::from_fn(2, |b| b[0] & b[1]),
-            )
-            .unwrap(),
-        )
-        .unwrap();
-        lib.insert(
-            GateType::new(
-                "OR2",
-                ["A", "B"],
-                TruthTable::from_fn(2, |b| b[0] | b[1]),
-            )
-            .unwrap(),
+            GateType::new("OR2", ["A", "B"], TruthTable::from_fn(2, |b| b[0] | b[1])).unwrap(),
         )
         .unwrap();
         lib
@@ -421,9 +396,8 @@ mod tests {
         let fault = GateFault::SlowToRise { net: y };
         let (launch, capture) = transition_pair(&c, &fault, 10_000).unwrap();
         // Simulate the two-pattern sequence and check detection.
-        let fill = |p: &Pattern| {
-            Pattern::new(p.iter().map(|&v| if v == Lv::U { Lv::Zero } else { v }))
-        };
+        let fill =
+            |p: &Pattern| Pattern::new(p.iter().map(|&v| if v == Lv::U { Lv::Zero } else { v }));
         let pats = vec![fill(&launch), fill(&capture)];
         let good = icd_faultsim::good_simulate(&c, &pats).unwrap();
         let det = icd_faultsim::detects(&c, &good, &fault);

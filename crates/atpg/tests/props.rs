@@ -4,7 +4,7 @@
 
 use icd_atpg::{justify, podem, transition_pair};
 use icd_cells::CellLibrary;
-use icd_faultsim::{detects_any, good_simulate, GateFault, ternary_simulate};
+use icd_faultsim::{detects_any, good_simulate, ternary_simulate, GateFault};
 use icd_logic::{Lv, Pattern};
 use icd_netlist::{generator, Circuit};
 use proptest::prelude::*;
@@ -25,13 +25,11 @@ fn random_circuit(seed: u64, gates: usize) -> Circuit {
 }
 
 fn fill(pattern: &Pattern, with: bool) -> Pattern {
-    Pattern::new(pattern.iter().map(|&v| {
-        if v == Lv::U {
-            Lv::from(with)
-        } else {
-            v
-        }
-    }))
+    Pattern::new(
+        pattern
+            .iter()
+            .map(|&v| if v == Lv::U { Lv::from(with) } else { v }),
+    )
 }
 
 proptest! {

@@ -16,7 +16,9 @@ fn bench_ablation(c: &mut Criterion) {
         let cell = cells.get(name).expect("exists").netlist().clone();
         let n = cell.num_inputs();
         let vector = |i: usize| -> Vec<bool> { (0..n).map(|k| (i >> k) & 1 == 1).collect() };
-        let lfp: Vec<LocalTest> = (0..3).map(|i| LocalTest::static_vector(vector(i))).collect();
+        let lfp: Vec<LocalTest> = (0..3)
+            .map(|i| LocalTest::static_vector(vector(i)))
+            .collect();
         let lpp: Vec<LocalTest> = (3..9)
             .map(|i| LocalTest::static_vector(vector(i % (1 << n))))
             .collect();
@@ -45,7 +47,7 @@ fn bench_ablation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = Criterion::default()
         .warm_up_time(std::time::Duration::from_millis(500))

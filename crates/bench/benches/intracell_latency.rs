@@ -11,7 +11,9 @@ use icd_core::{diagnose, LocalTest};
 fn local_sets(inputs: usize) -> (Vec<LocalTest>, Vec<LocalTest>) {
     // Paper-sized sets: about 3 failing and 6 passing local patterns.
     let vector = |i: usize| -> Vec<bool> { (0..inputs).map(|k| (i >> k) & 1 == 1).collect() };
-    let lfp = (0..3).map(|i| LocalTest::static_vector(vector(i))).collect();
+    let lfp = (0..3)
+        .map(|i| LocalTest::static_vector(vector(i)))
+        .collect();
     let lpp = (3..9)
         .map(|i| LocalTest::static_vector(vector(i % (1 << inputs))))
         .collect();
@@ -35,7 +37,7 @@ fn bench_diagnose(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = Criterion::default()
         .warm_up_time(std::time::Duration::from_millis(500))

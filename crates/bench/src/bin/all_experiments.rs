@@ -17,7 +17,10 @@ fn main() {
     run("table5", icd_bench::tables::table5(scale).map(|(s, _)| s));
     run("table6", icd_bench::tables::table6(scale));
     run("table7", icd_bench::silicon::table7(scale).map(|(s, _)| s));
-    run("circuit_m", icd_bench::silicon::circuit_m_report(scale).map(|(s, _)| s));
+    run(
+        "circuit_m",
+        icd_bench::silicon::circuit_m_report(scale).map(|(s, _)| s),
+    );
     run("circuit_c", icd_bench::silicon::circuit_c_report(scale));
     run("fig1", icd_bench::figures::fig1_defect_classes());
     run("fig4", icd_bench::figures::fig4_taxonomy());

@@ -1,0 +1,11 @@
+//! Runs the noise-tolerance accuracy sweep (fail-memory truncation and
+//! spurious-fail rates).
+fn main() {
+    match icd_bench::noise_sweep::noise_sweep_report() {
+        Ok(s) => print!("{s}"),
+        Err(e) => {
+            eprintln!("noise_sweep failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -13,8 +13,10 @@ use icd_faultsim::{good_simulate, run_test, FaultyGate};
 use icd_netlist::generator;
 
 fn check(config: &generator::GeneratorConfig, patterns: usize) {
-    println!("=== circuit {} ({} gates, {} FFs, {} chains) ===",
-        config.name, config.gates, config.flip_flops, config.scan_chains);
+    println!(
+        "=== circuit {} ({} gates, {} FFs, {} chains) ===",
+        config.name, config.gates, config.flip_flops, config.scan_chains
+    );
 
     let t0 = Instant::now();
     let ctx = ExperimentContext::from_preset(config, 1, patterns).expect("builds");

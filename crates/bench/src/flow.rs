@@ -7,9 +7,7 @@ use icd_cells::CellLibrary;
 use icd_core::{diagnose as intra_diagnose, DiagnosisReport, LocalTest};
 use icd_defects::{GroundTruth, InjectedDefect};
 use icd_faultsim::{run_test, FaultSimError, FaultyGate};
-use icd_intercell::{
-    IntercellError, LocalPattern,
-};
+use icd_intercell::{IntercellError, LocalPattern};
 use icd_logic::Pattern;
 use icd_netlist::{generator, Circuit, GateId, Library};
 
@@ -20,6 +18,9 @@ pub enum FlowError {
     NotObservable,
     /// The circuit contains no instance of the requested cell.
     NoInstance(String),
+    /// A suspected gate has no local failing pattern — nothing for the
+    /// intra-cell engine to work on. A per-gate degradation, never fatal.
+    NoLocalFailures,
     /// Tester emulation failed.
     FaultSim(FaultSimError),
     /// Inter-cell diagnosis failed.
@@ -39,6 +40,9 @@ impl fmt::Display for FlowError {
             FlowError::NoInstance(cell) => {
                 write!(f, "circuit contains no instance of cell {cell:?}")
             }
+            FlowError::NoLocalFailures => {
+                write!(f, "suspected gate has no local failing pattern")
+            }
             FlowError::FaultSim(e) => write!(f, "tester emulation failed: {e}"),
             FlowError::Intercell(e) => write!(f, "inter-cell diagnosis failed: {e}"),
             FlowError::Core(e) => write!(f, "intra-cell diagnosis failed: {e}"),
@@ -48,7 +52,20 @@ impl fmt::Display for FlowError {
     }
 }
 
-impl Error for FlowError {}
+impl Error for FlowError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FlowError::NotObservable | FlowError::NoInstance(_) | FlowError::NoLocalFailures => {
+                None
+            }
+            FlowError::FaultSim(e) => Some(e),
+            FlowError::Intercell(e) => Some(e),
+            FlowError::Core(e) => Some(e),
+            FlowError::Netlist(e) => Some(e),
+            FlowError::Defect(e) => Some(e),
+        }
+    }
+}
 
 impl From<FaultSimError> for FlowError {
     fn from(e: FaultSimError) -> Self {
@@ -244,6 +261,86 @@ pub fn ground_truth_hit(
 /// How many top inter-cell candidates receive an intra-cell analysis.
 const MAX_ANALYZED_GATES: usize = 4;
 
+/// The stage of the flow in which a per-gate failure occurred.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlowStage {
+    /// DUT simulation / local pattern extraction for a suspected gate.
+    LocalExtraction,
+    /// Looking the suspected gate's cell up in the transistor-level
+    /// library.
+    CellLookup,
+    /// Intra-cell (switch-level) diagnosis.
+    IntraCell,
+    /// Simulation-based candidate ranking.
+    Ranking,
+}
+
+impl fmt::Display for FlowStage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            FlowStage::LocalExtraction => "local pattern extraction",
+            FlowStage::CellLookup => "cell lookup",
+            FlowStage::IntraCell => "intra-cell diagnosis",
+            FlowStage::Ranking => "candidate ranking",
+        })
+    }
+}
+
+/// One suspected gate the staged flow could not analyze, with the stage
+/// and structured cause — the audit trail of a degraded diagnosis.
+#[derive(Debug)]
+pub struct SkippedGate {
+    /// The suspected gate.
+    pub gate: GateId,
+    /// Where its analysis failed.
+    pub stage: FlowStage,
+    /// Why.
+    pub error: FlowError,
+}
+
+/// The staged flow's result: every suspect that could be diagnosed plus a
+/// structured record of every suspect that could not. One poisoned
+/// suspect no longer aborts the whole diagnosis — its failure is recorded
+/// in [`FlowReport::skipped`] and the flow continues.
+#[derive(Debug)]
+pub struct FlowReport {
+    /// Failing patterns in the (sanitized) datalog.
+    pub failing_patterns: usize,
+    /// What datalog sanitation had to repair before diagnosis.
+    pub sanitize: icd_faultsim::SanitizeLog,
+    /// Intra-cell analyses, in inter-cell rank order.
+    pub analyses: Vec<GateAnalysis>,
+    /// Suspected gates whose analysis failed, with stage and cause.
+    pub skipped: Vec<SkippedGate>,
+    /// Failing patterns the inter-cell cover left unexplained.
+    pub unexplained: Vec<usize>,
+}
+
+impl FlowReport {
+    /// Whether the device passed every pattern (test escape).
+    pub fn is_escape(&self) -> bool {
+        self.failing_patterns == 0
+    }
+
+    /// The top-ranked suspected gate's analysis.
+    pub fn best(&self) -> Option<&GateAnalysis> {
+        self.analyses.first()
+    }
+
+    /// The analysis of a specific gate, if it was among the suspects.
+    pub fn analysis_of(&self, gate: GateId) -> Option<&GateAnalysis> {
+        self.analyses.iter().find(|a| a.gate == gate)
+    }
+
+    /// Whether anything was lost on the way: corrupt datalog entries
+    /// repaired, suspects skipped on errors, or failing patterns no
+    /// candidate explains. A clean run on a clean datalog is not
+    /// degraded.
+    pub fn is_degraded(&self) -> bool {
+        !self.sanitize.is_clean() || !self.skipped.is_empty() || !self.unexplained.is_empty()
+    }
+}
+
 /// Runs the complete Fig.-2 flow: tester emulation with the injected
 /// defect, inter-cell diagnosis, then DUT simulation (local patterns) and
 /// intra-cell diagnosis for each top suspected gate.
@@ -258,6 +355,23 @@ pub fn run_flow(
     target_gate: GateId,
     injected: &InjectedDefect,
 ) -> Result<FlowOutcome, FlowError> {
+    let report = run_flow_report(ctx, target_gate, injected)?;
+    outcome_from_report(report)
+}
+
+/// [`run_flow`] as a staged runner: per-suspect failures are recorded in
+/// the report instead of aborting the flow.
+///
+/// # Errors
+///
+/// Returns an error only when a *whole-circuit* stage fails (tester
+/// emulation, good-machine simulation, inter-cell diagnosis) — per-gate
+/// failures degrade the report instead.
+pub fn run_flow_report(
+    ctx: &ExperimentContext,
+    target_gate: GateId,
+    injected: &InjectedDefect,
+) -> Result<FlowReport, FlowError> {
     let behavior = injected
         .characterization
         .behavior
@@ -265,7 +379,7 @@ pub fn run_flow(
         .ok_or(FlowError::NotObservable)?;
     let faulty = FaultyGate::new(target_gate, behavior);
     let datalog = run_test(&ctx.circuit, &ctx.patterns, &faulty)?;
-    analyze_datalog(ctx, &datalog)
+    analyze_datalog_report(ctx, &datalog)
 }
 
 /// The inter-cell + intra-cell back half of the flow, reusable for
@@ -274,21 +388,64 @@ pub fn run_flow(
 ///
 /// # Errors
 ///
-/// See [`run_flow`].
+/// Fails on the first per-gate error (fail-fast, classical behaviour);
+/// use [`analyze_datalog_report`] for the graceful variant.
 pub fn analyze_datalog(
     ctx: &ExperimentContext,
     datalog: &icd_faultsim::Datalog,
 ) -> Result<FlowOutcome, FlowError> {
+    let report = analyze_datalog_report(ctx, datalog)?;
+    outcome_from_report(report)
+}
+
+/// Demotes a [`FlowReport`] to the fail-fast [`FlowOutcome`]: the first
+/// recorded per-gate *error* is re-raised (a suspect skipped merely for
+/// lacking local failing evidence is not an error).
+fn outcome_from_report(report: FlowReport) -> Result<FlowOutcome, FlowError> {
+    if let Some(skip) = report
+        .skipped
+        .into_iter()
+        .find(|s| !matches!(s.error, FlowError::NoLocalFailures))
+    {
+        return Err(skip.error);
+    }
+    Ok(FlowOutcome {
+        failing_patterns: report.failing_patterns,
+        analyses: report.analyses,
+    })
+}
+
+/// The graceful, staged back half of the flow.
+///
+/// The datalog is sanitized first ([`icd_faultsim::Datalog::sanitize`]),
+/// so corrupt-but-parseable tester output (duplicated, reordered,
+/// out-of-range entries) is repaired and the repairs recorded. Each
+/// suspected gate is then analyzed independently: a failure in its local
+/// pattern extraction, cell lookup, intra-cell diagnosis or ranking is
+/// recorded in [`FlowReport::skipped`] and the remaining suspects still
+/// get their diagnosis.
+///
+/// # Errors
+///
+/// Returns an error only when a whole-circuit stage fails: good-machine
+/// simulation or inter-cell diagnosis.
+pub fn analyze_datalog_report(
+    ctx: &ExperimentContext,
+    datalog: &icd_faultsim::Datalog,
+) -> Result<FlowReport, FlowError> {
+    let (datalog, sanitize) = datalog.sanitize(ctx.circuit.outputs().len());
     if datalog.all_pass() {
-        return Ok(FlowOutcome {
+        return Ok(FlowReport {
             failing_patterns: 0,
+            sanitize,
             analyses: Vec::new(),
+            skipped: Vec::new(),
+            unexplained: Vec::new(),
         });
     }
     // One shared good simulation for every stage.
     let good = icd_faultsim::good_simulate(&ctx.circuit, &ctx.patterns)?;
-    let inter =
-        icd_intercell::diagnose_with_good(&ctx.circuit, &ctx.patterns, datalog, &good)?;
+    let inter = icd_intercell::diagnose_with_good(&ctx.circuit, &ctx.patterns, &datalog, &good)?;
     // Analyze the multiplet first, then remaining top-ranked candidates.
     let mut gates: Vec<GateId> = inter.multiplet.clone();
     for c in &inter.candidates {
@@ -300,58 +457,87 @@ pub fn analyze_datalog(
         }
     }
     let mut analyses = Vec::with_capacity(gates.len());
+    let mut skipped = Vec::new();
     for gate in gates {
-        // Per-gate datalog view: only the failing patterns this gate
-        // *explains* (it lies on their critical paths) are local failing
-        // evidence; the other defects' failures become locally passing
-        // candidates, subject to the observability check. With a single
-        // defect this is the identity filter.
-        let explained: std::collections::HashSet<usize> = inter
-            .candidates
-            .iter()
-            .find(|c| c.gate == gate)
-            .map(|c| c.explained.iter().copied().collect())
-            .unwrap_or_default();
-        let gate_view = icd_faultsim::Datalog {
-            circuit_name: datalog.circuit_name.clone(),
-            num_patterns: datalog.num_patterns,
-            entries: datalog
-                .entries
-                .iter()
-                .filter(|e| explained.contains(&e.pattern_index))
-                .cloned()
-                .collect(),
-        };
-        let local = icd_intercell::extract_local_patterns_with_good(
-            &ctx.circuit,
-            &ctx.patterns,
-            &gate_view,
-            gate,
-            &good,
-        )?;
-        let lfp = to_local_tests(&local.lfp);
-        let lpp = to_local_tests(&local.lpp);
-        if lfp.is_empty() {
-            continue; // this candidate never saw a failing pattern
+        match analyze_gate(ctx, &datalog, &inter, &good, gate) {
+            Ok(analysis) => analyses.push(analysis),
+            Err((stage, error)) => skipped.push(SkippedGate { gate, stage, error }),
         }
-        let cell = ctx
-            .cells
-            .get(ctx.circuit.gate_type(gate).name())
-            .ok_or_else(|| FlowError::NoInstance(ctx.circuit.gate_type(gate).name().into()))?
-            .netlist();
-        let report = intra_diagnose(cell, &lfp, &lpp)?;
-        let ranked = icd_core::rank_candidates(cell, &report, &lfp, &lpp)?;
-        analyses.push(GateAnalysis {
-            gate,
-            lfp: lfp.len(),
-            lpp: lpp.len(),
-            report,
-            ranked,
-        });
     }
-    Ok(FlowOutcome {
+    Ok(FlowReport {
         failing_patterns: datalog.entries.len(),
+        sanitize,
         analyses,
+        skipped,
+        unexplained: inter.unexplained,
+    })
+}
+
+/// The per-suspect pipeline: local pattern extraction, cell lookup,
+/// intra-cell diagnosis, ranking. Errors carry the failing stage so the
+/// staged runner can record exactly where a suspect was lost.
+fn analyze_gate(
+    ctx: &ExperimentContext,
+    datalog: &icd_faultsim::Datalog,
+    inter: &icd_intercell::IntercellDiagnosis,
+    good: &icd_faultsim::BitValues,
+    gate: GateId,
+) -> Result<GateAnalysis, (FlowStage, FlowError)> {
+    // Per-gate datalog view: only the failing patterns this gate
+    // *explains* (it lies on their critical paths) are local failing
+    // evidence; the other defects' failures become locally passing
+    // candidates, subject to the observability check. With a single
+    // defect this is the identity filter.
+    let explained: std::collections::HashSet<usize> = inter
+        .candidates
+        .iter()
+        .find(|c| c.gate == gate)
+        .map(|c| c.explained.iter().copied().collect())
+        .unwrap_or_default();
+    let gate_view = icd_faultsim::Datalog {
+        circuit_name: datalog.circuit_name.clone(),
+        num_patterns: datalog.num_patterns,
+        entries: datalog
+            .entries
+            .iter()
+            .filter(|e| explained.contains(&e.pattern_index))
+            .cloned()
+            .collect(),
+    };
+    let local = icd_intercell::extract_local_patterns_with_good(
+        &ctx.circuit,
+        &ctx.patterns,
+        &gate_view,
+        gate,
+        good,
+    )
+    .map_err(|e| (FlowStage::LocalExtraction, FlowError::Intercell(e)))?;
+    let lfp = to_local_tests(&local.lfp);
+    let lpp = to_local_tests(&local.lpp);
+    if lfp.is_empty() {
+        // This candidate never saw a failing pattern.
+        return Err((FlowStage::LocalExtraction, FlowError::NoLocalFailures));
+    }
+    let cell = ctx
+        .cells
+        .get(ctx.circuit.gate_type(gate).name())
+        .ok_or_else(|| {
+            (
+                FlowStage::CellLookup,
+                FlowError::NoInstance(ctx.circuit.gate_type(gate).name().into()),
+            )
+        })?
+        .netlist();
+    let report =
+        intra_diagnose(cell, &lfp, &lpp).map_err(|e| (FlowStage::IntraCell, FlowError::Core(e)))?;
+    let ranked = icd_core::rank_candidates(cell, &report, &lfp, &lpp)
+        .map_err(|e| (FlowStage::Ranking, FlowError::Core(e)))?;
+    Ok(GateAnalysis {
+        gate,
+        lfp: lfp.len(),
+        lpp: lpp.len(),
+        report,
+        ranked,
     })
 }
 
@@ -399,5 +585,131 @@ mod tests {
         let ctx = ExperimentContext::circuit_a().unwrap();
         assert_eq!(ctx.patterns.len(), 25);
         assert_eq!(ctx.circuit.num_gates(), 258);
+    }
+
+    /// Picks, for `cell_name`, the (instance, defect) pair of a small
+    /// stuck-class sample that excites the most failing patterns.
+    fn excited_target(
+        ctx: &ExperimentContext,
+        cell_name: &str,
+        seed: u64,
+    ) -> (GateId, icd_defects::InjectedDefect) {
+        let cell = ctx.cells.get(cell_name).unwrap();
+        let mix = MixConfig {
+            stuck: 1.0,
+            bridge: 0.0,
+            delay: 0.0,
+            ..MixConfig::default()
+        };
+        let sample = sample_defects(cell.netlist(), 8, &mix, seed).unwrap();
+        ctx.instances_of(cell_name)
+            .into_iter()
+            .flat_map(|gate| sample.iter().map(move |inj| (gate, inj)))
+            .filter_map(|(gate, inj)| {
+                let behavior = inj.characterization.behavior.clone()?;
+                let log = run_test(
+                    &ctx.circuit,
+                    &ctx.patterns,
+                    &FaultyGate::new(gate, behavior),
+                )
+                .ok()?;
+                (!log.all_pass()).then(|| (log.entries.len(), gate, inj.clone()))
+            })
+            .max_by_key(|&(fails, gate, _)| (fails, std::cmp::Reverse(gate)))
+            .map(|(_, gate, inj)| (gate, inj))
+            .expect("some sampled defect is excited")
+    }
+
+    #[test]
+    fn poisoned_suspect_degrades_but_does_not_abort() {
+        // Two simultaneous defects in different cell types; then the
+        // library loses one of the cell types. The staged flow must still
+        // diagnose the other suspect and record the skip with its stage.
+        let mut ctx = ExperimentContext::circuit_a().unwrap();
+        let (g1, d1) = excited_target(&ctx, "AO7SVTX1", 0x9050);
+        let (g2, d2) = excited_target(&ctx, "AO6CHVTX4", 0x9051);
+        let faulty = vec![
+            FaultyGate::new(g1, d1.characterization.behavior.clone().unwrap()),
+            FaultyGate::new(g2, d2.characterization.behavior.clone().unwrap()),
+        ];
+        let datalog = icd_faultsim::run_test_multi(&ctx.circuit, &ctx.patterns, &faulty).unwrap();
+
+        // Sanity: the un-poisoned staged flow analyzes both.
+        let healthy = analyze_datalog_report(&ctx, &datalog).unwrap();
+        assert!(healthy.analysis_of(g1).is_some());
+        assert!(healthy.analysis_of(g2).is_some());
+
+        assert!(ctx.cells.remove("AO6CHVTX4"));
+        let report = analyze_datalog_report(&ctx, &datalog).unwrap();
+        assert!(
+            report.analysis_of(g1).is_some(),
+            "healthy suspect lost: {:?}",
+            report.skipped
+        );
+        assert!(report.analysis_of(g2).is_none());
+        let skip = report
+            .skipped
+            .iter()
+            .find(|s| s.gate == g2)
+            .expect("poisoned suspect recorded");
+        assert_eq!(skip.stage, FlowStage::CellLookup);
+        assert!(matches!(&skip.error, FlowError::NoInstance(name) if name == "AO6CHVTX4"));
+        assert!(report.is_degraded());
+
+        // The fail-fast wrapper re-raises the recorded error.
+        assert!(matches!(
+            analyze_datalog(&ctx, &datalog),
+            Err(FlowError::NoInstance(_))
+        ));
+    }
+
+    #[test]
+    fn noisy_datalog_is_sanitized_before_diagnosis() {
+        let ctx = ExperimentContext::circuit_a().unwrap();
+        let (gate, injected) = excited_target(&ctx, "AO7SVTX1", 0x5a11);
+        let behavior = injected.characterization.behavior.clone().unwrap();
+        let clean = run_test(
+            &ctx.circuit,
+            &ctx.patterns,
+            &FaultyGate::new(gate, behavior),
+        )
+        .unwrap();
+
+        // Corrupt the log: duplicate an entry, push one out of range and
+        // reverse the order — the classic STDF-conversion mangling.
+        let mut noisy = clean.clone();
+        noisy.entries.push(noisy.entries[0].clone());
+        noisy.entries.push(icd_faultsim::DatalogEntry {
+            pattern_index: noisy.num_patterns + 7,
+            failing_outputs: vec![0],
+        });
+        noisy.entries.reverse();
+
+        let clean_report = analyze_datalog_report(&ctx, &clean).unwrap();
+        let noisy_report = analyze_datalog_report(&ctx, &noisy).unwrap();
+        assert!(!noisy_report.sanitize.is_clean());
+        assert!(noisy_report.is_degraded());
+        assert_eq!(
+            noisy_report.failing_patterns, clean_report.failing_patterns,
+            "sanitation restores the clean entry set"
+        );
+        assert_eq!(
+            noisy_report.analysis_of(gate).is_some(),
+            clean_report.analysis_of(gate).is_some()
+        );
+    }
+
+    #[test]
+    fn flow_report_on_all_pass_is_clean_escape() {
+        let ctx = ExperimentContext::circuit_a().unwrap();
+        let empty = icd_faultsim::Datalog {
+            circuit_name: ctx.circuit.name().to_owned(),
+            num_patterns: ctx.patterns.len(),
+            entries: vec![],
+        };
+        let report = analyze_datalog_report(&ctx, &empty).unwrap();
+        assert!(report.is_escape());
+        assert!(!report.is_degraded());
+        assert!(report.best().is_none());
     }
 }

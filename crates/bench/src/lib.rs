@@ -14,13 +14,15 @@
 #![warn(missing_docs)]
 
 pub mod figures;
-pub mod multi;
 pub mod flow;
+pub mod multi;
+pub mod noise_sweep;
 pub mod silicon;
 pub mod tables;
 
 pub use flow::{
-    pattern_set_for, run_flow, to_local_tests, ExperimentContext, FlowError, FlowOutcome,
+    analyze_datalog, analyze_datalog_report, pattern_set_for, run_flow, run_flow_report,
+    to_local_tests, ExperimentContext, FlowError, FlowOutcome, FlowReport, FlowStage, SkippedGate,
 };
 
 /// Experiment sizing.

@@ -107,7 +107,9 @@ pub fn multiplet_report() -> Result<String, FlowError> {
     for count in 1..=3usize {
         let mut targets = Vec::new();
         for name in cell_names.iter().take(count) {
-            let gate = ctx.instance_of(name)?;
+            if ctx.instances_of(name).is_empty() {
+                return Err(FlowError::NoInstance((*name).to_owned()));
+            }
             let cell = ctx.cells.get(name).expect("library cell");
             // A stuck-class defect per cell keeps the merged behaviour
             // crisp.
@@ -117,9 +119,27 @@ pub fn multiplet_report() -> Result<String, FlowError> {
                 delay: 0.0,
                 ..MixConfig::default()
             };
-            let injected = sample_defects(cell.netlist(), 1, &mix, 0xdac + count as u64)?
-                .pop()
-                .expect("one defect sampled");
+            // Sample a small batch and keep the first (instance, defect)
+            // pair the applied pattern set actually excites: a defect that
+            // never produces a failing pattern is a test escape, not a
+            // diagnosable device.
+            let sample = sample_defects(cell.netlist(), 8, &mix, 0xdac + count as u64)?;
+            let excited = ctx
+                .instances_of(name)
+                .into_iter()
+                .flat_map(|gate| sample.iter().map(move |injected| (gate, injected)))
+                .filter_map(|(gate, injected)| {
+                    let behavior = injected.characterization.behavior.clone()?;
+                    let log = icd_faultsim::run_test(
+                        &ctx.circuit,
+                        &ctx.patterns,
+                        &FaultyGate::new(gate, behavior),
+                    )
+                    .ok()?;
+                    (!log.all_pass()).then(|| (log.entries.len(), gate, injected.clone()))
+                })
+                .max_by_key(|&(fails, gate, _)| (fails, std::cmp::Reverse(gate)));
+            let (_, gate, injected) = excited.ok_or(FlowError::NotObservable)?;
             targets.push((gate, injected));
         }
         let result = run_multiplet(&ctx, &targets)?;

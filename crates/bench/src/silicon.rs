@@ -10,8 +10,8 @@ use std::time::Instant;
 
 use icd_core::{diagnose as intra_diagnose, LocalTest};
 use icd_defects::{
-    build_defect_dictionary, build_fault_dictionary, characterize, dictionary_diagnose,
-    Defect, GroundTruth, InjectedDefect, ObservedTest,
+    build_defect_dictionary, build_fault_dictionary, characterize, dictionary_diagnose, Defect,
+    GroundTruth, InjectedDefect, ObservedTest,
 };
 use icd_faultsim::{run_test_gate_fault, FaultyBehavior, FaultyGate, GateFault};
 use icd_logic::Lv;
@@ -50,9 +50,7 @@ fn case_from_flow(
     let analysis = outcome.analysis_of(gate).or_else(|| outcome.best());
     let (intra_result, pfa_confirms) = match analysis {
         None => ("device passed (escape)".to_owned(), false),
-        Some(a) if a.report.is_empty() => {
-            ("empty list: defect outside the cell".to_owned(), false)
-        }
+        Some(a) if a.report.is_empty() => ("empty list: defect outside the cell".to_owned(), false),
         Some(a) => (
             a.report
                 .candidates
@@ -349,8 +347,8 @@ pub fn case_c2() -> Result<DictionaryComparison, FlowError> {
     let fd_hits = dictionary_diagnose(cell, &fdict, &observed);
     let fault_dict_seconds = t0.elapsed().as_secs_f64();
 
-    let cpt_hit = report.suspect_nets(cell).contains(&n125)
-        || report.suspect_nets(cell).contains(&a_net);
+    let cpt_hit =
+        report.suspect_nets(cell).contains(&n125) || report.suspect_nets(cell).contains(&a_net);
     let dd_hit = dd_hits.iter().any(|e| {
         e.characterization.ground_truth.nets.contains(&n125)
             || e.characterization.ground_truth.nets.contains(&a_net)
@@ -428,7 +426,11 @@ pub fn circuit_m_report(scale: RunScale) -> Result<(String, CaseStudy), FlowErro
     let _ = writeln!(
         out,
         "PFA check     : {} (single-defect diagnosis must still point into the defect region)",
-        if case.pfa_confirms { "confirmed" } else { "NOT confirmed" }
+        if case.pfa_confirms {
+            "confirmed"
+        } else {
+            "NOT confirmed"
+        }
     );
     Ok((out, case))
 }
@@ -474,7 +476,10 @@ pub fn circuit_c_report(scale: RunScale) -> Result<String, FlowError> {
     let _ = writeln!(
         out,
         "{:<22} {:>12} {:>14} {:>12.4}",
-        "defect dictionary", cmp.defect_dict_candidates, cmp.defect_dict_size, cmp.defect_dict_seconds
+        "defect dictionary",
+        cmp.defect_dict_candidates,
+        cmp.defect_dict_size,
+        cmp.defect_dict_seconds
     );
     let _ = writeln!(
         out,

@@ -147,8 +147,7 @@ pub fn injection_table(
         };
         // Try sampled defects until one produces failures under the
         // circuit test set (an escape teaches nothing about diagnosis).
-        let candidates =
-            sample_defects(cell.netlist(), 12, &mix, seed ^ hash_name(name))?;
+        let candidates = sample_defects(cell.netlist(), 12, &mix, seed ^ hash_name(name))?;
         let mut row = None;
         for injected in &candidates {
             let outcome = run_flow(&ctx, gate, injected)?;
@@ -192,7 +191,8 @@ pub fn injection_table(
 }
 
 fn hash_name(name: &str) -> u64 {
-    name.bytes().fold(0u64, |h, b| h.wrapping_mul(31) ^ b as u64)
+    name.bytes()
+        .fold(0u64, |h, b| h.wrapping_mul(31) ^ b as u64)
 }
 
 /// Formats Tables 2–4 rows like the paper.
@@ -237,7 +237,10 @@ pub fn table2() -> Result<String, FlowError> {
         ],
         0x7ab1e2,
     )?;
-    Ok(format_injection_table("Table 2 - Stuck-at-Faults Results", &rows))
+    Ok(format_injection_table(
+        "Table 2 - Stuck-at-Faults Results",
+        &rows,
+    ))
 }
 
 /// Table 3: defects leading to bridging faults.
@@ -257,7 +260,10 @@ pub fn table3() -> Result<String, FlowError> {
         ],
         0x7ab1e3,
     )?;
-    Ok(format_injection_table("Table 3 - Bridging-Faults Results", &rows))
+    Ok(format_injection_table(
+        "Table 3 - Bridging-Faults Results",
+        &rows,
+    ))
 }
 
 /// Table 4: defects leading to delay faults.
@@ -271,7 +277,10 @@ pub fn table4() -> Result<String, FlowError> {
         &["AO7NHVTX1", "AO8DHVTX1", "AO5NHVTX1", "AO9SVTX1"],
         0x7ab1e4,
     )?;
-    Ok(format_injection_table("Table 4 - Delay-Faults Results", &rows))
+    Ok(format_injection_table(
+        "Table 4 - Delay-Faults Results",
+        &rows,
+    ))
 }
 
 /// One row of the Table-5 campaign.
@@ -308,8 +317,11 @@ pub struct CampaignRow {
 ///
 /// Returns an error when a stage fails structurally.
 pub fn table5(scale: RunScale) -> Result<(String, Vec<CampaignRow>), FlowError> {
-    let ctx =
-        ExperimentContext::from_preset(&generator::circuit_b(), scale.circuit_divisor, scale.patterns)?;
+    let ctx = ExperimentContext::from_preset(
+        &generator::circuit_b(),
+        scale.circuit_divisor,
+        scale.patterns,
+    )?;
     let mut rows = Vec::new();
     for name in TABLE5_CELL_NAMES {
         let Some(cell) = ctx.cells.get(name) else {
@@ -332,8 +344,7 @@ pub fn table5(scale: RunScale) -> Result<(String, Vec<CampaignRow>), FlowError> 
                 scale.defects_per_instance,
                 &MixConfig::default(),
                 0x5a_17 ^ hash_name(name) ^ (i as u64) << 8,
-            )
-            ?;
+            )?;
             for injected in &sample {
                 let outcome = run_flow(&ctx, gate, injected)?;
                 if outcome.is_escape() {
@@ -381,8 +392,11 @@ pub fn table5(scale: RunScale) -> Result<(String, Vec<CampaignRow>), FlowError> 
     }
 
     let mut out = String::new();
-    let _ = writeln!(out, "Table 5 - Extensive campaign (circuit B / {}; {} patterns)",
-        scale.circuit_divisor, scale.patterns);
+    let _ = writeln!(
+        out,
+        "Table 5 - Extensive campaign (circuit B / {}; {} patterns)",
+        scale.circuit_divisor, scale.patterns
+    );
     let _ = writeln!(
         out,
         "{:<14} {:>6} {:>10} {:>6} {:>6} {:>8} {:>12} {:>14} {:>12}",

@@ -30,12 +30,13 @@
 //! ```
 
 #![forbid(unsafe_code)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::panic))]
 #![warn(missing_docs)]
 
 mod aoi;
 mod basic;
 mod complex;
-pub mod sequential;
 mod library;
+pub mod sequential;
 
 pub use library::{CellLibrary, StdCell, TABLE5_CELL_NAMES};

@@ -96,7 +96,8 @@ impl StdCell {
             let want = icd_logic::Lv::from((self.reference)(&bits));
             let got = table.eval_bits(&bits);
             assert_eq!(
-                got, want,
+                got,
+                want,
                 "cell {} disagrees with its reference on inputs {:?}",
                 self.name(),
                 bits
@@ -159,6 +160,25 @@ impl CellLibrary {
     /// Looks a cell up by name.
     pub fn get(&self, name: &str) -> Option<&StdCell> {
         self.by_name.get(name).map(|&i| &self.cells[i])
+    }
+
+    /// Removes a cell by name, returning whether it was present.
+    ///
+    /// The diagnosis flow treats a suspected gate whose cell is missing
+    /// from the library as a per-gate degradation, not a fatal error;
+    /// this is the hook robustness tests use to produce that situation.
+    pub fn remove(&mut self, name: &str) -> bool {
+        let Some(i) = self.by_name.remove(name) else {
+            return false;
+        };
+        self.cells.remove(i);
+        self.by_name = self
+            .cells
+            .iter()
+            .enumerate()
+            .map(|(k, c)| (c.name().to_owned(), k))
+            .collect();
+        true
     }
 
     /// Number of cells.

@@ -1,7 +1,7 @@
 use std::collections::BTreeSet;
 
 use icd_logic::Lv;
-use icd_switch::{CellNetlist, Forcing, NodeValues, Terminal, TNetId, TransistorId};
+use icd_switch::{CellNetlist, Forcing, NodeValues, TNetId, Terminal, TransistorId};
 
 use crate::{CoreError, DelaySuspectList, SuspectItem, SuspectList};
 
@@ -79,10 +79,10 @@ pub fn transistor_cpt(cell: &CellNetlist, inputs: &[Lv]) -> Result<CptOutcome, C
     let mut worklist: Vec<TNetId> = Vec::new();
 
     let mark_net = |net: TNetId,
-                        suspects: &mut SuspectList,
-                        trace: &mut Vec<SuspectItem>,
-                        net_seen: &mut BTreeSet<TNetId>,
-                        worklist: &mut Vec<TNetId>| {
+                    suspects: &mut SuspectList,
+                    trace: &mut Vec<SuspectItem>,
+                    net_seen: &mut BTreeSet<TNetId>,
+                    worklist: &mut Vec<TNetId>| {
         if cell.is_rail(net) || !net_seen.insert(net) {
             return;
         }
@@ -353,7 +353,8 @@ mod tests {
                     .copied()
                     .collect();
                 assert_eq!(
-                    trace_nets, oracle_nets,
+                    trace_nets,
+                    oracle_nets,
                     "net criticality mismatch: {} under {:?}",
                     nl.name(),
                     bits
@@ -371,7 +372,8 @@ mod tests {
                     .copied()
                     .collect();
                 assert_eq!(
-                    trace_gates, oracle_gates,
+                    trace_gates,
+                    oracle_gates,
                     "gate criticality mismatch: {} under {:?}",
                     nl.name(),
                     bits
@@ -391,7 +393,9 @@ mod tests {
         let nw = cell.find_net("N21").unwrap();
         for combo in 0..4usize {
             let bits = [(combo & 1) == 1, (combo & 2) == 2];
-            let vals = cell.solve(&lv(&bits), &icd_switch::Forcing::none()).unwrap();
+            let vals = cell
+                .solve(&lv(&bits), &icd_switch::Forcing::none())
+                .unwrap();
             let out = transistor_cpt(cell, &lv(&bits)).unwrap();
             let conducting: Vec<String> = if vals.value(nw) == Lv::Zero {
                 (6..12).map(|i| format!("P{i}")).collect()

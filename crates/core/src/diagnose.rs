@@ -4,8 +4,8 @@ use icd_logic::Lv;
 use icd_switch::{CellNetlist, TNetId, TransistorId};
 
 use crate::{
-    delay_suspects, transistor_cpt, BridgeSuspectList, CoreError, DelaySuspectList,
-    SuspectItem, SuspectList,
+    delay_suspects, transistor_cpt, BridgeSuspectList, CoreError, DelaySuspectList, SuspectItem,
+    SuspectList,
 };
 
 /// One local test applied to the suspected cell: the current input vector
@@ -177,7 +177,11 @@ impl DiagnosisReport {
         use std::fmt::Write as _;
         let mut s = String::new();
         if self.is_empty() {
-            let _ = writeln!(s, "no intra-cell candidate: defect is outside {}", cell.name());
+            let _ = writeln!(
+                s,
+                "no intra-cell candidate: defect is outside {}",
+                cell.name()
+            );
             return s;
         }
         if self.dynamic_only {
@@ -316,8 +320,7 @@ pub fn diagnose(
 
     // Definition 3: a local vector both failing and passing discards the
     // static models.
-    let passing_vectors: BTreeSet<&[bool]> =
-        lpp.iter().map(|t| t.inputs.as_slice()).collect();
+    let passing_vectors: BTreeSet<&[bool]> = lpp.iter().map(|t| t.inputs.as_slice()).collect();
     let dynamic_only = lfp
         .iter()
         .any(|t| passing_vectors.contains(t.inputs.as_slice()));
@@ -344,9 +347,11 @@ pub fn diagnose(
             Some(g) => g.intersect(&cdsl),
         });
     }
-    let mut gsl = gsl.expect("lfp checked non-empty");
-    let mut gbsl = gbsl.expect("lfp checked non-empty");
-    let gdsl = gdsl.expect("lfp checked non-empty");
+    // lfp was checked non-empty, so all three lists were initialized; the
+    // graceful fallback keeps the diagnosis path panic-free regardless.
+    let (Some(mut gsl), Some(mut gbsl), Some(gdsl)) = (gsl, gbsl, gdsl) else {
+        return Err(CoreError::NoFailingPatterns);
+    };
 
     if dynamic_only {
         gsl = SuspectList::new();
@@ -434,8 +439,7 @@ mod tests {
             report
                 .candidates
                 .iter()
-                .any(|c| c.location == SuspectLocation::Net(a)
-                    && c.model == FaultModel::StuckAt0),
+                .any(|c| c.location == SuspectLocation::Net(a) && c.model == FaultModel::StuckAt0),
             "A Sa0 not found in: {}",
             report.summary(cell)
         );

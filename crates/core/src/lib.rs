@@ -48,6 +48,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::panic))]
 #![warn(missing_docs)]
 
 mod cpt;

@@ -21,9 +21,7 @@
 use icd_logic::Lv;
 use icd_switch::{CellNetlist, Forcing, TNetId, TransistorId};
 
-use crate::{
-    CoreError, DiagnosisReport, FaultCandidate, FaultModel, LocalTest, SuspectLocation,
-};
+use crate::{CoreError, DiagnosisReport, FaultCandidate, FaultModel, LocalTest, SuspectLocation};
 
 /// One candidate with its simulated evidence.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -43,6 +41,21 @@ impl RankedCandidate {
     /// passing pattern.
     pub fn is_perfect(&self, num_lfp: usize) -> bool {
         self.explains_failing == num_lfp && self.contradicts_passing == 0
+    }
+
+    /// Failing patterns this candidate's model does *not* reproduce — the
+    /// miss direction of the mismatch accounting (same convention as the
+    /// inter-cell `GateCandidate`).
+    pub fn misses(&self, num_lfp: usize) -> usize {
+        num_lfp.saturating_sub(self.explains_failing)
+    }
+
+    /// Total mismatch (misses + contradicted passing patterns). A noisy
+    /// local pattern set — derived from a truncated or spurious-fail
+    /// datalog — makes even the true defect's model imperfect, so
+    /// consumers should compare mismatch counts rather than demand zero.
+    pub fn mismatches(&self, num_lfp: usize) -> usize {
+        self.misses(num_lfp) + self.contradicts_passing
     }
 }
 
@@ -64,6 +77,18 @@ impl RankedDiagnosis {
         self.candidates
             .iter()
             .filter(|c| c.is_perfect(self.num_lfp))
+    }
+
+    /// Candidates whose total mismatch is at most `tolerance` — the
+    /// noise-tolerant relaxation of [`RankedDiagnosis::perfect`]
+    /// (`within_tolerance(0)` is exactly the perfect subset). Under
+    /// datalog noise the true defect typically survives with a small
+    /// nonzero mismatch while unrelated suspects accumulate large ones.
+    pub fn within_tolerance(&self, tolerance: usize) -> impl Iterator<Item = &RankedCandidate> {
+        let num_lfp = self.num_lfp;
+        self.candidates
+            .iter()
+            .filter(move |c| c.mismatches(num_lfp) <= tolerance)
     }
 
     /// The improved resolution: distinct locations among perfect
@@ -263,14 +288,62 @@ mod tests {
         // The "A stuck-at-0" candidate must be perfect.
         let perfect: Vec<_> = ranked.perfect().collect();
         assert!(
-            perfect.iter().any(|c| c.candidate.location == SuspectLocation::Net(a)
-                && c.candidate.model == FaultModel::StuckAt0),
+            perfect
+                .iter()
+                .any(|c| c.candidate.location == SuspectLocation::Net(a)
+                    && c.candidate.model == FaultModel::StuckAt0),
             "A Sa0 not perfect: {:?}",
             perfect
         );
         // And the top-ranked candidate must be perfect too.
         let top = &ranked.candidates[0];
         assert!(top.is_perfect(ranked.num_lfp));
+    }
+
+    #[test]
+    fn zero_tolerance_matches_the_perfect_subset() {
+        let cells = CellLibrary::standard();
+        let cell = cells.get("AO7SVTX1").unwrap().netlist();
+        let a = cell.find_net("A").unwrap();
+        let ch = characterize(cell, &Defect::hard_short(a, cell.gnd())).unwrap();
+        let (lfp, lpp) = local_patterns_static(cell, &ch.behavior.unwrap());
+        let report = diagnose(cell, &lfp, &lpp).unwrap();
+        let ranked = rank_candidates(cell, &report, &lfp, &lpp).unwrap();
+        let perfect: Vec<_> = ranked.perfect().collect();
+        let zero_tol: Vec<_> = ranked.within_tolerance(0).collect();
+        assert_eq!(perfect, zero_tol);
+        // Relaxing the tolerance is monotone.
+        assert!(ranked.within_tolerance(2).count() >= zero_tol.len());
+        // Mismatch accounting is consistent.
+        for c in &ranked.candidates {
+            assert_eq!(
+                c.mismatches(ranked.num_lfp),
+                c.misses(ranked.num_lfp) + c.contradicts_passing
+            );
+        }
+    }
+
+    #[test]
+    fn true_defect_survives_thinned_local_patterns() {
+        // Drop some local failing patterns (the cell-level shadow of
+        // datalog truncation): the true model keeps a zero mismatch while
+        // still being judged against the full passing set.
+        let cells = CellLibrary::standard();
+        let cell = cells.get("AO7SVTX1").unwrap().netlist();
+        let a = cell.find_net("A").unwrap();
+        let ch = characterize(cell, &Defect::hard_short(a, cell.gnd())).unwrap();
+        let (lfp, lpp) = local_patterns_static(cell, &ch.behavior.unwrap());
+        assert!(lfp.len() >= 2);
+        let thinned: Vec<LocalTest> = lfp.iter().take(1).cloned().collect();
+        let report = diagnose(cell, &thinned, &lpp).unwrap();
+        let ranked = rank_candidates(cell, &report, &thinned, &lpp).unwrap();
+        assert!(
+            ranked
+                .within_tolerance(0)
+                .any(|c| c.candidate.location == SuspectLocation::Net(a)),
+            "true defect lost under thinning: {:?}",
+            ranked.candidates
+        );
     }
 
     #[test]
@@ -335,8 +408,9 @@ mod tests {
         let ranked = rank_candidates(cell, &report, &lfp, &lpp).unwrap();
         // The true slow transistor must be a perfect candidate.
         assert!(
-            ranked.perfect().any(|c| c.candidate.location
-                == SuspectLocation::Transistor(n0)),
+            ranked
+                .perfect()
+                .any(|c| c.candidate.location == SuspectLocation::Transistor(n0)),
             "N0 not perfect: {:?}",
             ranked.candidates
         );

@@ -2,7 +2,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 use icd_logic::Lv;
-use icd_switch::{CellNetlist, Terminal, TNetId, TransistorId};
+use icd_switch::{CellNetlist, TNetId, Terminal, TransistorId};
 
 /// One suspect location inside the cell: a net or a transistor terminal —
 /// exactly the granularity of the paper's suspect lists (`Net118`, `T5G`,
@@ -161,9 +161,7 @@ impl BridgeSuspectList {
 
     /// Iterates over `((victim, aggressor), (victim value, aggressor
     /// value))`.
-    pub fn iter(
-        &self,
-    ) -> impl Iterator<Item = (&(TNetId, TNetId), &(Lv, Lv))> {
+    pub fn iter(&self) -> impl Iterator<Item = (&(TNetId, TNetId), &(Lv, Lv))> {
         self.entries.iter()
     }
 
@@ -286,7 +284,9 @@ mod tests {
 
     #[test]
     fn sl_intersection_requires_equal_values() {
-        let a: SuspectList = [(net(0), Lv::One), (net(1), Lv::Zero)].into_iter().collect();
+        let a: SuspectList = [(net(0), Lv::One), (net(1), Lv::Zero)]
+            .into_iter()
+            .collect();
         let b: SuspectList = [(net(0), Lv::One), (net(1), Lv::One)].into_iter().collect();
         let i = a.intersect(&b);
         assert_eq!(i.len(), 1);
@@ -295,7 +295,9 @@ mod tests {
 
     #[test]
     fn sl_subtract_requires_equal_values() {
-        let a: SuspectList = [(net(0), Lv::One), (net(1), Lv::Zero)].into_iter().collect();
+        let a: SuspectList = [(net(0), Lv::One), (net(1), Lv::Zero)]
+            .into_iter()
+            .collect();
         let v: SuspectList = [(net(0), Lv::One), (net(1), Lv::One)].into_iter().collect();
         let d = a.subtract(&v);
         // net0 vindicated (same value); net1 kept (different value).

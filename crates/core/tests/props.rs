@@ -2,9 +2,9 @@
 //! procedure, over random complementary CMOS cells and the standard
 //! library.
 
-use icd_core::{
-    critical_oracle, delay_suspects, diagnose, transistor_cpt, LocalTest, SuspectItem,
-};
+#![allow(clippy::unwrap_used, clippy::panic)] // test code
+
+use icd_core::{critical_oracle, delay_suspects, diagnose, transistor_cpt, LocalTest, SuspectItem};
 use icd_switch::samples::random_cell;
 use icd_switch::{Lv, Terminal};
 use proptest::prelude::*;

@@ -1,6 +1,6 @@
 use icd_faultsim::{DelayTable, FaultyBehavior};
 use icd_logic::Lv;
-use icd_switch::{CellNetlist, Forcing, Terminal, TNetId, TransistorId, TransistorKind};
+use icd_switch::{CellNetlist, Forcing, TNetId, Terminal, TransistorId, TransistorKind};
 
 use crate::{classify, BehaviorClass, Defect, DefectError};
 
@@ -42,10 +42,7 @@ fn off_value(kind: TransistorKind) -> Lv {
 fn ground_truth(cell: &CellNetlist, defect: &Defect) -> GroundTruth {
     match *defect {
         Defect::Short { a, b, .. } => GroundTruth {
-            nets: [a, b]
-                .into_iter()
-                .filter(|&n| !cell.is_rail(n))
-                .collect(),
+            nets: [a, b].into_iter().filter(|&n| !cell.is_rail(n)).collect(),
             transistors: Vec::new(),
             description: defect.describe(cell),
         },
@@ -97,7 +94,11 @@ pub fn characterize(cell: &CellNetlist, defect: &Defect) -> Result<Characterizat
         (BehaviorClass::StuckLike, &Defect::Short { a, b, .. }) => {
             // Short to a rail: the signal net is pinned to the rail value.
             let (signal, rail) = if cell.is_rail(b) { (a, b) } else { (b, a) };
-            let value = if rail == cell.vdd() { Lv::One } else { Lv::Zero };
+            let value = if rail == cell.vdd() {
+                Lv::One
+            } else {
+                Lv::Zero
+            };
             let forcing = Forcing::none().pin(signal, value);
             Some(FaultyBehavior::Static(cell.truth_table_with(&forcing)?))
         }

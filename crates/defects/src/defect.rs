@@ -1,7 +1,7 @@
 use std::error::Error;
 use std::fmt;
 
-use icd_switch::{CellNetlist, Terminal, TNetId, TransistorId};
+use icd_switch::{CellNetlist, TNetId, Terminal, TransistorId};
 
 /// Resistance thresholds of the behaviour classification.
 ///

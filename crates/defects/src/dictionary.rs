@@ -121,11 +121,7 @@ pub fn build_fault_dictionary(cell: &CellNetlist) -> Result<Vec<DictionaryEntry>
 
 /// Predicted tester outcome of one entry on one two-pattern test, with the
 /// charge-retention semantics of the gate-level tester model.
-fn predicted_fail(
-    cell: &CellNetlist,
-    behavior: &FaultyBehavior,
-    test: &ObservedTest,
-) -> bool {
+fn predicted_fail(cell: &CellNetlist, behavior: &FaultyBehavior, test: &ObservedTest) -> bool {
     let good = cell
         .truth_table()
         .expect("dictionary cells always evaluate");
@@ -163,10 +159,7 @@ mod tests {
     use super::*;
     use icd_cells::CellLibrary;
 
-    fn observed_from(
-        cell: &CellNetlist,
-        behavior: &FaultyBehavior,
-    ) -> Vec<ObservedTest> {
+    fn observed_from(cell: &CellNetlist, behavior: &FaultyBehavior) -> Vec<ObservedTest> {
         let good = cell.truth_table().unwrap();
         let n = cell.num_inputs();
         let mut out = Vec::new();
@@ -180,7 +173,9 @@ mod tests {
                 out.push(ObservedTest {
                     previous: pb.clone(),
                     inputs: cb,
-                    failing: eff.conflicts_with(good.eval_bits(&(0..n).map(|k| (cur >> k) & 1 == 1).collect::<Vec<_>>())),
+                    failing: eff.conflicts_with(
+                        good.eval_bits(&(0..n).map(|k| (cur >> k) & 1 == 1).collect::<Vec<_>>()),
+                    ),
                 });
             }
         }
@@ -215,10 +210,7 @@ mod tests {
         assert!(faults.len() < full.len());
         assert!(faults
             .iter()
-            .all(|e| matches!(
-                e.characterization.behavior,
-                Some(FaultyBehavior::Static(_))
-            )));
+            .all(|e| matches!(e.characterization.behavior, Some(FaultyBehavior::Static(_)))));
     }
 
     #[test]

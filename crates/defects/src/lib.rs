@@ -40,6 +40,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::panic))]
 #![warn(missing_docs)]
 
 mod characterize;
@@ -48,7 +49,7 @@ pub mod dictionary;
 mod sample;
 
 pub use characterize::{characterize, Characterization, GroundTruth};
-pub use defect::{classify, BehaviorClass, Defect, DefectError, thresholds};
+pub use defect::{classify, thresholds, BehaviorClass, Defect, DefectError};
 pub use dictionary::{
     build_defect_dictionary, build_fault_dictionary, dictionary_diagnose, DictionaryEntry,
     ObservedTest,

@@ -1,11 +1,9 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use icd_switch::{CellNetlist, Terminal, TNetId, TransistorId};
+use icd_switch::{CellNetlist, TNetId, Terminal, TransistorId};
 
-use crate::{
-    characterize, thresholds, BehaviorClass, Characterization, Defect, DefectError,
-};
+use crate::{characterize, thresholds, BehaviorClass, Characterization, Defect, DefectError};
 
 /// Target mix of observed faulty behaviours for a random campaign.
 ///
@@ -72,11 +70,7 @@ fn log_uniform(rng: &mut StdRng, lo: f64, hi: f64) -> f64 {
     (l + rng.random::<f64>() * (h - l)).exp()
 }
 
-fn random_defect_of_class(
-    cell: &CellNetlist,
-    class: BehaviorClass,
-    rng: &mut StdRng,
-) -> Defect {
+fn random_defect_of_class(cell: &CellNetlist, class: BehaviorClass, rng: &mut StdRng) -> Defect {
     match class {
         BehaviorClass::StuckLike => {
             if rng.random_bool(0.5) {

@@ -1,5 +1,7 @@
 //! Property-based tests for defect classification and characterization.
 
+#![allow(clippy::unwrap_used, clippy::panic)] // test code
+
 use icd_cells::CellLibrary;
 use icd_defects::{characterize, classify, thresholds, BehaviorClass, Defect};
 use icd_switch::Terminal;

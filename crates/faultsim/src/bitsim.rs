@@ -81,11 +81,7 @@ impl MintermEval {
             match v {
                 Lv::One => one_minterms.push(m as u32),
                 Lv::Zero => {}
-                Lv::U => {
-                    return Err(FaultSimError::UnknownGoodValue(format!(
-                        "table entry {m}"
-                    )))
-                }
+                Lv::U => return Err(FaultSimError::UnknownGoodValue(format!("table entry {m}"))),
             }
         }
         Ok(MintermEval {
@@ -180,10 +176,8 @@ mod tests {
 
     fn lib() -> Library {
         let mut lib = Library::new();
-        lib.insert(
-            GateType::new("INV", ["A"], TruthTable::from_fn(1, |b| !b[0])).unwrap(),
-        )
-        .unwrap();
+        lib.insert(GateType::new("INV", ["A"], TruthTable::from_fn(1, |b| !b[0])).unwrap())
+            .unwrap();
         lib.insert(
             GateType::new(
                 "NAND2",
@@ -194,12 +188,7 @@ mod tests {
         )
         .unwrap();
         lib.insert(
-            GateType::new(
-                "XOR2",
-                ["A", "B"],
-                TruthTable::from_fn(2, |b| b[0] ^ b[1]),
-            )
-            .unwrap(),
+            GateType::new("XOR2", ["A", "B"], TruthTable::from_fn(2, |b| b[0] ^ b[1])).unwrap(),
         )
         .unwrap();
         lib
@@ -257,10 +246,7 @@ mod tests {
         let lib = lib();
         let circuit = circuit(&lib);
         let err = good_simulate(&circuit, &[Pattern::from_bits([true])]);
-        assert!(matches!(
-            err,
-            Err(FaultSimError::WrongPatternWidth { .. })
-        ));
+        assert!(matches!(err, Err(FaultSimError::WrongPatternWidth { .. })));
     }
 
     #[test]
@@ -281,7 +267,11 @@ mod tests {
         let c = 0b11110000u64;
         let out = eval.eval_word(&[a, b, c]);
         for combo in 0..8 {
-            let bits = [(a >> combo) & 1 == 1, (b >> combo) & 1 == 1, (c >> combo) & 1 == 1];
+            let bits = [
+                (a >> combo) & 1 == 1,
+                (b >> combo) & 1 == 1,
+                (c >> combo) & 1 == 1,
+            ];
             assert_eq!((out >> combo) & 1 == 1, t.eval_bits(&bits) == Lv::One);
         }
     }

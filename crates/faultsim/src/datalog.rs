@@ -258,19 +258,18 @@ pub fn run_test_multi(
         let mut ins_lv: Vec<Lv> = Vec::with_capacity(8);
         for &gate in circuit.topo_order() {
             ins_lv.clear();
-            ins_lv.extend(
-                circuit
-                    .gate_inputs(gate)
-                    .iter()
-                    .map(|&n| values[n.index()]),
-            );
+            ins_lv.extend(circuit.gate_inputs(gate).iter().map(|&n| values[n.index()]));
             let out = circuit.gate_output(gate);
             values[out.index()] = match by_gate.get(&gate.index()) {
-                None => circuit
-                    .gate_type(gate)
-                    .table()
-                    .eval(&ins_lv)
-                    .expect("arity checked at construction"),
+                // Arity is checked at circuit construction; the graceful
+                // fallback (treat an eval failure as arity mismatch) keeps
+                // the tester path panic-free.
+                None => circuit.gate_type(gate).table().eval(&ins_lv).map_err(|_| {
+                    FaultSimError::WrongFaultArity {
+                        expected: circuit.gate_type(gate).num_inputs(),
+                        got: ins_lv.len(),
+                    }
+                })?,
                 Some(f) => {
                     // Unknown faulty-machine inputs are pessimistically
                     // resolved to the good value for the behaviour lookup.
@@ -280,7 +279,10 @@ pub fn run_test_multi(
                         .zip(ins_lv.iter())
                         .map(|(&n, &v)| v.to_bool().unwrap_or(good.value(n, t)))
                         .collect();
-                    let prev = prev_in.get(&gate.index()).cloned().unwrap_or_else(|| cur.clone());
+                    let prev = prev_in
+                        .get(&gate.index())
+                        .cloned()
+                        .unwrap_or_else(|| cur.clone());
                     let po = prev_out
                         .get(&gate.index())
                         .copied()
@@ -323,17 +325,10 @@ mod tests {
 
     fn lib() -> Library {
         let mut lib = Library::new();
+        lib.insert(GateType::new("INV", ["A"], TruthTable::from_fn(1, |b| !b[0])).unwrap())
+            .unwrap();
         lib.insert(
-            GateType::new("INV", ["A"], TruthTable::from_fn(1, |b| !b[0])).unwrap(),
-        )
-        .unwrap();
-        lib.insert(
-            GateType::new(
-                "AND2",
-                ["A", "B"],
-                TruthTable::from_fn(2, |b| b[0] & b[1]),
-            )
-            .unwrap(),
+            GateType::new("AND2", ["A", "B"], TruthTable::from_fn(2, |b| b[0] & b[1])).unwrap(),
         )
         .unwrap();
         lib
@@ -416,11 +411,7 @@ mod tests {
         let lib = lib();
         let (c, g) = circuit(&lib);
         // Cell floats when a=b=1 (like an open pull-up path).
-        let table = TruthTable::from_entries(
-            2,
-            vec![Lv::Zero, Lv::Zero, Lv::Zero, Lv::U],
-        )
-        .unwrap();
+        let table = TruthTable::from_entries(2, vec![Lv::Zero, Lv::Zero, Lv::Zero, Lv::U]).unwrap();
         let faulty = FaultyGate::new(g, FaultyBehavior::Static(table));
         // 00 -> y good 0, retained 0; 11 -> good 1, floating retains 0: FAIL.
         // Then 11 again: still retains 0: FAIL again.
@@ -481,14 +472,16 @@ mod tests {
         let g2 = circ.find_gate("U2").unwrap();
 
         let stuck1 = FaultyGate::new(g1, FaultyBehavior::Static(TruthTable::from_fn(2, |_| true)));
-        let stuck0 = FaultyGate::new(g2, FaultyBehavior::Static(TruthTable::from_fn(2, |_| false)));
+        let stuck0 = FaultyGate::new(
+            g2,
+            FaultyBehavior::Static(TruthTable::from_fn(2, |_| false)),
+        );
         let pats: Vec<Pattern> = (0..16)
             .map(|i| Pattern::from_bits((0..4).map(move |k| (i >> k) & 1 == 1)))
             .collect();
         let log1 = run_test(&circ, &pats, &stuck1).unwrap();
         let log2 = run_test(&circ, &pats, &stuck0).unwrap();
-        let multi =
-            run_test_multi(&circ, &pats, &[stuck1.clone(), stuck0.clone()]).unwrap();
+        let multi = run_test_multi(&circ, &pats, &[stuck1.clone(), stuck0.clone()]).unwrap();
 
         let mut union: std::collections::BTreeMap<usize, std::collections::BTreeSet<usize>> =
             Default::default();

@@ -158,25 +158,102 @@ mod tests {
         assert_eq!(back, log);
     }
 
+    /// Asserts `parse(text)` fails with exactly `message` on 1-based line
+    /// `line` (0 = whole-file error).
+    fn assert_rejects(text: &str, line: usize, message: &str) {
+        match parse(text) {
+            Err(FaultSimError::ParseDatalog {
+                line: got_line,
+                message: got_message,
+            }) => {
+                assert_eq!(
+                    (got_line, got_message.as_str()),
+                    (line, message),
+                    "on:\n{text}"
+                );
+            }
+            other => panic!("expected parse error on:\n{text}\ngot {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_missing_circuit_name() {
+        assert_rejects("datalog\npatterns 5\n", 1, "missing circuit name");
+    }
+
+    #[test]
+    fn rejects_missing_pattern_count() {
+        assert_rejects("datalog A\npatterns\n", 2, "missing pattern count");
+        assert_rejects("datalog A\npatterns many\n", 2, "missing pattern count");
+    }
+
+    #[test]
+    fn rejects_missing_pattern_index() {
+        assert_rejects("datalog A\npatterns 5\nfail\n", 3, "missing pattern index");
+        assert_rejects(
+            "datalog A\npatterns 5\nfail x 0\n",
+            3,
+            "missing pattern index",
+        );
+    }
+
+    #[test]
+    fn rejects_fail_before_patterns_line() {
+        assert_rejects("datalog A\nfail 0 1\n", 2, "fail before patterns line");
+    }
+
     #[test]
     fn rejects_out_of_range_pattern() {
-        let text = "datalog A\npatterns 5\nfail 9 0\n";
-        assert!(matches!(
-            parse(text),
-            Err(FaultSimError::ParseDatalog { line: 3, .. })
-        ));
+        assert_rejects(
+            "datalog A\npatterns 5\nfail 9 0\n",
+            3,
+            "pattern index out of range",
+        );
     }
 
     #[test]
     fn rejects_out_of_order_entries() {
-        let text = "datalog A\npatterns 9\nfail 5 0\nfail 2 0\n";
-        assert!(parse(text).is_err());
+        assert_rejects(
+            "datalog A\npatterns 9\nfail 5 0\nfail 2 0\n",
+            4,
+            "entries out of order",
+        );
+        // A duplicate index is also out of order.
+        assert_rejects(
+            "datalog A\npatterns 9\nfail 5 0\nfail 5 1\n",
+            4,
+            "entries out of order",
+        );
+    }
+
+    #[test]
+    fn rejects_bad_observe_index() {
+        assert_rejects(
+            "datalog A\npatterns 5\nfail 1 0 oops\n",
+            3,
+            "bad observe index",
+        );
+    }
+
+    #[test]
+    fn rejects_fail_line_without_observe_points() {
+        assert_rejects(
+            "datalog A\npatterns 5\nfail 1\n",
+            3,
+            "fail line without observe points",
+        );
+    }
+
+    #[test]
+    fn rejects_unknown_keyword() {
+        assert_rejects("datalog A\npatterns 5\npass 1 0\n", 3, "unknown keyword");
     }
 
     #[test]
     fn rejects_missing_header() {
-        assert!(parse("fail 0 1\n").is_err());
-        assert!(parse("").is_err());
+        assert_rejects("patterns 5\nfail 0 1\n", 0, "missing datalog line");
+        assert_rejects("datalog A\n", 0, "missing patterns line");
+        assert_rejects("", 0, "missing datalog line");
     }
 
     #[test]

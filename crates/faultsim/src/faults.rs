@@ -95,7 +95,12 @@ pub fn enumerate_stuck_at(circuit: &Circuit) -> Vec<GateFault> {
 pub fn enumerate_transitions(circuit: &Circuit) -> Vec<GateFault> {
     circuit
         .nets()
-        .flat_map(|n| [GateFault::SlowToRise { net: n }, GateFault::SlowToFall { net: n }])
+        .flat_map(|n| {
+            [
+                GateFault::SlowToRise { net: n },
+                GateFault::SlowToFall { net: n },
+            ]
+        })
         .collect()
 }
 
@@ -229,17 +234,10 @@ mod tests {
 
     fn lib() -> Library {
         let mut lib = Library::new();
+        lib.insert(GateType::new("INV", ["A"], TruthTable::from_fn(1, |b| !b[0])).unwrap())
+            .unwrap();
         lib.insert(
-            GateType::new("INV", ["A"], TruthTable::from_fn(1, |b| !b[0])).unwrap(),
-        )
-        .unwrap();
-        lib.insert(
-            GateType::new(
-                "AND2",
-                ["A", "B"],
-                TruthTable::from_fn(2, |b| b[0] & b[1]),
-            )
-            .unwrap(),
+            GateType::new("AND2", ["A", "B"], TruthTable::from_fn(2, |b| b[0] & b[1])).unwrap(),
         )
         .unwrap();
         lib

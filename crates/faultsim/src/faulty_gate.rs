@@ -131,8 +131,7 @@ impl FaultyBehavior {
     pub fn ever_differs_from(&self, good: &TruthTable) -> bool {
         match self {
             FaultyBehavior::Static(t) => {
-                !good.differing_inputs(t).is_empty()
-                    || t.entries().contains(&Lv::U)
+                !good.differing_inputs(t).is_empty() || t.entries().contains(&Lv::U)
             }
             FaultyBehavior::Delay(t) => t.differs_from_static(good),
         }
@@ -173,11 +172,7 @@ mod tests {
     #[test]
     fn floating_output_retains_previous_value() {
         // A table that floats on (1,1).
-        let t = TruthTable::from_entries(
-            2,
-            vec![Lv::Zero, Lv::Zero, Lv::Zero, Lv::U],
-        )
-        .unwrap();
+        let t = TruthTable::from_entries(2, vec![Lv::Zero, Lv::Zero, Lv::Zero, Lv::U]).unwrap();
         let b = FaultyBehavior::Static(t);
         assert_eq!(b.eval(&[false, false], &[true, true], Lv::One), Lv::One);
         assert_eq!(b.eval(&[false, false], &[true, true], Lv::Zero), Lv::Zero);

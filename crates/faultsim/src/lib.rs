@@ -46,6 +46,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::panic))]
 #![warn(missing_docs)]
 
 mod bitsim;
@@ -54,6 +55,7 @@ pub mod datalog_text;
 mod error;
 mod faults;
 mod faulty_gate;
+pub mod noise;
 mod ternary;
 
 pub use bitsim::{good_simulate, BitValues};
@@ -61,4 +63,5 @@ pub use datalog::{run_test, run_test_gate_fault, run_test_multi, Datalog, Datalo
 pub use error::FaultSimError;
 pub use faults::{detects, detects_any, enumerate_stuck_at, enumerate_transitions, GateFault};
 pub use faulty_gate::{DelayTable, FaultyBehavior, FaultyGate};
+pub use noise::{Corruption, NoiseModel, NoiseRng, SanitizeLog};
 pub use ternary::{ternary_simulate, DiffPropagator};

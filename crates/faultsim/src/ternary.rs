@@ -25,12 +25,7 @@ pub fn ternary_simulate(circuit: &Circuit, pattern: &Pattern) -> Result<Vec<Lv>,
     let mut ins: Vec<Lv> = Vec::with_capacity(8);
     for &gate in circuit.topo_order() {
         ins.clear();
-        ins.extend(
-            circuit
-                .gate_inputs(gate)
-                .iter()
-                .map(|&n| values[n.index()]),
-        );
+        ins.extend(circuit.gate_inputs(gate).iter().map(|&n| values[n.index()]));
         let out = circuit
             .gate_type(gate)
             .table()
@@ -103,7 +98,11 @@ impl DiffPropagator {
         // Level-ordered worklist of gates to re-evaluate.
         let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<(u32, GateId)>> =
             std::collections::BinaryHeap::new();
-        let schedule = |g: GateId, queued: &mut Vec<u32>, heap: &mut std::collections::BinaryHeap<std::cmp::Reverse<(u32, GateId)>>| {
+        let schedule = |g: GateId,
+                        queued: &mut Vec<u32>,
+                        heap: &mut std::collections::BinaryHeap<
+            std::cmp::Reverse<(u32, GateId)>,
+        >| {
             if queued[g.index()] != stamp {
                 queued[g.index()] = stamp;
                 heap.push(std::cmp::Reverse((circuit.gate_level(g), g)));
@@ -176,17 +175,10 @@ mod tests {
 
     fn lib() -> Library {
         let mut lib = Library::new();
+        lib.insert(GateType::new("INV", ["A"], TruthTable::from_fn(1, |b| !b[0])).unwrap())
+            .unwrap();
         lib.insert(
-            GateType::new("INV", ["A"], TruthTable::from_fn(1, |b| !b[0])).unwrap(),
-        )
-        .unwrap();
-        lib.insert(
-            GateType::new(
-                "AND2",
-                ["A", "B"],
-                TruthTable::from_fn(2, |b| b[0] & b[1]),
-            )
-            .unwrap(),
+            GateType::new("AND2", ["A", "B"], TruthTable::from_fn(2, |b| b[0] & b[1])).unwrap(),
         )
         .unwrap();
         lib

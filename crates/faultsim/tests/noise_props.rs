@@ -1,0 +1,134 @@
+//! The no-panic guarantee of datalog ingestion, plus the text-format
+//! round-trip law, exercised property-style: [`icd_faultsim::datalog_text::parse`]
+//! must return `Ok` or a structured error — never panic — on arbitrary
+//! bytes, and on well-formed datalogs mangled by every corruption the
+//! noise harness models.
+
+#![allow(clippy::unwrap_used, clippy::panic)] // test code
+
+use icd_faultsim::{datalog_text, Corruption, Datalog, DatalogEntry, NoiseModel};
+use proptest::prelude::*;
+
+/// An arbitrary *valid* datalog: sorted unique pattern indices, non-empty
+/// in-range observe lists.
+fn arb_datalog(max_patterns: usize, num_outputs: usize) -> impl Strategy<Value = Datalog> {
+    (
+        1usize..max_patterns,
+        prop::collection::vec(any::<u64>(), 0..=12),
+    )
+        .prop_map(move |(num_patterns, seeds)| {
+            let mut entries: Vec<DatalogEntry> = Vec::new();
+            let mut used = std::collections::BTreeSet::new();
+            for seed in seeds {
+                let pattern_index = (seed as usize) % num_patterns;
+                if !used.insert(pattern_index) {
+                    continue;
+                }
+                let n_outputs = 1 + (seed >> 8) as usize % 3;
+                let mut failing_outputs: Vec<usize> = Vec::new();
+                for k in 0..n_outputs {
+                    let o = ((seed >> (16 + 8 * k)) as usize) % num_outputs;
+                    if !failing_outputs.contains(&o) {
+                        failing_outputs.push(o);
+                    }
+                }
+                entries.push(DatalogEntry {
+                    pattern_index,
+                    failing_outputs,
+                });
+            }
+            entries.sort_by_key(|e| e.pattern_index);
+            Datalog {
+                circuit_name: "fuzz".into(),
+                num_patterns,
+                entries,
+            }
+        })
+}
+
+fn arb_corruption() -> impl Strategy<Value = Corruption> {
+    prop_oneof![
+        (0usize..20).prop_map(Corruption::TruncateAfter),
+        (0u64..=100).prop_map(|p| Corruption::DropEntries {
+            rate: p as f64 / 100.0
+        }),
+        (0u64..=100).prop_map(|p| Corruption::SpuriousFails {
+            rate: p as f64 / 100.0
+        }),
+        (0u64..=100).prop_map(|p| Corruption::FlipOutputs {
+            rate: p as f64 / 100.0
+        }),
+        (0u64..=100).prop_map(|p| Corruption::DuplicateLines {
+            rate: p as f64 / 100.0
+        }),
+        Just(Corruption::ShuffleLines),
+        (0u64..=60).prop_map(|p| Corruption::GarbleBytes {
+            rate: p as f64 / 100.0
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// parse() never panics on arbitrary byte soup; it returns a value or
+    /// a structured error.
+    #[test]
+    fn parse_never_panics_on_arbitrary_bytes(bytes in prop::collection::vec(any::<u8>(), 0..=300)) {
+        let text = String::from_utf8_lossy(&bytes);
+        let _ = datalog_text::parse(&text);
+    }
+
+    /// The serialization law: write() then parse() is the identity on
+    /// valid datalogs.
+    #[test]
+    fn write_parse_round_trip(log in arb_datalog(200, 6)) {
+        let text = datalog_text::write(&log);
+        let back = datalog_text::parse(&text);
+        prop_assert_eq!(back.as_ref(), Ok(&log), "text was:\n{}", text);
+    }
+
+    /// parse() never panics on a well-formed datalog mangled by any
+    /// corruption sequence — and when it succeeds, sanitize() restores
+    /// every Datalog invariant.
+    #[test]
+    fn corrupted_text_parses_or_errors_never_panics(
+        log in arb_datalog(100, 5),
+        seed in any::<u64>(),
+        corruptions in prop::collection::vec(arb_corruption(), 1..=4),
+    ) {
+        let model = NoiseModel { seed, corruptions };
+        let noisy_log = model.apply(&log, 5);
+        let noisy_text = model.apply_text(&datalog_text::write(&noisy_log));
+        if let Ok(parsed) = datalog_text::parse(&noisy_text) {
+            let (clean, _report) = parsed.sanitize(5);
+            // Invariants: sorted unique in-range entries, non-empty
+            // in-range observe lists.
+            prop_assert!(clean
+                .entries
+                .windows(2)
+                .all(|w| w[0].pattern_index < w[1].pattern_index));
+            for e in &clean.entries {
+                prop_assert!(e.pattern_index < clean.num_patterns);
+                prop_assert!(!e.failing_outputs.is_empty());
+                prop_assert!(e.failing_outputs.iter().all(|&o| o < 5));
+            }
+        }
+    }
+
+    /// Structured corruption is deterministic in the seed and sanitize is
+    /// idempotent.
+    #[test]
+    fn corruption_is_seed_deterministic(
+        log in arb_datalog(100, 5),
+        seed in any::<u64>(),
+        corruptions in prop::collection::vec(arb_corruption(), 1..=4),
+    ) {
+        let model = NoiseModel { seed, corruptions };
+        prop_assert_eq!(model.apply(&log, 5), model.apply(&log, 5));
+        let (clean, _) = model.apply(&log, 5).sanitize(5);
+        let (again, report) = clean.sanitize(5);
+        prop_assert_eq!(again, clean);
+        prop_assert!(report.is_clean());
+    }
+}

@@ -101,26 +101,14 @@ mod tests {
 
     fn lib() -> Library {
         let mut lib = Library::new();
+        lib.insert(GateType::new("INV", ["A"], TruthTable::from_fn(1, |b| !b[0])).unwrap())
+            .unwrap();
         lib.insert(
-            GateType::new("INV", ["A"], TruthTable::from_fn(1, |b| !b[0])).unwrap(),
+            GateType::new("AND2", ["A", "B"], TruthTable::from_fn(2, |b| b[0] & b[1])).unwrap(),
         )
         .unwrap();
         lib.insert(
-            GateType::new(
-                "AND2",
-                ["A", "B"],
-                TruthTable::from_fn(2, |b| b[0] & b[1]),
-            )
-            .unwrap(),
-        )
-        .unwrap();
-        lib.insert(
-            GateType::new(
-                "OR2",
-                ["A", "B"],
-                TruthTable::from_fn(2, |b| b[0] | b[1]),
-            )
-            .unwrap(),
+            GateType::new("OR2", ["A", "B"], TruthTable::from_fn(2, |b| b[0] | b[1])).unwrap(),
         )
         .unwrap();
         lib

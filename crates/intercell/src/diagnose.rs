@@ -16,7 +16,15 @@ const MAX_PASSING_SAMPLE: usize = 32;
 /// pattern's critical paths can cross thousands of gates.
 const MAX_SCORED_CANDIDATES: usize = 64;
 
-/// One ranked inter-cell candidate.
+/// One ranked inter-cell candidate, with explicit mismatch accounting.
+///
+/// A clean datalog lets the ranking demand a perfect match: the best
+/// candidate explains *every* failing pattern and predicts *no* extra
+/// failure. Noisy datalogs break both directions — truncated or dropped
+/// entries make the true defect **miss** failing patterns it would have
+/// explained, spurious entries make it look like it **mispredicts** — so
+/// the two error directions are counted separately instead of being
+/// collapsed into a single pass/fail verdict.
 #[derive(Debug, Clone, PartialEq)]
 pub struct GateCandidate {
     /// The suspected gate instance.
@@ -24,20 +32,82 @@ pub struct GateCandidate {
     /// Failing patterns on whose critical paths the gate's output lies
     /// (type-1 evidence: "explains the failure").
     pub explained: Vec<usize>,
-    /// Sampled passing patterns that contradict a single stuck-at defect at
-    /// the gate output (the output was observable with the same good value
-    /// as in the explained failures, yet the pattern passed).
-    pub contradictions: usize,
+    /// Failing patterns in the datalog this candidate does **not**
+    /// explain. Under a single-defect hypothesis these are evidence
+    /// against the candidate; under noise (or multiple defects) a nonzero
+    /// count is expected and tolerated by the ranking.
+    pub misses: usize,
+    /// Sampled passing patterns that contradict a single stuck-at defect
+    /// at the gate output (the output was observable with the same good
+    /// value as in the explained failures, yet the pattern passed) —
+    /// patterns the candidate wrongly predicts as failing.
+    pub mispredicts: usize,
     /// Whether the gate output held one consistent good value across all
     /// explained failing patterns (a single static culprit is plausible).
     pub consistent_static: bool,
 }
 
 impl GateCandidate {
-    /// Ranking key: more explained failures first, fewer contradictions
-    /// second.
+    /// Total mismatch between the candidate's predicted and observed
+    /// behaviour (misses + mispredicts). Zero means a perfect match on
+    /// the sampled evidence.
+    pub fn mismatches(&self) -> usize {
+        self.misses + self.mispredicts
+    }
+
+    /// Ranking key: more explained failures first (equivalently, fewer
+    /// misses), fewer mispredicts second. Deliberately *tolerant*: a
+    /// candidate is never discarded for imperfect agreement, only
+    /// demoted, so the true defect survives truncated or thinned
+    /// datalogs.
     fn rank_key(&self) -> (usize, std::cmp::Reverse<usize>) {
-        (self.explained.len(), std::cmp::Reverse(self.contradictions))
+        (self.explained.len(), std::cmp::Reverse(self.mispredicts))
+    }
+}
+
+/// Tuning knobs of [`diagnose_with_options`]. [`Default`] reproduces the
+/// classical (clean-datalog) behaviour.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiagnoseOptions {
+    /// Passing patterns sampled per candidate when counting mispredicts.
+    pub passing_sample: usize,
+    /// Candidates (ranked by explained failures) that receive the
+    /// mispredict scoring; the tail keeps a zero count.
+    pub scored_candidates: usize,
+    /// Minimum *newly covered* failing patterns a gate must contribute to
+    /// enter the set cover. `1` is the exact classical cover; `2` or more
+    /// keeps isolated spurious fails from drafting bogus gates into the
+    /// multiplet — those patterns land in
+    /// [`IntercellDiagnosis::unexplained`] instead, which is the honest
+    /// answer for noise.
+    pub min_cover_gain: usize,
+    /// Hard cap on the multiplet size (`None` = unbounded). A tester
+    /// datalog corrupted by heavy spurious-fail noise can otherwise
+    /// inflate the cover arbitrarily.
+    pub max_multiplet: Option<usize>,
+}
+
+impl Default for DiagnoseOptions {
+    fn default() -> Self {
+        DiagnoseOptions {
+            passing_sample: MAX_PASSING_SAMPLE,
+            scored_candidates: MAX_SCORED_CANDIDATES,
+            min_cover_gain: 1,
+            max_multiplet: None,
+        }
+    }
+}
+
+impl DiagnoseOptions {
+    /// A profile for noisy datalogs: isolated fails cannot enter the set
+    /// cover alone and the multiplet is capped, so spurious entries
+    /// surface as `unexplained` rather than as phantom defects.
+    pub fn noise_tolerant() -> Self {
+        DiagnoseOptions {
+            min_cover_gain: 2,
+            max_multiplet: Some(8),
+            ..DiagnoseOptions::default()
+        }
     }
 }
 
@@ -98,6 +168,31 @@ pub fn diagnose_with_good(
     datalog: &Datalog,
     good: &icd_faultsim::BitValues,
 ) -> Result<IntercellDiagnosis, IntercellError> {
+    diagnose_with_options(
+        circuit,
+        patterns,
+        datalog,
+        good,
+        &DiagnoseOptions::default(),
+    )
+}
+
+/// [`diagnose_with_good`] with explicit [`DiagnoseOptions`] — the
+/// noise-tolerant entry point. Candidate ranking counts misses and
+/// mispredicts separately, and the greedy set cover can require a minimum
+/// marginal gain per gate so isolated spurious fails are reported as
+/// unexplained instead of fabricating suspects.
+///
+/// # Errors
+///
+/// Same as [`diagnose`].
+pub fn diagnose_with_options(
+    circuit: &Circuit,
+    patterns: &[icd_logic::Pattern],
+    datalog: &Datalog,
+    good: &icd_faultsim::BitValues,
+    options: &DiagnoseOptions,
+) -> Result<IntercellDiagnosis, IntercellError> {
     // Phase 1: candidates from failing-pattern critical paths.
     let mut explained: HashMap<GateId, Vec<usize>> = HashMap::new();
     let mut fail_value: HashMap<GateId, Lv> = HashMap::new();
@@ -138,12 +233,12 @@ pub fn diagnose_with_good(
         }
     }
 
-    // Phase 2: contradiction count against sampled passing patterns.
+    // Phase 2: mispredict count against sampled passing patterns.
     let passing = datalog.passing_pattern_indices();
     let sample: Vec<usize> = passing
         .iter()
         .copied()
-        .take(MAX_PASSING_SAMPLE)
+        .take(options.passing_sample)
         .collect();
     let mut propagator = DiffPropagator::new(circuit);
     let mut sample_bases: Vec<(usize, Vec<Lv>)> = Vec::with_capacity(sample.len());
@@ -155,13 +250,15 @@ pub fn diagnose_with_good(
     }
 
     // Preliminary ranking by explained failures; only the head of the
-    // list gets the (cone-bounded but non-trivial) contradiction scoring.
+    // list gets the (cone-bounded but non-trivial) mispredict scoring.
+    let total_failing = datalog.failing_pattern_indices().len();
     let mut candidates: Vec<GateCandidate> = explained
         .into_iter()
         .map(|(gate, explained)| GateCandidate {
             gate,
+            misses: total_failing.saturating_sub(explained.len()),
             explained,
-            contradictions: 0,
+            mispredicts: 0,
             consistent_static: consistent.get(&gate).copied().unwrap_or(false),
         })
         .collect();
@@ -171,12 +268,17 @@ pub fn diagnose_with_good(
             .cmp(&a.explained.len())
             .then(a.gate.cmp(&b.gate))
     });
-    for candidate in candidates.iter_mut().take(MAX_SCORED_CANDIDATES) {
+    for candidate in candidates.iter_mut().take(options.scored_candidates) {
         if !candidate.consistent_static {
             continue;
         }
         let out = circuit.gate_output(candidate.gate);
-        let fail_v = fail_value[&candidate.gate];
+        let Some(&fail_v) = fail_value.get(&candidate.gate) else {
+            // Unreachable by construction (every candidate gained an entry
+            // in phase 1), but noise-hardened: a missing value only skips
+            // the scoring rather than panicking the pipeline.
+            continue;
+        };
         for (_, base) in &sample_bases {
             // If the defect were the stuck-at that explains the failures,
             // a passing pattern with the same good value and an observable
@@ -184,35 +286,39 @@ pub fn diagnose_with_good(
             if base[out.index()] == fail_v {
                 let changed = propagator.propagate(circuit, base, &[(out, !fail_v)]);
                 if !changed.is_empty() {
-                    candidate.contradictions += 1;
+                    candidate.mispredicts += 1;
                 }
             }
         }
     }
 
-    candidates.sort_by(|a, b| {
-        b.rank_key()
-            .cmp(&a.rank_key())
-            .then(a.gate.cmp(&b.gate))
-    });
+    candidates.sort_by(|a, b| b.rank_key().cmp(&a.rank_key()).then(a.gate.cmp(&b.gate)));
 
-    // Phase 3: greedy set cover over failing patterns.
+    // Phase 3: greedy set cover over failing patterns. A gate only enters
+    // the cover when it newly explains at least `min_cover_gain` patterns
+    // and the multiplet is below its cap; what stays uncovered is reported
+    // as unexplained — the graceful answer for spurious-fail noise.
     let failing: Vec<usize> = datalog.failing_pattern_indices();
     let mut uncovered: std::collections::HashSet<usize> = failing.iter().copied().collect();
+    let min_gain = options.min_cover_gain.max(1);
     let mut multiplet = Vec::new();
-    while !uncovered.is_empty() {
+    while !uncovered.is_empty()
+        && options
+            .max_multiplet
+            .is_none_or(|cap| multiplet.len() < cap)
+    {
         let best = candidates
             .iter()
             .filter(|c| !multiplet.contains(&c.gate))
             .max_by_key(|c| {
                 (
                     c.explained.iter().filter(|t| uncovered.contains(t)).count(),
-                    std::cmp::Reverse(c.contradictions),
+                    std::cmp::Reverse(c.mispredicts),
                     std::cmp::Reverse(c.gate),
                 )
             });
         match best {
-            Some(c) if c.explained.iter().any(|t| uncovered.contains(t)) => {
+            Some(c) if c.explained.iter().filter(|t| uncovered.contains(t)).count() >= min_gain => {
                 for t in &c.explained {
                     uncovered.remove(t);
                 }
@@ -240,10 +346,8 @@ mod tests {
 
     fn lib() -> Library {
         let mut lib = Library::new();
-        lib.insert(
-            GateType::new("INV", ["A"], TruthTable::from_fn(1, |b| !b[0])).unwrap(),
-        )
-        .unwrap();
+        lib.insert(GateType::new("INV", ["A"], TruthTable::from_fn(1, |b| !b[0])).unwrap())
+            .unwrap();
         lib.insert(
             GateType::new(
                 "NAND2",
@@ -352,6 +456,106 @@ mod tests {
         assert!(diag.candidates.is_empty());
         assert!(diag.multiplet.is_empty());
         assert!(diag.unexplained.is_empty());
+    }
+
+    #[test]
+    fn mismatch_accounting_sums_over_failing_patterns() {
+        let lib = lib();
+        let c = circuit(&lib);
+        let u1 = c.find_gate("U1").unwrap();
+        let faulty = FaultyGate::new(u1, FaultyBehavior::Static(TruthTable::from_fn(2, |_| true)));
+        let pats = all_patterns4();
+        let log = run_test(&c, &pats, &faulty).unwrap();
+        let total = log.failing_pattern_indices().len();
+        let diag = diagnose(&c, &pats, &log).unwrap();
+        for cand in &diag.candidates {
+            assert_eq!(cand.misses, total - cand.explained.len());
+            assert_eq!(cand.mismatches(), cand.misses + cand.mispredicts);
+        }
+        // The true defect misses nothing on a clean datalog.
+        assert_eq!(diag.candidates[0].misses, 0);
+    }
+
+    #[test]
+    fn true_gate_survives_fail_memory_truncation() {
+        let lib = lib();
+        let c = circuit(&lib);
+        let u1 = c.find_gate("U1").unwrap();
+        let faulty = FaultyGate::new(u1, FaultyBehavior::Static(TruthTable::from_fn(2, |_| true)));
+        let pats = all_patterns4();
+        let full = run_test(&c, &pats, &faulty).unwrap();
+        assert!(full.entries.len() > 1);
+        // Tester fail memory truncated to a single entry.
+        let noisy = icd_faultsim::NoiseModel::single(1, icd_faultsim::Corruption::TruncateAfter(1))
+            .apply(&full, c.outputs().len());
+        let diag = diagnose(&c, &pats, &noisy).unwrap();
+        assert!(
+            diag.candidates.iter().any(|cand| cand.gate == u1),
+            "true gate lost under truncation"
+        );
+        // The surviving entry still ranks U1 at the top (it explains the
+        // one recorded failure with no mispredict surplus over rivals).
+        assert!(diag.multiplet.contains(&u1));
+    }
+
+    #[test]
+    fn min_cover_gain_routes_spurious_fails_to_unexplained() {
+        let lib = lib();
+        let c = circuit(&lib);
+        let u1 = c.find_gate("U1").unwrap();
+        let faulty = FaultyGate::new(u1, FaultyBehavior::Static(TruthTable::from_fn(2, |_| true)));
+        let pats = all_patterns4();
+        let mut log = run_test(&c, &pats, &faulty).unwrap();
+        // One spurious fail on a pattern the defect passes, on the *other*
+        // cone's output, so no real candidate explains it.
+        let spurious_t = log.passing_pattern_indices()[0];
+        log.entries.push(icd_faultsim::DatalogEntry {
+            pattern_index: spurious_t,
+            failing_outputs: vec![1],
+        });
+        let (log, _) = log.sanitize(c.outputs().len());
+        let good = good_simulate(&c, &pats).unwrap();
+
+        // Exact cover drafts a second gate just for the spurious entry...
+        let exact =
+            diagnose_with_options(&c, &pats, &log, &good, &DiagnoseOptions::default()).unwrap();
+        assert!(exact.multiplet.len() >= 2);
+        // ...the tolerant cover reports it as unexplained instead.
+        let tolerant =
+            diagnose_with_options(&c, &pats, &log, &good, &DiagnoseOptions::noise_tolerant())
+                .unwrap();
+        assert_eq!(tolerant.multiplet, vec![u1]);
+        assert_eq!(tolerant.unexplained, vec![spurious_t]);
+    }
+
+    #[test]
+    fn max_multiplet_caps_the_cover() {
+        let lib = lib();
+        let c = circuit(&lib);
+        let u1 = c.find_gate("U1").unwrap();
+        let u2 = c.find_gate("U2").unwrap();
+        let pats = all_patterns4();
+        let f1 = FaultyGate::new(u1, FaultyBehavior::Static(TruthTable::from_fn(2, |_| true)));
+        let f2 = FaultyGate::new(u2, FaultyBehavior::Static(TruthTable::from_fn(2, |_| true)));
+        let log1 = run_test(&c, &pats, &f1).unwrap();
+        let log2 = run_test(&c, &pats, &f2).unwrap();
+        let mut merged = log1.clone();
+        merged.entries.extend(log2.entries.iter().cloned());
+        let (merged, _) = merged.sanitize(c.outputs().len());
+        let good = good_simulate(&c, &pats).unwrap();
+        let capped = diagnose_with_options(
+            &c,
+            &pats,
+            &merged,
+            &good,
+            &DiagnoseOptions {
+                max_multiplet: Some(1),
+                ..DiagnoseOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(capped.multiplet.len(), 1);
+        assert!(!capped.unexplained.is_empty());
     }
 
     #[test]

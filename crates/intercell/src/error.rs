@@ -23,7 +23,10 @@ impl fmt::Display for IntercellError {
                 write!(f, "datalog references pattern {t} outside the applied set")
             }
             IntercellError::BadOutputIndex(i) => {
-                write!(f, "datalog references output {i} outside the circuit interface")
+                write!(
+                    f,
+                    "datalog references output {i} outside the circuit interface"
+                )
             }
         }
     }

@@ -40,6 +40,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::panic))]
 #![warn(missing_docs)]
 
 mod cpt;
@@ -48,7 +49,10 @@ mod error;
 mod local;
 
 pub use cpt::{gate_cpt, gate_cpt_exact};
-pub use diagnose::{diagnose, diagnose_with_good, GateCandidate, IntercellDiagnosis};
+pub use diagnose::{
+    diagnose, diagnose_with_good, diagnose_with_options, DiagnoseOptions, GateCandidate,
+    IntercellDiagnosis,
+};
 pub use error::IntercellError;
 pub use local::{
     extract_local_patterns, extract_local_patterns_with_good, DefectClassHint, LocalPattern,

@@ -192,17 +192,10 @@ mod tests {
 
     fn lib() -> Library {
         let mut lib = Library::new();
+        lib.insert(GateType::new("INV", ["A"], TruthTable::from_fn(1, |b| !b[0])).unwrap())
+            .unwrap();
         lib.insert(
-            GateType::new("INV", ["A"], TruthTable::from_fn(1, |b| !b[0])).unwrap(),
-        )
-        .unwrap();
-        lib.insert(
-            GateType::new(
-                "AND2",
-                ["A", "B"],
-                TruthTable::from_fn(2, |b| b[0] & b[1]),
-            )
-            .unwrap(),
+            GateType::new("AND2", ["A", "B"], TruthTable::from_fn(2, |b| b[0] & b[1])).unwrap(),
         )
         .unwrap();
         lib
@@ -256,10 +249,7 @@ mod tests {
     fn previous_vector_is_the_preceding_pattern() {
         let lib = lib();
         let (c, u1) = circuit(&lib);
-        let pats: Vec<Pattern> = ["011", "111"]
-            .iter()
-            .map(|s| s.parse().unwrap())
-            .collect();
+        let pats: Vec<Pattern> = ["011", "111"].iter().map(|s| s.parse().unwrap()).collect();
         let log = Datalog {
             circuit_name: "c".into(),
             num_patterns: pats.len(),

@@ -47,7 +47,10 @@ fn stuck_at_on_internal_net_names_its_driver() {
         .find(|cand| cand.gate == gate)
         .expect("present");
     assert_eq!(cand.explained.len(), datalog.entries.len());
-    assert!(cand.consistent_static, "a stuck-at is statically consistent");
+    assert!(
+        cand.consistent_static,
+        "a stuck-at is statically consistent"
+    );
 }
 
 #[test]

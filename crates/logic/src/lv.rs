@@ -63,10 +63,7 @@ impl Lv {
     /// other `1`). `U` is never *definitely* different from anything.
     #[inline]
     pub fn conflicts_with(self, other: Lv) -> bool {
-        matches!(
-            (self, other),
-            (Lv::Zero, Lv::One) | (Lv::One, Lv::Zero)
-        )
+        matches!((self, other), (Lv::Zero, Lv::One) | (Lv::One, Lv::Zero))
     }
 
     /// The logic-value intersection of the paper's Fig. 10, used when

@@ -1,5 +1,7 @@
 //! Property-based tests for the ternary logic foundation.
 
+#![allow(clippy::unwrap_used, clippy::panic)] // test code
+
 use icd_logic::{Lv, Pattern, TruthTable};
 use proptest::prelude::*;
 

@@ -118,8 +118,7 @@ pub fn parse(text: &str, library: &Library) -> Result<Circuit, NetlistError> {
                 if arrow + 2 != rest.len() {
                     return Err(err("exactly one net must follow '->'".into()));
                 }
-                let input_ids: Vec<_> =
-                    rest[..arrow].iter().map(|n| b.intern_net(n)).collect();
+                let input_ids: Vec<_> = rest[..arrow].iter().map(|n| b.intern_net(n)).collect();
                 let output_id = b.intern_net(rest[arrow + 1]);
                 b.add_gate_driving(type_name, &input_ids, output_id, Some(instance))?;
             }
@@ -211,10 +210,8 @@ mod tests {
 
     fn lib() -> Library {
         let mut lib = Library::new();
-        lib.insert(
-            GateType::new("INV", ["A"], TruthTable::from_fn(1, |b| !b[0])).unwrap(),
-        )
-        .unwrap();
+        lib.insert(GateType::new("INV", ["A"], TruthTable::from_fn(1, |b| !b[0])).unwrap())
+            .unwrap();
         lib.insert(
             GateType::new(
                 "NAND2",
@@ -279,10 +276,17 @@ gate U3 INV a -> y
             assert_eq!(a.len(), b.len());
         }
         // Tester coordinates resolve through the chains.
-        let so0 = c.outputs().iter().position(|&n| c.net_name(n) == "so0").unwrap();
+        let so0 = c
+            .outputs()
+            .iter()
+            .position(|&n| c.net_name(n) == "so0")
+            .unwrap();
         assert!(matches!(
             c.tester_coordinate(so0),
-            crate::TesterCoordinate::ScanCell { chain: 0, position: 0 }
+            crate::TesterCoordinate::ScanCell {
+                chain: 0,
+                position: 0
+            }
         ));
     }
 

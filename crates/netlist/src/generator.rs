@@ -119,7 +119,10 @@ pub fn generate(config: &GeneratorConfig, library: &Library) -> Result<Circuit, 
             used[nets[pick].index()] = true;
         }
         let out = builder.add_gate(&type_name, &inputs, None)?;
-        debug_assert_eq!(out.index(), config.primary_inputs + config.flip_flops + gate_index);
+        debug_assert_eq!(
+            out.index(),
+            config.primary_inputs + config.flip_flops + gate_index
+        );
         nets.push(out);
     }
 
@@ -147,9 +150,8 @@ pub fn generate(config: &GeneratorConfig, library: &Library) -> Result<Circuit, 
     // `flip_flops` observe points are the pseudo-primary outputs paired
     // positionally with the `ppi*` inputs.
     if config.flip_flops > 0 && config.scan_chains > 0 && observe.len() >= config.flip_flops {
-        let ppis: Vec<NetId> = nets[config.primary_inputs
-            ..config.primary_inputs + config.flip_flops]
-            .to_vec();
+        let ppis: Vec<NetId> =
+            nets[config.primary_inputs..config.primary_inputs + config.flip_flops].to_vec();
         let ppos: Vec<NetId> = observe[observe.len() - config.flip_flops..].to_vec();
         let mut chains: Vec<Vec<crate::ScanCell>> = vec![Vec::new(); config.scan_chains];
         for (i, (&ppi, &ppo)) in ppis.iter().zip(ppos.iter()).enumerate() {
@@ -209,10 +211,8 @@ mod tests {
 
     fn lib() -> Library {
         let mut lib = Library::new();
-        lib.insert(
-            GateType::new("INV", ["A"], TruthTable::from_fn(1, |b| !b[0])).unwrap(),
-        )
-        .unwrap();
+        lib.insert(GateType::new("INV", ["A"], TruthTable::from_fn(1, |b| !b[0])).unwrap())
+            .unwrap();
         lib.insert(
             GateType::new(
                 "NAND2",

@@ -1,6 +1,8 @@
 //! Property-based tests for netlist construction, levelization and the
 //! text format.
 
+#![allow(clippy::unwrap_used, clippy::panic)] // test code
+
 use icd_logic::TruthTable;
 use icd_netlist::{format, generator, Circuit, GateType, Library};
 use proptest::prelude::*;

@@ -417,12 +417,24 @@ impl CellNetlistBuilder {
     }
 
     /// Adds an nMOS switch (conducts when `gate` is `1`).
-    pub fn nmos(&mut self, name: &str, gate: TNetId, source: TNetId, drain: TNetId) -> TransistorId {
+    pub fn nmos(
+        &mut self,
+        name: &str,
+        gate: TNetId,
+        source: TNetId,
+        drain: TNetId,
+    ) -> TransistorId {
         self.transistor(TransistorKind::Nmos, name, gate, source, drain)
     }
 
     /// Adds a pMOS switch (conducts when `gate` is `0`).
-    pub fn pmos(&mut self, name: &str, gate: TNetId, source: TNetId, drain: TNetId) -> TransistorId {
+    pub fn pmos(
+        &mut self,
+        name: &str,
+        gate: TNetId,
+        source: TNetId,
+        drain: TNetId,
+    ) -> TransistorId {
         self.transistor(TransistorKind::Pmos, name, gate, source, drain)
     }
 
@@ -513,10 +525,7 @@ mod tests {
         let a = b.input("A");
         let z = b.output("Z");
         b.nmos("N0", a, z, z);
-        assert!(matches!(
-            b.finish(),
-            Err(SwitchError::DegenerateChannel(_))
-        ));
+        assert!(matches!(b.finish(), Err(SwitchError::DegenerateChannel(_))));
     }
 
     #[test]
@@ -526,10 +535,7 @@ mod tests {
         let _z = b.output("Z");
         let inner = b.net("n1");
         b.nmos("N0", a, b.gnd(), inner);
-        assert!(matches!(
-            b.finish(),
-            Err(SwitchError::UnconnectedOutput(_))
-        ));
+        assert!(matches!(b.finish(), Err(SwitchError::UnconnectedOutput(_))));
     }
 
     #[test]

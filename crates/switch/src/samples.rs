@@ -35,9 +35,7 @@ impl Expr {
     pub fn leaves(&self) -> usize {
         match self {
             Expr::Input(_) => 1,
-            Expr::And(children) | Expr::Or(children) => {
-                children.iter().map(Expr::leaves).sum()
-            }
+            Expr::And(children) | Expr::Or(children) => children.iter().map(Expr::leaves).sum(),
         }
     }
 }
@@ -160,18 +158,34 @@ fn dual(expr: &Expr) -> Expr {
 /// for trees produced by [`random_expr_tree`]).
 pub fn cell_from_expr(name: &str, inputs: usize, expr: &Expr) -> Result<CellNetlist, SwitchError> {
     let mut b = CellNetlistBuilder::new(name);
-    let input_nets: Vec<TNetId> = (0..inputs)
-        .map(|i| b.input(&format!("I{i}")))
-        .collect();
+    let input_nets: Vec<TNetId> = (0..inputs).map(|i| b.input(&format!("I{i}"))).collect();
     let z = b.output("Z");
     let mut alloc = NetAlloc { count: 0 };
     let mut counter = 0usize;
     // Pull-down implements expr (conducts => Z low).
     let (vdd, gnd) = (b.vdd(), b.gnd());
-    build_network(&mut b, &mut alloc, expr, &input_nets, z, gnd, true, &mut counter);
+    build_network(
+        &mut b,
+        &mut alloc,
+        expr,
+        &input_nets,
+        z,
+        gnd,
+        true,
+        &mut counter,
+    );
     // Pull-up implements the dual (conducts <=> expr is false => Z high).
     let up = dual(expr);
-    build_network(&mut b, &mut alloc, &up, &input_nets, vdd, z, false, &mut counter);
+    build_network(
+        &mut b,
+        &mut alloc,
+        &up,
+        &input_nets,
+        vdd,
+        z,
+        false,
+        &mut counter,
+    );
     b.finish()
 }
 

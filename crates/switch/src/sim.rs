@@ -161,9 +161,7 @@ impl CellNetlist {
         let bridge_victims: Vec<TNetId> = forcing.bridges.iter().map(|&(v, _)| v).collect();
 
         let mut values: Vec<Lv> = (0..n)
-            .map(|i| {
-                fixed[i].unwrap_or_else(|| previous.map_or(Lv::U, |p| p.values[i]))
-            })
+            .map(|i| fixed[i].unwrap_or_else(|| previous.map_or(Lv::U, |p| p.values[i])))
             .collect();
         for &v in &bridge_victims {
             values[v.index()] = Lv::U;
@@ -232,8 +230,8 @@ impl CellNetlist {
                     while let Some(cur) = stack.pop() {
                         for &(tid, other) in self.channel_neighbors(cur) {
                             let c = conduction(&values, tid.index());
-                            let blocked = c == Conduction::Off
-                                || (definite_pass && c == Conduction::Maybe);
+                            let blocked =
+                                c == Conduction::Off || (definite_pass && c == Conduction::Maybe);
                             if blocked {
                                 continue;
                             }

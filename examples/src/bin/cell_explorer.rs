@@ -86,9 +86,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // ground) and show the Fig.-9 procedure step by step.
         let victim = nl
             .nets()
-            .find(|&n| {
-                !nl.is_rail(n) && n != nl.output() && !nl.inputs().contains(&n)
-            })
+            .find(|&n| !nl.is_rail(n) && n != nl.output() && !nl.inputs().contains(&n))
             .unwrap_or(nl.output());
         let defect = Defect::hard_short(victim, nl.gnd());
         let ch = characterize(nl, &defect)?;

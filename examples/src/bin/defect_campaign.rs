@@ -90,7 +90,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             class,
             runs,
             hits,
-            if *hits > 0 { *resol as f64 / *hits as f64 } else { 0.0 }
+            if *hits > 0 {
+                *resol as f64 / *hits as f64
+            } else {
+                0.0
+            }
         );
     }
     let _ = BehaviorClass::StuckLike; // classes shown via Display above

@@ -67,11 +67,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("inter-cell candidates (top 3):");
     for c in inter.candidates.iter().take(3) {
         println!(
-            "  {} ({}) explains {} failing patterns, {} contradictions",
+            "  {} ({}) explains {} failing patterns ({} misses, {} mispredicts)",
             circuit.gate_name(c.gate),
             circuit.gate_type(c.gate).name(),
             c.explained.len(),
-            c.contradictions
+            c.misses,
+            c.mispredicts
         );
     }
 

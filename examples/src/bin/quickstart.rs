@@ -38,7 +38,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut lfp = Vec::new();
     let mut lpp = Vec::new();
     for combo in 0..(1usize << cell.num_inputs()) {
-        let bits: Vec<bool> = (0..cell.num_inputs()).map(|k| (combo >> k) & 1 == 1).collect();
+        let bits: Vec<bool> = (0..cell.num_inputs())
+            .map(|k| (combo >> k) & 1 == 1)
+            .collect();
         let good_out = good.eval_bits(&bits);
         let faulty_out = behavior.eval(&bits, &bits, good_out);
         if faulty_out.conflicts_with(good_out) {
@@ -47,12 +49,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             lpp.push(LocalTest::static_vector(bits));
         }
     }
-    println!("local patterns: {} failing, {} passing", lfp.len(), lpp.len());
+    println!(
+        "local patterns: {} failing, {} passing",
+        lfp.len(),
+        lpp.len()
+    );
 
     // 4. Diagnose: critical path tracing at transistor level, suspect-list
     //    intersection, vindication, fault-model allocation.
     let report = diagnose(cell, &lfp, &lpp)?;
-    println!("\nintra-cell diagnosis ({} candidates):", report.candidates.len());
+    println!(
+        "\nintra-cell diagnosis ({} candidates):",
+        report.candidates.len()
+    );
     print!("{}", report.summary(cell));
     println!(
         "resolution: {} locations / {} nets",
@@ -66,6 +75,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .gsl
         .iter()
         .any(|(item, &v)| item.net(cell) == n16 && v == Lv::One);
-    println!("\nground truth N16 implicated as Sa0: {}", if hit { "yes" } else { "no" });
+    println!(
+        "\nground truth N16 implicated as Sa0: {}",
+        if hit { "yes" } else { "no" }
+    );
     Ok(())
 }

@@ -55,10 +55,16 @@ fn main() {
     drive(
         &ff,
         &[
-            ("CK low, master samples D=1", vec![true, false, false, false]),
+            (
+                "CK low, master samples D=1",
+                vec![true, false, false, false],
+            ),
             ("rising edge: capture 1", vec![true, false, false, true]),
             ("D falls, CK high: Q holds", vec![false, false, false, true]),
-            ("CK low, master samples D=0", vec![false, false, false, false]),
+            (
+                "CK low, master samples D=0",
+                vec![false, false, false, false],
+            ),
             ("rising edge: capture 0", vec![true, false, false, true]),
             ("scan mode: sample SI=1", vec![false, true, true, false]),
             ("rising edge: shift SI", vec![false, true, true, true]),
@@ -66,5 +72,8 @@ fn main() {
     );
 
     println!("\nSPICE view of the latch (for analog cross-checking):");
-    print!("{}", spice::to_spice(&latch, &spice::SpiceOptions::default()));
+    print!(
+        "{}",
+        spice::to_spice(&latch, &spice::SpiceOptions::default())
+    );
 }

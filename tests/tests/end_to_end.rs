@@ -1,8 +1,8 @@
 //! End-to-end flow tests on circuit A: inject → test → inter-cell →
 //! intra-cell, one per defect behaviour class.
 
-use icd_bench::{run_flow, ExperimentContext};
 use icd_bench::flow::ground_truth_hit;
+use icd_bench::{run_flow, ExperimentContext};
 use icd_defects::{sample_defects, BehaviorClass, MixConfig};
 
 fn class_mix(class: BehaviorClass) -> MixConfig {
@@ -91,8 +91,12 @@ fn local_failing_patterns_match_datalog_size() {
         let Some(behavior) = injected.characterization.behavior.clone() else {
             continue;
         };
-        let datalog = run_test(&ctx.circuit, &ctx.patterns, &FaultyGate::new(gate, behavior))
-            .expect("tester runs");
+        let datalog = run_test(
+            &ctx.circuit,
+            &ctx.patterns,
+            &FaultyGate::new(gate, behavior),
+        )
+        .expect("tester runs");
         let local = extract_local_patterns(&ctx.circuit, &ctx.patterns, &datalog, gate)
             .expect("extraction works");
         // Every failing pattern contributes exactly one local failing

@@ -16,7 +16,11 @@ fn table7_cases_confirm_like_the_paper() {
     }
     // H1 must single out the A-aggressor bridge, as in Fig. 11.
     let h1 = &cases[0];
-    assert!(h1.intra_result.contains("A aggressor"), "{}", h1.intra_result);
+    assert!(
+        h1.intra_result.contains("A aggressor"),
+        "{}",
+        h1.intra_result
+    );
     // H2 must report the Net61 stuck-at-0, as in Table 7.
     let h2 = &cases[1];
     assert!(h2.intra_result.contains("Net61 Sa0"), "{}", h2.intra_result);

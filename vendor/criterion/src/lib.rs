@@ -1,0 +1,339 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no registry access, so this crate provides
+//! the API subset the workspace's benches use — [`Criterion`],
+//! [`BenchmarkId`], [`Throughput`], benchmark groups, `b.iter(..)`,
+//! [`black_box`] and the [`criterion_group!`] / [`criterion_main!`]
+//! macros — backed by a simple wall-clock median-of-samples runner that
+//! prints one line per benchmark. No statistical analysis, no HTML
+//! reports, no baseline comparison.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity (stable `std::hint::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation; recorded and echoed, not analyzed.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{parameter}", function_name.into()),
+        }
+    }
+
+    /// Parameter-only id.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    sample_size: usize,
+    measurement_time: Duration,
+    /// Median per-iteration time of the last `iter` call.
+    last: Option<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, storing the median per-iteration duration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up + calibration: find an iteration count that fills a
+        // fraction of the measurement budget.
+        let t0 = Instant::now();
+        black_box(routine());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let per_sample = self.measurement_time.as_nanos() as u64 / self.sample_size.max(1) as u64;
+        let iters = (per_sample / once.as_nanos().max(1) as u64).clamp(1, 1_000_000);
+
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            samples.push(start.elapsed() / iters as u32);
+        }
+        samples.sort_unstable();
+        self.last = Some(samples[samples.len() / 2]);
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a Criterion,
+    sample_size: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Overrides the measurement budget for this group (accepted and
+    /// forwarded; kept for API compatibility).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Records the per-iteration throughput of following benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark with a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = self.criterion.bencher(self.sample_size);
+        f(&mut b, input);
+        self.report(&id.id, &b);
+        self
+    }
+
+    /// Runs one benchmark without an input.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId2>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into().0;
+        let mut b = self.criterion.bencher(self.sample_size);
+        f(&mut b);
+        self.report(&id, &b);
+        self
+    }
+
+    /// Finishes the group (prints nothing extra; kept for API parity).
+    pub fn finish(&mut self) {}
+
+    fn report(&self, id: &str, b: &Bencher) {
+        let time = b
+            .last
+            .map(|d| format!("{d:?}"))
+            .unwrap_or_else(|| "<no iter() call>".into());
+        let tp = match self.throughput {
+            Some(Throughput::Elements(n)) => format!("  ({n} elems/iter)"),
+            Some(Throughput::Bytes(n)) => format!("  ({n} B/iter)"),
+            None => String::new(),
+        };
+        println!("bench {}/{id}: {time}/iter{tp}", self.name);
+    }
+}
+
+/// Accepts both `&str` names and [`BenchmarkId`]s for `bench_function`.
+pub struct BenchmarkId2(String);
+
+impl From<&str> for BenchmarkId2 {
+    fn from(s: &str) -> Self {
+        BenchmarkId2(s.to_owned())
+    }
+}
+impl From<String> for BenchmarkId2 {
+    fn from(s: String) -> Self {
+        BenchmarkId2(s)
+    }
+}
+impl From<BenchmarkId> for BenchmarkId2 {
+    fn from(id: BenchmarkId) -> Self {
+        BenchmarkId2(id.id)
+    }
+}
+
+/// The benchmark runner.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the default sample count.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the per-benchmark measurement budget.
+    #[must_use]
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up budget (accepted for API parity; the stub warms
+    /// up with a single calibration call).
+    #[must_use]
+    pub fn warm_up_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    /// Propagates CLI configuration (no-op in the stub).
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+            sample_size: None,
+            throughput: None,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = self.bencher(None);
+        f(&mut b);
+        let time = b
+            .last
+            .map(|d| format!("{d:?}"))
+            .unwrap_or_else(|| "<no iter() call>".into());
+        println!("bench {name}: {time}/iter");
+        self
+    }
+
+    fn bencher(&self, sample_size: Option<usize>) -> Bencher {
+        Bencher {
+            sample_size: sample_size.unwrap_or(self.sample_size),
+            measurement_time: self.measurement_time,
+            last: None,
+        }
+    }
+}
+
+/// Declares a benchmark group; both the struct-ish and positional forms
+/// of upstream criterion are accepted.
+#[macro_export]
+macro_rules! criterion_group {
+    (
+        name = $name:ident;
+        config = $config:expr;
+        targets = $($target:path),+ $(,)?
+    ) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            criterion = criterion.configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(5))
+    }
+
+    #[test]
+    fn bench_function_measures() {
+        quick().bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    #[test]
+    fn group_api_composes() {
+        let mut c = quick();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3);
+        g.throughput(Throughput::Elements(4));
+        g.bench_with_input(BenchmarkId::new("f", 4), &4u32, |b, &n| {
+            b.iter(|| black_box(n * 2));
+        });
+        g.bench_with_input(BenchmarkId::from_parameter("p"), &1u32, |b, &n| {
+            b.iter(|| black_box(n));
+        });
+        g.finish();
+    }
+
+    criterion_group!(positional, noop_bench);
+    criterion_group! {
+        name = structured;
+        config = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(5));
+        targets = noop_bench
+    }
+
+    fn noop_bench(c: &mut Criterion) {
+        c.bench_function("x", |b| b.iter(|| black_box(0)));
+    }
+
+    #[test]
+    fn group_macros_declare_runnable_fns() {
+        positional();
+        structured();
+    }
+}
