@@ -4,7 +4,7 @@ use std::error::Error;
 use std::fmt;
 
 use icd_cells::CellLibrary;
-use icd_core::{diagnose as intra_diagnose, DiagnosisReport, LocalTest};
+use icd_core::{DiagnosisReport, LocalTest};
 use icd_defects::{GroundTruth, InjectedDefect};
 use icd_faultsim::{run_test, FaultSimError, FaultyGate};
 use icd_intercell::{IntercellError, LocalPattern};
@@ -31,6 +31,10 @@ pub enum FlowError {
     Netlist(icd_netlist::NetlistError),
     /// Defect sampling or characterization failed.
     Defect(icd_defects::DefectError),
+    /// A batch-engine worker caught a panic while running this unit of
+    /// work; the payload is the panic message. The job is poisoned, the
+    /// worker and the rest of the batch are not.
+    Panicked(String),
 }
 
 impl fmt::Display for FlowError {
@@ -48,6 +52,7 @@ impl fmt::Display for FlowError {
             FlowError::Core(e) => write!(f, "intra-cell diagnosis failed: {e}"),
             FlowError::Netlist(e) => write!(f, "netlist construction failed: {e}"),
             FlowError::Defect(e) => write!(f, "defect injection failed: {e}"),
+            FlowError::Panicked(msg) => write!(f, "worker caught a panic: {msg}"),
         }
     }
 }
@@ -55,9 +60,10 @@ impl fmt::Display for FlowError {
 impl Error for FlowError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
-            FlowError::NotObservable | FlowError::NoInstance(_) | FlowError::NoLocalFailures => {
-                None
-            }
+            FlowError::NotObservable
+            | FlowError::NoInstance(_)
+            | FlowError::NoLocalFailures
+            | FlowError::Panicked(_) => None,
             FlowError::FaultSim(e) => Some(e),
             FlowError::Intercell(e) => Some(e),
             FlowError::Core(e) => Some(e),
@@ -148,6 +154,13 @@ impl ExperimentContext {
     /// Returns an error when circuit generation fails.
     pub fn circuit_a() -> Result<Self, FlowError> {
         ExperimentContext::from_preset(&generator::circuit_a(), 1, 25)
+    }
+
+    /// Moves the context behind an [`Arc`](std::sync::Arc): the batch
+    /// engine's shared immutable artifact (circuit, cell library, pattern
+    /// set) borrowed by every worker.
+    pub fn into_shared(self) -> std::sync::Arc<Self> {
+        std::sync::Arc::new(self)
     }
 
     /// All instances of a cell type in the circuit.
@@ -273,6 +286,9 @@ pub enum FlowStage {
     IntraCell,
     /// Simulation-based candidate ranking.
     Ranking,
+    /// The whole per-suspect job, when a batch-engine worker had to
+    /// contain a panic and could not attribute it to a finer stage.
+    Worker,
 }
 
 impl fmt::Display for FlowStage {
@@ -282,6 +298,7 @@ impl fmt::Display for FlowStage {
             FlowStage::CellLookup => "cell lookup",
             FlowStage::IntraCell => "intra-cell diagnosis",
             FlowStage::Ranking => "candidate ranking",
+            FlowStage::Worker => "worker execution",
         })
     }
 }
@@ -446,20 +463,11 @@ pub fn analyze_datalog_report(
     // One shared good simulation for every stage.
     let good = icd_faultsim::good_simulate(&ctx.circuit, &ctx.patterns)?;
     let inter = icd_intercell::diagnose_with_good(&ctx.circuit, &ctx.patterns, &datalog, &good)?;
-    // Analyze the multiplet first, then remaining top-ranked candidates.
-    let mut gates: Vec<GateId> = inter.multiplet.clone();
-    for c in &inter.candidates {
-        if gates.len() >= MAX_ANALYZED_GATES {
-            break;
-        }
-        if !gates.contains(&c.gate) {
-            gates.push(c.gate);
-        }
-    }
+    let gates = select_suspects(&inter);
     let mut analyses = Vec::with_capacity(gates.len());
     let mut skipped = Vec::new();
     for gate in gates {
-        match analyze_gate(ctx, &datalog, &inter, &good, gate) {
+        match analyze_suspect(ctx, &datalog, &inter, &good, gate, None) {
             Ok(analysis) => analyses.push(analysis),
             Err((stage, error)) => skipped.push(SkippedGate { gate, stage, error }),
         }
@@ -473,15 +481,45 @@ pub fn analyze_datalog_report(
     })
 }
 
+/// The suspected gates the flow analyzes, in deterministic priority
+/// order: the multiplet first, then remaining top-ranked candidates up to
+/// the analysis budget. This is the flow's job list — the batch engine
+/// fans one worker job out per returned gate.
+pub fn select_suspects(inter: &icd_intercell::IntercellDiagnosis) -> Vec<GateId> {
+    let mut gates: Vec<GateId> = inter.multiplet.clone();
+    for c in &inter.candidates {
+        if gates.len() >= MAX_ANALYZED_GATES {
+            break;
+        }
+        if !gates.contains(&c.gate) {
+            gates.push(c.gate);
+        }
+    }
+    gates
+}
+
 /// The per-suspect pipeline: local pattern extraction, cell lookup,
 /// intra-cell diagnosis, ranking. Errors carry the failing stage so the
 /// staged runner can record exactly where a suspect was lost.
-fn analyze_gate(
+///
+/// This is the unit of work of the batch engine: it only *reads* the
+/// context, datalog, inter-cell result and good simulation, so jobs for
+/// different suspects can run on different threads against the same
+/// `Arc`-shared artifacts. `cache`, when provided, shares per-cell-type
+/// truth tables and CPT traces across suspects; results are identical
+/// with and without it.
+///
+/// # Errors
+///
+/// Returns the failing [`FlowStage`] with its cause, exactly as recorded
+/// in [`FlowReport::skipped`] by the staged runner.
+pub fn analyze_suspect(
     ctx: &ExperimentContext,
     datalog: &icd_faultsim::Datalog,
     inter: &icd_intercell::IntercellDiagnosis,
     good: &icd_faultsim::BitValues,
     gate: GateId,
+    cache: Option<&icd_core::AnalysisCache>,
 ) -> Result<GateAnalysis, (FlowStage, FlowError)> {
     // Per-gate datalog view: only the failing patterns this gate
     // *explains* (it lies on their critical paths) are local failing
@@ -528,9 +566,9 @@ fn analyze_gate(
             )
         })?
         .netlist();
-    let report =
-        intra_diagnose(cell, &lfp, &lpp).map_err(|e| (FlowStage::IntraCell, FlowError::Core(e)))?;
-    let ranked = icd_core::rank_candidates(cell, &report, &lfp, &lpp)
+    let report = icd_core::diagnose_with_cache(cell, &lfp, &lpp, cache)
+        .map_err(|e| (FlowStage::IntraCell, FlowError::Core(e)))?;
+    let ranked = icd_core::rank_candidates_with_cache(cell, &report, &lfp, &lpp, cache)
         .map_err(|e| (FlowStage::Ranking, FlowError::Core(e)))?;
     Ok(GateAnalysis {
         gate,

@@ -21,8 +21,9 @@ pub mod silicon;
 pub mod tables;
 
 pub use flow::{
-    analyze_datalog, analyze_datalog_report, pattern_set_for, run_flow, run_flow_report,
-    to_local_tests, ExperimentContext, FlowError, FlowOutcome, FlowReport, FlowStage, SkippedGate,
+    analyze_datalog, analyze_datalog_report, analyze_suspect, pattern_set_for, run_flow,
+    run_flow_report, select_suspects, to_local_tests, ExperimentContext, FlowError, FlowOutcome,
+    FlowReport, FlowStage, SkippedGate,
 };
 
 /// Experiment sizing.

@@ -157,6 +157,19 @@ impl CellLibrary {
         CellLibrary { cells, by_name }
     }
 
+    /// The standard library behind an [`Arc`](std::sync::Arc), ready to
+    /// share across diagnosis worker threads without cloning the
+    /// transistor netlists.
+    pub fn standard_shared() -> std::sync::Arc<Self> {
+        std::sync::Arc::new(CellLibrary::standard())
+    }
+
+    /// Moves the library behind an [`Arc`](std::sync::Arc) — the batch
+    /// engine's shared-artifact form.
+    pub fn into_shared(self) -> std::sync::Arc<Self> {
+        std::sync::Arc::new(self)
+    }
+
     /// Looks a cell up by name.
     pub fn get(&self, name: &str) -> Option<&StdCell> {
         self.by_name.get(name).map(|&i| &self.cells[i])

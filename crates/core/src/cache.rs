@@ -1,0 +1,176 @@
+//! Shared, thread-safe memoization of per-cell-type diagnosis artifacts.
+//!
+//! Intra-cell diagnosis re-derives two expensive, *defect-independent*
+//! artifacts for every suspected gate: the cell's exhaustive switch-level
+//! truth table and, per local vector, the critical-path-tracing outcome
+//! ([`transistor_cpt`]). Both depend only on the cell **type** and the
+//! applied vector — never on the gate instance — so a batch engine that
+//! analyzes hundreds of suspects of a handful of cell types can populate
+//! them once and share them across worker threads.
+//!
+//! The cache is safe to share by `&` reference (all interior mutability is
+//! shard-guarded), cheap when cold (failures are returned, not cached) and
+//! strictly transparent: a cached outcome is the same value the uncached
+//! call would produce, so diagnosis results are byte-identical with and
+//! without a cache.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use icd_logic::{Lv, TruthTable};
+use icd_switch::{CellNetlist, TruthTableCache};
+
+use crate::{transistor_cpt, CoreError, CptOutcome};
+
+/// Number of CPT shards; keyed by (cell, vector) the key space is much
+/// larger than the cell count, so use more shards than the table cache.
+const CPT_SHARDS: usize = 16;
+
+type CptShard = Mutex<HashMap<(String, Vec<Lv>), Arc<CptOutcome>>>;
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Counters of one cache family, for throughput reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups served from memory.
+    pub hits: usize,
+    /// Lookups that had to compute.
+    pub misses: usize,
+}
+
+impl CacheStats {
+    /// Fraction of lookups served from memory (0 when unused).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A thread-safe cache of per-cell-type truth tables and per-(cell,
+/// vector) critical-path-tracing outcomes.
+#[derive(Debug, Default)]
+pub struct AnalysisCache {
+    tables: TruthTableCache,
+    cpt: Vec<CptShard>,
+    cpt_hits: AtomicUsize,
+    cpt_misses: AtomicUsize,
+}
+
+impl AnalysisCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        AnalysisCache {
+            tables: TruthTableCache::new(),
+            cpt: (0..CPT_SHARDS).map(|_| Mutex::default()).collect(),
+            cpt_hits: AtomicUsize::new(0),
+            cpt_misses: AtomicUsize::new(0),
+        }
+    }
+
+    /// The cell's exhaustive truth table, derived once per cell type.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the switch-level derivation error; failures are not
+    /// cached.
+    pub fn truth_table(&self, cell: &CellNetlist) -> Result<Arc<TruthTable>, CoreError> {
+        Ok(self.tables.truth_table(cell)?)
+    }
+
+    /// The CPT outcome of `inputs` on `cell`, traced once per (cell type,
+    /// vector) pair.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`transistor_cpt`]'s errors; failures are not cached.
+    pub fn cpt(&self, cell: &CellNetlist, inputs: &[Lv]) -> Result<Arc<CptOutcome>, CoreError> {
+        let mut h = DefaultHasher::new();
+        cell.name().hash(&mut h);
+        inputs.hash(&mut h);
+        let shard = &self.cpt[(h.finish() as usize) % self.cpt.len()];
+        let key = (cell.name().to_owned(), inputs.to_vec());
+        if let Some(o) = lock(shard).get(&key) {
+            self.cpt_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(o));
+        }
+        // Trace outside the lock; a concurrent duplicate trace of the same
+        // (deterministic) outcome is cheaper than serializing the shard.
+        self.cpt_misses.fetch_add(1, Ordering::Relaxed);
+        let outcome = Arc::new(transistor_cpt(cell, inputs)?);
+        lock(shard).insert(key, Arc::clone(&outcome));
+        Ok(outcome)
+    }
+
+    /// Truth-table cache counters.
+    pub fn table_stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.tables.hits(),
+            misses: self.tables.misses(),
+        }
+    }
+
+    /// CPT cache counters.
+    pub fn cpt_stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.cpt_hits.load(Ordering::Relaxed),
+            misses: self.cpt_misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of cached CPT outcomes.
+    pub fn cpt_len(&self) -> usize {
+        self.cpt.iter().map(|s| lock(s).len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icd_cells::CellLibrary;
+
+    #[test]
+    fn cpt_cache_is_transparent() {
+        let cells = CellLibrary::standard();
+        let cell = cells.get("AO7SVTX1").unwrap().netlist();
+        let cache = AnalysisCache::new();
+        let inputs = vec![Lv::One, Lv::Zero, Lv::Zero];
+        let cached = cache.cpt(cell, &inputs).unwrap();
+        let direct = transistor_cpt(cell, &inputs).unwrap();
+        assert_eq!(cached.suspects, direct.suspects);
+        assert_eq!(cached.trace, direct.trace);
+        // Second lookup is a hit on the same allocation.
+        let again = cache.cpt(cell, &inputs).unwrap();
+        assert!(Arc::ptr_eq(&cached, &again));
+        assert_eq!(cache.cpt_stats(), CacheStats { hits: 1, misses: 1 });
+        assert_eq!(cache.cpt_len(), 1);
+    }
+
+    #[test]
+    fn cpt_errors_are_not_cached() {
+        let cells = CellLibrary::standard();
+        let cell = cells.get("AO7SVTX1").unwrap().netlist();
+        let cache = AnalysisCache::new();
+        assert!(cache.cpt(cell, &[Lv::One]).is_err());
+        assert_eq!(cache.cpt_len(), 0);
+    }
+
+    #[test]
+    fn hit_rate_counts() {
+        let s = CacheStats { hits: 3, misses: 1 };
+        assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+    }
+}

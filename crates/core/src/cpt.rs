@@ -272,8 +272,23 @@ pub fn delay_suspects(
     launch: &[Lv],
     capture: &[Lv],
 ) -> Result<DelaySuspectList, CoreError> {
-    check_width(cell, launch)?;
     let outcome = transistor_cpt(cell, capture)?;
+    delay_suspects_from(cell, launch, &outcome)
+}
+
+/// [`delay_suspects`] reusing an already traced capture outcome — the
+/// fast path when the capture vector's CPT was just computed (or served
+/// from an [`AnalysisCache`](crate::AnalysisCache)) by the caller.
+///
+/// # Errors
+///
+/// Same as [`transistor_cpt`].
+pub fn delay_suspects_from(
+    cell: &CellNetlist,
+    launch: &[Lv],
+    outcome: &CptOutcome,
+) -> Result<DelaySuspectList, CoreError> {
+    check_width(cell, launch)?;
     let launch_vals = cell.solve(launch, &Forcing::none())?;
     let mut dsl = DelaySuspectList::new();
     for (item, _) in outcome.suspects.iter() {

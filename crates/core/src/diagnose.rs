@@ -4,8 +4,8 @@ use icd_logic::Lv;
 use icd_switch::{CellNetlist, TNetId, TransistorId};
 
 use crate::{
-    delay_suspects, transistor_cpt, BridgeSuspectList, CoreError, DelaySuspectList, SuspectItem,
-    SuspectList,
+    delay_suspects_from, transistor_cpt, AnalysisCache, BridgeSuspectList, CoreError, CptOutcome,
+    DelaySuspectList, SuspectItem, SuspectList,
 };
 
 /// One local test applied to the suspected cell: the current input vector
@@ -314,9 +314,31 @@ pub fn diagnose(
     lfp: &[LocalTest],
     lpp: &[LocalTest],
 ) -> Result<DiagnosisReport, CoreError> {
+    diagnose_with_cache(cell, lfp, lpp, None)
+}
+
+/// [`diagnose`] with an optional shared [`AnalysisCache`]: critical path
+/// traces are served per (cell type, vector) instead of being re-derived
+/// per suspected gate. The result is identical to the uncached call.
+///
+/// # Errors
+///
+/// Same as [`diagnose`].
+pub fn diagnose_with_cache(
+    cell: &CellNetlist,
+    lfp: &[LocalTest],
+    lpp: &[LocalTest],
+    cache: Option<&AnalysisCache>,
+) -> Result<DiagnosisReport, CoreError> {
     if lfp.is_empty() {
         return Err(CoreError::NoFailingPatterns);
     }
+    let trace = |inputs: &[Lv]| -> Result<std::sync::Arc<CptOutcome>, CoreError> {
+        match cache {
+            Some(c) => c.cpt(cell, inputs),
+            None => Ok(std::sync::Arc::new(transistor_cpt(cell, inputs)?)),
+        }
+    };
 
     // Definition 3: a local vector both failing and passing discards the
     // static models.
@@ -330,10 +352,10 @@ pub fn diagnose(
     let mut gbsl: Option<BridgeSuspectList> = None;
     let mut gdsl: Option<DelaySuspectList> = None;
     for fp in lfp {
-        let outcome = transistor_cpt(cell, &fp.inputs_lv())?;
+        let outcome = trace(&fp.inputs_lv())?;
         let csl = outcome.suspects.clone();
         let cbsl = bridge_list_from(cell, &outcome.suspects, &outcome.values);
-        let cdsl = delay_suspects(cell, &fp.previous_lv(), &fp.inputs_lv())?;
+        let cdsl = delay_suspects_from(cell, &fp.previous_lv(), &outcome)?;
         gsl = Some(match gsl {
             None => csl,
             Some(g) => g.intersect(&csl),
@@ -360,7 +382,7 @@ pub fn diagnose(
         // Block 2: vindication by the passing patterns (GSL and GBSL only;
         // passing patterns cannot exonerate delay faults).
         for pp in lpp {
-            let outcome = transistor_cpt(cell, &pp.inputs_lv())?;
+            let outcome = trace(&pp.inputs_lv())?;
             let vl = outcome.suspects.clone();
             let bvl = bridge_list_from(cell, &outcome.suspects, &outcome.values);
             gsl = gsl.subtract(&vl);

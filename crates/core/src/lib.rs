@@ -51,6 +51,7 @@
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::panic))]
 #![warn(missing_docs)]
 
+mod cache;
 mod cpt;
 mod diagnose;
 mod error;
@@ -58,11 +59,13 @@ mod rank;
 mod suspect;
 mod trace_report;
 
-pub use cpt::{critical_oracle, delay_suspects, transistor_cpt, CptOutcome};
+pub use cache::{AnalysisCache, CacheStats};
+pub use cpt::{critical_oracle, delay_suspects, delay_suspects_from, transistor_cpt, CptOutcome};
 pub use diagnose::{
-    diagnose, DiagnosisReport, FaultCandidate, FaultModel, LocalTest, SuspectLocation,
+    diagnose, diagnose_with_cache, DiagnosisReport, FaultCandidate, FaultModel, LocalTest,
+    SuspectLocation,
 };
 pub use error::CoreError;
-pub use rank::{rank_candidates, RankedCandidate, RankedDiagnosis};
+pub use rank::{rank_candidates, rank_candidates_with_cache, RankedCandidate, RankedDiagnosis};
 pub use suspect::{BridgeSuspectList, DelaySuspectList, SuspectItem, SuspectList};
 pub use trace_report::{diagnose_traced, DiagnosisTrace, TraceStep};

@@ -112,10 +112,10 @@ impl RankedDiagnosis {
 /// Predicted tester outcome of one candidate model on one local test.
 fn predicts_failure(
     cell: &CellNetlist,
+    good: &icd_logic::TruthTable,
     candidate: &FaultCandidate,
     test: &LocalTest,
 ) -> Result<bool, CoreError> {
-    let good = cell.truth_table()?;
     let prev_lv: Vec<Lv> = test.previous.iter().copied().map(Lv::from).collect();
     let cur_lv: Vec<Lv> = test.inputs.iter().copied().map(Lv::from).collect();
     let good_prev = good.eval_bits(&test.previous);
@@ -204,17 +204,39 @@ pub fn rank_candidates(
     lfp: &[LocalTest],
     lpp: &[LocalTest],
 ) -> Result<RankedDiagnosis, CoreError> {
+    rank_candidates_with_cache(cell, report, lfp, lpp, None)
+}
+
+/// [`rank_candidates`] with an optional shared [`AnalysisCache`]: the
+/// cell's good truth table is fetched once per cell *type* instead of
+/// being re-derived per candidate × test. The ranking is identical to the
+/// uncached call.
+///
+/// # Errors
+///
+/// Same as [`rank_candidates`].
+pub fn rank_candidates_with_cache(
+    cell: &CellNetlist,
+    report: &DiagnosisReport,
+    lfp: &[LocalTest],
+    lpp: &[LocalTest],
+    cache: Option<&crate::AnalysisCache>,
+) -> Result<RankedDiagnosis, CoreError> {
+    let good = match cache {
+        Some(c) => c.truth_table(cell)?,
+        None => std::sync::Arc::new(cell.truth_table()?),
+    };
     let mut ranked = Vec::with_capacity(report.candidates.len());
     for candidate in &report.candidates {
         let mut explains = 0usize;
         for t in lfp {
-            if predicts_failure(cell, candidate, t)? {
+            if predicts_failure(cell, &good, candidate, t)? {
                 explains += 1;
             }
         }
         let mut contradicts = 0usize;
         for t in lpp {
-            if predicts_failure(cell, candidate, t)? {
+            if predicts_failure(cell, &good, candidate, t)? {
                 contradicts += 1;
             }
         }

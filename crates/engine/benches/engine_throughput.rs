@@ -1,0 +1,124 @@
+//! Batch-engine throughput: 1 worker vs N workers over one batch of
+//! failing devices on a scaled-down circuit B.
+//!
+//! Besides the criterion display, the worker sweep writes the
+//! machine-readable `BENCH_engine.json` at the workspace root:
+//! wall-clock seconds, patterns/s, suspect-jobs/s and speedup vs one
+//! worker, plus the host's core count (speedup saturates at the physical
+//! parallelism — a single-core CI container reports ~1.0×, by design not
+//! a failure).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use icd_bench::flow::ExperimentContext;
+use icd_engine::{synthesize_batch, BatchConfig, BatchEngine, EngineConfig};
+use icd_faultsim::Datalog;
+use icd_netlist::generator;
+
+const DIVISOR: usize = 400;
+const PATTERNS: usize = 64;
+const DATALOGS: usize = 8;
+const WORKER_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+fn build_input() -> (Arc<ExperimentContext>, Vec<Datalog>) {
+    let ctx = ExperimentContext::from_preset(&generator::circuit_b(), DIVISOR, PATTERNS)
+        .expect("circuit B builds at bench scale");
+    let batch =
+        synthesize_batch(&ctx, &BatchConfig::new(DATALOGS, 0xbe7c4)).expect("batch synthesizes");
+    assert!(!batch.is_empty(), "bench needs failing devices");
+    (ctx.into_shared(), batch)
+}
+
+struct SweepPoint {
+    workers: usize,
+    seconds: f64,
+    patterns_per_s: f64,
+    suspects_per_s: f64,
+}
+
+fn sweep(ctx: &Arc<ExperimentContext>, batch: &[Datalog]) -> Vec<SweepPoint> {
+    WORKER_SWEEP
+        .iter()
+        .map(|&workers| {
+            let engine = BatchEngine::new(EngineConfig::with_workers(workers));
+            // Warm-up run, then the timed run.
+            let _ = engine.diagnose_batch(ctx, batch).expect("batch runs");
+            let t0 = Instant::now();
+            let report = engine.diagnose_batch(ctx, batch).expect("batch runs");
+            let seconds = t0.elapsed().as_secs_f64().max(1e-9);
+            let applied = (batch.len() * ctx.patterns.len()) as f64;
+            SweepPoint {
+                workers,
+                seconds,
+                patterns_per_s: applied / seconds,
+                suspects_per_s: report.stats.suspect_jobs as f64 / seconds,
+            }
+        })
+        .collect()
+}
+
+fn write_json(points: &[SweepPoint]) {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let base = points.first().map(|p| p.seconds).unwrap_or(1.0);
+    let results: Vec<String> = points
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{ \"workers\": {}, \"seconds\": {:.6}, \"patterns_per_s\": {:.1}, \
+                 \"suspects_per_s\": {:.2}, \"speedup\": {:.3} }}",
+                p.workers,
+                p.seconds,
+                p.patterns_per_s,
+                p.suspects_per_s,
+                base / p.seconds
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"engine_throughput\",\n  \"circuit\": \"B/{DIVISOR}\",\n  \
+         \"patterns\": {PATTERNS},\n  \"datalogs\": {DATALOGS},\n  \"cores\": {cores},\n  \
+         \"results\": [\n{}\n  ]\n}}\n",
+        results.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+    print!("{json}");
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let (ctx, batch) = build_input();
+
+    // The machine-readable sweep first: one timed run per worker count.
+    let points = sweep(&ctx, &batch);
+    write_json(&points);
+
+    // Criterion display: batch latency at each worker count.
+    let mut group = c.benchmark_group("engine_throughput");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(batch.len() as u64));
+    for workers in WORKER_SWEEP {
+        let engine = BatchEngine::new(EngineConfig::with_workers(workers));
+        group.bench_with_input(
+            BenchmarkId::new("workers", workers),
+            &(&ctx, &batch),
+            |b, (ctx, batch)| {
+                b.iter(|| engine.diagnose_batch(ctx, batch).expect("batch runs"));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_engine
+}
+criterion_main!(benches);

@@ -1,0 +1,276 @@
+//! `icdiag` — batch volume-diagnosis driver.
+//!
+//! ```text
+//! icdiag gen <dir> [--devices N] [--seed S] [--divisor D] [--patterns P]
+//! icdiag run <dir> [--workers N]
+//! ```
+//!
+//! `gen` synthesizes a failing-device batch: a netlist (`netlist.txt`),
+//! a manifest recording how to regenerate the test set (`manifest.txt`)
+//! and one tester datalog per device (`device-NNN.log`).
+//!
+//! `run` diagnoses such a directory with the parallel batch engine and
+//! prints one summary line per datalog plus an aggregate throughput
+//! line. Worker count comes from `--workers`, else `ICD_WORKERS`, else
+//! the machine's parallelism.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use icd_bench::flow::{pattern_set_for, ExperimentContext};
+use icd_cells::CellLibrary;
+use icd_engine::{synthesize_batch, BatchConfig, BatchEngine, EngineConfig};
+use icd_faultsim::{datalog_text, Datalog};
+use icd_netlist::generator;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  icdiag gen <dir> [--devices N] [--seed S] [--divisor D] [--patterns P]\n  \
+         icdiag run <dir> [--workers N]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        return usage();
+    };
+    match command.as_str() {
+        "gen" => cmd_gen(&args[1..]),
+        "run" => cmd_run(&args[1..]),
+        _ => usage(),
+    }
+}
+
+/// Parses `--flag value` pairs after the positional directory.
+fn parse_flags(args: &[String]) -> Result<(PathBuf, Vec<(String, String)>), String> {
+    let mut iter = args.iter();
+    let dir = iter
+        .next()
+        .ok_or_else(|| "missing <dir>".to_owned())?
+        .clone();
+    let mut flags = Vec::new();
+    while let Some(flag) = iter.next() {
+        let name = flag
+            .strip_prefix("--")
+            .ok_or_else(|| format!("unexpected argument {flag:?}"))?;
+        let value = iter
+            .next()
+            .ok_or_else(|| format!("--{name} needs a value"))?;
+        flags.push((name.to_owned(), value.clone()));
+    }
+    Ok((PathBuf::from(dir), flags))
+}
+
+fn flag<T: std::str::FromStr>(
+    flags: &[(String, String)],
+    name: &str,
+    default: T,
+) -> Result<T, String> {
+    match flags.iter().find(|(n, _)| n == name) {
+        None => Ok(default),
+        Some((_, v)) => v
+            .parse()
+            .map_err(|_| format!("--{name}: cannot parse {v:?}")),
+    }
+}
+
+fn cmd_gen(args: &[String]) -> ExitCode {
+    match gen(args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("icdiag gen: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn gen(args: &[String]) -> Result<(), String> {
+    let (dir, flags) = parse_flags(args)?;
+    let devices: usize = flag(&flags, "devices", 8)?;
+    let seed: u64 = flag(&flags, "seed", 0x1cd1a6)?;
+    let divisor: usize = flag(&flags, "divisor", 400)?;
+    let patterns: usize = flag(&flags, "patterns", 64)?;
+
+    let ctx = ExperimentContext::from_preset(&generator::circuit_b(), divisor, patterns)
+        .map_err(|e| format!("building circuit: {e}"))?;
+    let batch = synthesize_batch(&ctx, &BatchConfig::new(devices, seed))
+        .map_err(|e| format!("synthesizing batch: {e}"))?;
+    if batch.is_empty() {
+        return Err("no sampled defect produced a failing device at this scale".into());
+    }
+
+    std::fs::create_dir_all(&dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+    let write = |name: &str, text: &str| -> Result<(), String> {
+        let path = dir.join(name);
+        std::fs::write(&path, text).map_err(|e| format!("writing {}: {e}", path.display()))
+    };
+    write("netlist.txt", &icd_netlist::format::write(&ctx.circuit))?;
+    // The test set is regenerated, not stored: record its recipe. The
+    // pattern seed matches ExperimentContext::from_preset (config seed is
+    // divisor-independent, the whitening constant is the context's).
+    let cfg = generator::circuit_b();
+    let pattern_seed = if divisor > 1 {
+        cfg.scaled_down(divisor).seed ^ 0x7e57
+    } else {
+        cfg.seed ^ 0x7e57
+    };
+    write(
+        "manifest.txt",
+        &format!("patterns={patterns}\npattern_seed={pattern_seed}\n"),
+    )?;
+    for (i, datalog) in batch.iter().enumerate() {
+        write(&format!("device-{i:03}.log"), &datalog_text::write(datalog))?;
+    }
+    println!(
+        "generated {} devices in {} ({} gates, {} patterns)",
+        batch.len(),
+        dir.display(),
+        ctx.circuit.num_gates(),
+        ctx.patterns.len()
+    );
+    Ok(())
+}
+
+fn cmd_run(args: &[String]) -> ExitCode {
+    match run(args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("icdiag run: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn read_manifest(dir: &Path) -> Result<(usize, u64), String> {
+    let path = dir.join("manifest.txt");
+    let text =
+        std::fs::read_to_string(&path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+    let mut patterns = None;
+    let mut seed = None;
+    for line in text.lines() {
+        let Some((key, value)) = line.split_once('=') else {
+            continue;
+        };
+        match key.trim() {
+            "patterns" => patterns = value.trim().parse::<usize>().ok(),
+            "pattern_seed" => seed = value.trim().parse::<u64>().ok(),
+            _ => {}
+        }
+    }
+    match (patterns, seed) {
+        (Some(p), Some(s)) => Ok((p, s)),
+        _ => Err(format!(
+            "{}: needs `patterns=` and `pattern_seed=` lines",
+            path.display()
+        )),
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let (dir, flags) = parse_flags(args)?;
+    let workers: usize = flag(&flags, "workers", 0)?;
+
+    // Rebuild the context: parse the netlist against the standard
+    // library, regenerate the recorded test set.
+    let cells = CellLibrary::standard();
+    let logic = cells.logic_library();
+    let netlist_path = dir.join("netlist.txt");
+    let netlist_text = std::fs::read_to_string(&netlist_path)
+        .map_err(|e| format!("reading {}: {e}", netlist_path.display()))?;
+    let circuit = icd_netlist::format::parse(&netlist_text, &logic)
+        .map_err(|e| format!("parsing {}: {e}", netlist_path.display()))?;
+    let (num_patterns, pattern_seed) = read_manifest(&dir)?;
+    let patterns = pattern_set_for(&circuit, num_patterns, pattern_seed);
+    let ctx = Arc::new(ExperimentContext {
+        cells,
+        logic,
+        circuit,
+        patterns,
+    });
+
+    // Every *.log in the directory, in name order (determinism).
+    let mut log_files: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .map_err(|e| format!("reading {}: {e}", dir.display()))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "log"))
+        .collect();
+    log_files.sort();
+    if log_files.is_empty() {
+        return Err(format!("no *.log datalogs in {}", dir.display()));
+    }
+    let mut datalogs: Vec<Datalog> = Vec::with_capacity(log_files.len());
+    for path in &log_files {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("reading {}: {e}", path.display()))?;
+        datalogs.push(datalog_text::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?);
+    }
+
+    let config = if workers > 0 {
+        EngineConfig::with_workers(workers)
+    } else {
+        EngineConfig::from_env()
+    };
+    let engine = BatchEngine::new(config);
+    let batch = engine
+        .diagnose_batch(&ctx, &datalogs)
+        .map_err(|e| format!("batch diagnosis: {e}"))?;
+
+    for outcome in &batch.outcomes {
+        let name = log_files[outcome.index]
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| format!("#{}", outcome.index));
+        match &outcome.report {
+            Ok(report) if report.is_escape() => {
+                println!("{name}: PASS (test escape)");
+            }
+            Ok(report) => {
+                let top = report
+                    .best()
+                    .map(|a| {
+                        format!(
+                            "g{}:{} ({} candidates)",
+                            a.gate.index(),
+                            ctx.circuit.gate_type(a.gate).name(),
+                            a.ranked.candidates.len()
+                        )
+                    })
+                    .unwrap_or_else(|| "none".to_owned());
+                println!(
+                    "{name}: {} failing patterns, {} analyzed, {} skipped, {} unexplained, \
+                     top suspect {top}{}",
+                    report.failing_patterns,
+                    report.analyses.len(),
+                    report.skipped.len(),
+                    report.unexplained.len(),
+                    if report.is_degraded() {
+                        " [degraded]"
+                    } else {
+                        ""
+                    },
+                );
+            }
+            Err(e) => println!("{name}: FAILED ({e})"),
+        }
+    }
+
+    let stats = &batch.stats;
+    let seconds = stats.elapsed.as_secs_f64().max(1e-9);
+    let applied = (stats.datalogs * ctx.patterns.len()) as f64;
+    println!(
+        "batch: {} datalogs, {} suspect jobs, {} workers, {:.2}s \
+         ({:.1} datalogs/s, {:.1} patterns/s, table cache {:.0}% hit, cpt cache {:.0}% hit)",
+        stats.datalogs,
+        stats.suspect_jobs,
+        stats.workers,
+        seconds,
+        stats.datalogs as f64 / seconds,
+        applied / seconds,
+        stats.table_cache.hit_rate() * 100.0,
+        stats.cpt_cache.hit_rate() * 100.0,
+    );
+    Ok(())
+}

@@ -1,0 +1,272 @@
+//! A std-only work-stealing thread pool with bounded queues.
+//!
+//! The build environment has no registry access, so instead of `rayon`
+//! this is a small, purpose-built pool on `std::thread` +
+//! `std::sync::{Mutex, Condvar}` (results travel back to the coordinator
+//! over `std::sync::mpsc` channels owned by the submitted closures):
+//!
+//! * **per-worker deques + stealing** — submissions are distributed
+//!   round-robin over per-worker queues; an idle worker first drains its
+//!   own queue front, then steals from the *back* of the longest sibling
+//!   queue, so one long-running datalog cannot starve the pool;
+//! * **bounded queues with backpressure** — [`WorkerPool::submit`] blocks
+//!   once `queue_capacity` jobs are waiting, so a producer enumerating a
+//!   huge batch cannot buffer the whole batch in memory;
+//! * **panic isolation** — every job runs under
+//!   [`std::panic::catch_unwind`]; a poisoned job increments
+//!   [`WorkerPool::caught_panics`] and the worker keeps serving. (The
+//!   engine additionally catches panics *inside* its jobs so the failure
+//!   is attributed to the right datalog; this pool-level net is the
+//!   backstop that keeps the pool alive no matter what.)
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+
+/// A unit of work. Jobs communicate results themselves (typically via an
+/// `mpsc::Sender` captured by the closure).
+pub type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct PoolState {
+    queues: Vec<VecDeque<Job>>,
+    /// Jobs currently waiting in any queue (not yet picked up).
+    queued: usize,
+    /// Round-robin cursor for submissions.
+    next: usize,
+    shutdown: bool,
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    /// Signalled when a job is queued or shutdown begins.
+    work: Condvar,
+    /// Signalled when a worker takes a job (queue space freed).
+    space: Condvar,
+    capacity: usize,
+    panics: AtomicUsize,
+}
+
+fn lock(shared: &PoolShared) -> MutexGuard<'_, PoolState> {
+    match shared.state.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// The pool. Dropping it finishes all queued jobs, then joins the
+/// workers.
+pub struct WorkerPool {
+    shared: Arc<PoolShared>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns `workers` threads (at least one) with room for
+    /// `queue_capacity` waiting jobs before submissions block.
+    pub fn new(workers: usize, queue_capacity: usize) -> Self {
+        let workers = workers.max(1);
+        let shared = Arc::new(PoolShared {
+            state: Mutex::new(PoolState {
+                queues: (0..workers).map(|_| VecDeque::new()).collect(),
+                queued: 0,
+                next: 0,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            space: Condvar::new(),
+            capacity: queue_capacity.max(1),
+            panics: AtomicUsize::new(0),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("icd-worker-{i}"))
+                    .spawn(move || worker_loop(i, &shared))
+                    .expect("spawning a diagnosis worker thread")
+            })
+            .collect();
+        WorkerPool { shared, handles }
+    }
+
+    /// Enqueues a job, blocking while the pool already holds
+    /// `queue_capacity` waiting jobs (backpressure).
+    pub fn submit(&self, job: Job) {
+        let mut state = lock(&self.shared);
+        while state.queued >= self.shared.capacity && !state.shutdown {
+            state = match self.shared.space.wait(state) {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+        }
+        let slot = state.next % state.queues.len();
+        state.next = state.next.wrapping_add(1);
+        state.queues[slot].push_back(job);
+        state.queued += 1;
+        drop(state);
+        self.shared.work.notify_one();
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Jobs whose panic the pool-level net had to contain.
+    pub fn caught_panics(&self) -> usize {
+        self.shared.panics.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut state = lock(&self.shared);
+            state.shutdown = true;
+        }
+        self.shared.work.notify_all();
+        self.shared.space.notify_all();
+        for h in self.handles.drain(..) {
+            // A worker that itself panicked outside the catch (impossible
+            // by construction) must not poison the drop.
+            let _ = h.join();
+        }
+    }
+}
+
+/// Takes the next job for worker `me`: own queue first (FIFO), then a
+/// steal from the back of the longest sibling queue (LIFO from the
+/// victim's view — the classic stealing order, which takes the coarsest
+/// not-yet-started work).
+fn take_job(state: &mut PoolState, me: usize) -> Option<Job> {
+    if let Some(job) = state.queues[me].pop_front() {
+        state.queued -= 1;
+        return Some(job);
+    }
+    let victim = (0..state.queues.len())
+        .filter(|&i| i != me && !state.queues[i].is_empty())
+        .max_by_key(|&i| state.queues[i].len())?;
+    let job = state.queues[victim].pop_back()?;
+    state.queued -= 1;
+    Some(job)
+}
+
+fn worker_loop(me: usize, shared: &PoolShared) {
+    loop {
+        let job = {
+            let mut state = lock(shared);
+            loop {
+                if let Some(job) = take_job(&mut state, me) {
+                    break job;
+                }
+                if state.shutdown {
+                    return;
+                }
+                state = match shared.work.wait(state) {
+                    Ok(g) => g,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+            }
+        };
+        shared.space.notify_one();
+        if catch_unwind(AssertUnwindSafe(job)).is_err() {
+            shared.panics.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    #[test]
+    fn runs_every_job_exactly_once() {
+        let pool = WorkerPool::new(4, 8);
+        let (tx, rx) = mpsc::channel();
+        for i in 0..100usize {
+            let tx = tx.clone();
+            pool.submit(Box::new(move || {
+                tx.send(i).unwrap();
+            }));
+        }
+        drop(tx);
+        let mut seen: Vec<usize> = rx.iter().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn a_panicking_job_does_not_kill_the_pool() {
+        let pool = WorkerPool::new(2, 4);
+        let (tx, rx) = mpsc::channel();
+        pool.submit(Box::new(|| panic!("poisoned job")));
+        for i in 0..10usize {
+            let tx = tx.clone();
+            pool.submit(Box::new(move || {
+                tx.send(i).unwrap();
+            }));
+        }
+        drop(tx);
+        assert_eq!(rx.iter().count(), 10);
+        // The panicking job may still be queued behind the counted ones.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while pool.caught_panics() == 0 && std::time::Instant::now() < deadline {
+            std::thread::yield_now();
+        }
+        assert_eq!(pool.caught_panics(), 1);
+    }
+
+    #[test]
+    fn backpressure_bounds_the_queue() {
+        // One worker blocked on a gate; capacity 2. The third submit must
+        // block until the gate opens.
+        let pool = WorkerPool::new(1, 2);
+        let (gate_tx, gate_rx) = mpsc::channel::<()>();
+        let gate_rx = Mutex::new(gate_rx);
+        let pool = Arc::new(pool);
+        let gate_holder = Arc::new(gate_rx);
+        {
+            let holder = Arc::clone(&gate_holder);
+            pool.submit(Box::new(move || {
+                let _ = lock_rx(&holder).recv();
+            }));
+        }
+        // Fill the queue (worker busy on the gate job).
+        pool.submit(Box::new(|| {}));
+        pool.submit(Box::new(|| {}));
+        let (done_tx, done_rx) = mpsc::channel();
+        let p2 = Arc::clone(&pool);
+        let t = std::thread::spawn(move || {
+            p2.submit(Box::new(|| {}));
+            done_tx.send(()).unwrap();
+        });
+        // The submit above must be blocked while the queue is full.
+        assert!(done_rx.recv_timeout(Duration::from_millis(200)).is_err());
+        gate_tx.send(()).unwrap();
+        assert!(done_rx.recv_timeout(Duration::from_secs(5)).is_ok());
+        t.join().unwrap();
+
+        fn lock_rx(m: &Mutex<mpsc::Receiver<()>>) -> MutexGuard<'_, mpsc::Receiver<()>> {
+            m.lock().unwrap()
+        }
+    }
+
+    #[test]
+    fn single_worker_preserves_submission_order() {
+        let pool = WorkerPool::new(1, 64);
+        let (tx, rx) = mpsc::channel();
+        for i in 0..20usize {
+            let tx = tx.clone();
+            pool.submit(Box::new(move || {
+                tx.send(i).unwrap();
+            }));
+        }
+        drop(tx);
+        let seen: Vec<usize> = rx.iter().collect();
+        assert_eq!(seen, (0..20).collect::<Vec<_>>());
+    }
+}

@@ -26,17 +26,32 @@
 //!
 //! # Example
 //!
-//! ```no_run
+//! ```
+//! use icd_cells::CellLibrary;
+//! use icd_faultsim::{enumerate_stuck_at, run_test_gate_fault};
 //! use icd_intercell::{diagnose, extract_local_patterns};
-//! # let circuit: icd_netlist::Circuit = unimplemented!();
-//! # let patterns: Vec<icd_logic::Pattern> = vec![];
-//! # let datalog: icd_faultsim::Datalog = Default::default();
+//! use icd_netlist::generator;
+//!
+//! // A small synthetic circuit with a random test set.
+//! let library = CellLibrary::standard().logic_library();
+//! let circuit = generator::generate(&generator::circuit_a().scaled_down(8), &library)?;
+//! let patterns = icd_atpg::random_patterns(&circuit, 32, 7);
+//!
+//! // Emulate the tester: the first stuck-at fault the test set detects.
+//! let datalog = enumerate_stuck_at(&circuit)
+//!     .iter()
+//!     .filter_map(|fault| run_test_gate_fault(&circuit, &patterns, fault).ok())
+//!     .find(|datalog| !datalog.all_pass())
+//!     .expect("some stuck fault is detected");
+//!
+//! // Effect-cause diagnosis, then local patterns per suspected gate.
 //! let result = diagnose(&circuit, &patterns, &datalog)?;
-//! for gate in &result.multiplet {
-//!     let local = extract_local_patterns(&circuit, &patterns, &datalog, *gate)?;
-//!     println!("{}: {} lfp / {} lpp", circuit.gate_name(*gate), local.lfp.len(), local.lpp.len());
+//! assert!(!result.multiplet.is_empty());
+//! for &gate in &result.multiplet {
+//!     let local = extract_local_patterns(&circuit, &patterns, &datalog, gate)?;
+//!     println!("{}: {} lfp / {} lpp", circuit.gate_name(gate), local.lfp.len(), local.lpp.len());
 //! }
-//! # Ok::<(), icd_intercell::IntercellError>(())
+//! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
 #![forbid(unsafe_code)]

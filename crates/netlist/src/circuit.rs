@@ -102,6 +102,12 @@ impl Circuit {
         &self.name
     }
 
+    /// Moves the circuit behind an [`Arc`](std::sync::Arc) so many
+    /// diagnosis workers can borrow one immutable DUT description.
+    pub fn into_shared(self) -> std::sync::Arc<Self> {
+        std::sync::Arc::new(self)
+    }
+
     /// The owned library the circuit's gates reference.
     pub fn library(&self) -> &Library {
         &self.library

@@ -1,0 +1,145 @@
+//! Shard-guarded memoization of per-cell switch-level artifacts.
+//!
+//! Exhaustive truth-table extraction ([`CellNetlist::truth_table`]) costs
+//! `2^n` steady-state solves per cell. A diagnosis batch analyzes many
+//! suspected gates of the *same* cell type, so the table only needs to be
+//! derived once per type and can then be shared — including across
+//! threads, which is why the cache is guarded by sharded [`Mutex`]es
+//! instead of requiring `&mut self`.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use icd_logic::TruthTable;
+
+use crate::{CellNetlist, SwitchError};
+
+/// Number of independent shards; a small power of two keeps contention
+/// negligible for the ~22-cell standard library while staying cheap.
+const SHARDS: usize = 8;
+
+/// A thread-safe, keyed-by-cell-name cache of exhaustively derived
+/// [`TruthTable`]s.
+///
+/// Tables are stored behind [`Arc`] so concurrent consumers share one
+/// allocation. Lookups on different cells hash to independent shards; a
+/// poisoned shard (a panic while holding the lock) is recovered rather
+/// than propagated, preserving the workspace no-panic guarantee.
+#[derive(Debug, Default)]
+pub struct TruthTableCache {
+    shards: [Mutex<HashMap<String, Arc<TruthTable>>>; SHARDS],
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+fn lock_shard<T>(shard: &Mutex<T>) -> MutexGuard<'_, T> {
+    // A panic in another thread while it held the lock cannot corrupt a
+    // HashMap insert/lookup in a way we care about: recover the guard.
+    match shard.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+impl TruthTableCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        TruthTableCache::default()
+    }
+
+    fn shard_for(&self, name: &str) -> &Mutex<HashMap<String, Arc<TruthTable>>> {
+        let mut h = DefaultHasher::new();
+        name.hash(&mut h);
+        &self.shards[(h.finish() as usize) % SHARDS]
+    }
+
+    /// The cell's truth table, derived on first use and shared afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying [`SwitchError`] when the (first) exhaustive
+    /// derivation fails; failures are not cached.
+    pub fn truth_table(&self, cell: &CellNetlist) -> Result<Arc<TruthTable>, SwitchError> {
+        let shard = self.shard_for(cell.name());
+        if let Some(t) = lock_shard(shard).get(cell.name()) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(t));
+        }
+        // Derive outside the lock: 2^n solves can be milliseconds and
+        // other cell types must not wait on this shard meanwhile. Two
+        // threads may race on the same cold cell; both derive the same
+        // table and the second insert is a harmless overwrite.
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let table = Arc::new(cell.truth_table()?);
+        lock_shard(shard).insert(cell.name().to_owned(), Arc::clone(&table));
+        Ok(table)
+    }
+
+    /// Number of distinct cell types currently cached.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| lock_shard(s).len()).sum()
+    }
+
+    /// Whether nothing is cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookups served from the cache.
+    pub fn hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that had to derive the table.
+    pub fn misses(&self) -> usize {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CellNetlistBuilder;
+
+    fn inverter() -> CellNetlist {
+        let mut b = CellNetlistBuilder::new("INV");
+        let a = b.input("A");
+        let z = b.output("Z");
+        b.pmos("P0", a, b.vdd(), z);
+        b.nmos("N0", a, b.gnd(), z);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn second_lookup_is_a_hit_and_shares_the_allocation() {
+        let cache = TruthTableCache::new();
+        let inv = inverter();
+        let t1 = cache.truth_table(&inv).unwrap();
+        let t2 = cache.truth_table(&inv).unwrap();
+        assert!(Arc::ptr_eq(&t1, &t2));
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(*t1, inv.truth_table().unwrap());
+    }
+
+    #[test]
+    fn concurrent_lookups_agree() {
+        let cache = Arc::new(TruthTableCache::new());
+        let inv = Arc::new(inverter());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                let inv = Arc::clone(&inv);
+                std::thread::spawn(move || cache.truth_table(&inv).unwrap())
+            })
+            .collect();
+        let reference = inv.truth_table().unwrap();
+        for h in handles {
+            assert_eq!(*h.join().unwrap(), reference);
+        }
+        assert_eq!(cache.len(), 1);
+    }
+}

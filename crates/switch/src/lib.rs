@@ -42,11 +42,13 @@
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::panic))]
 #![warn(missing_docs)]
 
+mod cache;
 mod netlist;
 pub mod samples;
 mod sim;
 pub mod spice;
 
+pub use cache::TruthTableCache;
 pub use netlist::{
     CellNetlist, CellNetlistBuilder, SwitchError, TNetId, Terminal, Transistor, TransistorId,
     TransistorKind,

@@ -1,0 +1,97 @@
+//! The batch engine's two core guarantees, asserted end to end:
+//!
+//! 1. **Sequential equivalence** — a batch diagnosed by the engine yields
+//!    exactly the staged flow's per-datalog reports;
+//! 2. **Scheduling determinism** — the merged batch report is
+//!    byte-identical (by `Debug` rendering) for worker counts 1, 2 and 8,
+//!    including batches containing multi-defect devices and a poisoned
+//!    suspect.
+
+use std::sync::Arc;
+
+use icd_bench::flow::{analyze_datalog_report, ExperimentContext, FlowStage};
+use icd_engine::{synthesize_batch, BatchConfig, BatchEngine, EngineConfig};
+use icd_faultsim::Datalog;
+
+/// Circuit A with a synthesized batch that mixes single- and two-defect
+/// devices, plus one all-pass device (test escape).
+fn batch_fixture() -> (ExperimentContext, Vec<Datalog>) {
+    let ctx = ExperimentContext::circuit_a().expect("circuit A builds");
+    let mut batch = synthesize_batch(&ctx, &BatchConfig::new(5, 0xd1a6)).expect("synthesizes");
+    assert!(batch.len() >= 3, "fixture needs several failing devices");
+    batch.push(Datalog {
+        circuit_name: ctx.circuit.name().to_owned(),
+        num_patterns: ctx.patterns.len(),
+        entries: vec![],
+    });
+    (ctx, batch)
+}
+
+fn render(engine_workers: usize, ctx: &Arc<ExperimentContext>, batch: &[Datalog]) -> String {
+    let engine = BatchEngine::new(EngineConfig::with_workers(engine_workers));
+    let report = engine.diagnose_batch(ctx, batch).expect("batch runs");
+    assert_eq!(report.outcomes.len(), batch.len());
+    assert_eq!(report.stats.workers, engine_workers);
+    format!("{:#?}", report.outcomes)
+}
+
+#[test]
+fn engine_matches_the_sequential_staged_flow() {
+    let (ctx, batch) = batch_fixture();
+    let sequential: Vec<String> = batch
+        .iter()
+        .map(|d| format!("{:#?}", analyze_datalog_report(&ctx, d).expect("flow runs")))
+        .collect();
+
+    let ctx = ctx.into_shared();
+    let engine = BatchEngine::new(EngineConfig::with_workers(2));
+    let parallel = engine.diagnose_batch(&ctx, &batch).expect("batch runs");
+    for (outcome, expected) in parallel.outcomes.iter().zip(&sequential) {
+        let report = outcome.report.as_ref().expect("datalog diagnosed");
+        assert_eq!(
+            &format!("{report:#?}"),
+            expected,
+            "datalog {} diverges from the sequential flow",
+            outcome.index
+        );
+    }
+}
+
+#[test]
+fn merged_reports_are_identical_across_worker_counts() {
+    let (ctx, batch) = batch_fixture();
+    let ctx = ctx.into_shared();
+    let one = render(1, &ctx, &batch);
+    let two = render(2, &ctx, &batch);
+    let eight = render(8, &ctx, &batch);
+    assert_eq!(one, two, "2 workers diverge from 1");
+    assert_eq!(one, eight, "8 workers diverge from 1");
+}
+
+#[test]
+fn poisoned_suspects_merge_deterministically() {
+    // Remove a cell type from the library *after* batch synthesis: every
+    // suspect of that type now fails at the cell-lookup stage. The
+    // degradation must be identical for every worker count.
+    let (mut ctx, batch) = batch_fixture();
+    assert!(ctx.cells.remove("AO6CHVTX4"), "fixture cell exists");
+    let ctx = ctx.into_shared();
+
+    let one = render(1, &ctx, &batch);
+    let eight = render(8, &ctx, &batch);
+    assert_eq!(one, eight, "degraded merges diverge across worker counts");
+
+    // The poison is visible as structured skips, never as a panic or a
+    // lost datalog.
+    let engine = BatchEngine::new(EngineConfig::with_workers(4));
+    let report = engine.diagnose_batch(&ctx, &batch).expect("batch runs");
+    let skipped_lookup = report
+        .reports()
+        .flat_map(|(_, r)| r.skipped.iter())
+        .filter(|s| s.stage == FlowStage::CellLookup)
+        .count();
+    assert!(
+        skipped_lookup > 0,
+        "expected at least one cell-lookup skip after removing the cell type"
+    );
+}
