@@ -450,8 +450,15 @@ pub fn analyze_datalog_report(
     ctx: &ExperimentContext,
     datalog: &icd_faultsim::Datalog,
 ) -> Result<FlowReport, FlowError> {
-    let (datalog, sanitize) = datalog.sanitize(ctx.circuit.outputs().len());
-    if datalog.all_pass() {
+    let (datalog, sanitize) = {
+        let _s = icd_obs::stage("flow.sanitize");
+        datalog.sanitize(ctx.circuit.outputs().len())
+    };
+    let escaped = {
+        let _s = icd_obs::stage("flow.escape_check");
+        datalog.all_pass()
+    };
+    if escaped {
         return Ok(FlowReport {
             failing_patterns: 0,
             sanitize,
@@ -461,8 +468,14 @@ pub fn analyze_datalog_report(
         });
     }
     // One shared good simulation for every stage.
-    let good = icd_faultsim::good_simulate(&ctx.circuit, &ctx.patterns)?;
-    let inter = icd_intercell::diagnose_with_good(&ctx.circuit, &ctx.patterns, &datalog, &good)?;
+    let good = {
+        let _s = icd_obs::stage("flow.good_simulate");
+        icd_faultsim::good_simulate(&ctx.circuit, &ctx.patterns)?
+    };
+    let inter = {
+        let _s = icd_obs::stage("flow.intercell");
+        icd_intercell::diagnose_with_good(&ctx.circuit, &ctx.patterns, &datalog, &good)?
+    };
     let gates = select_suspects(&inter);
     let mut analyses = Vec::with_capacity(gates.len());
     let mut skipped = Vec::new();
@@ -486,6 +499,7 @@ pub fn analyze_datalog_report(
 /// the analysis budget. This is the flow's job list — the batch engine
 /// fans one worker job out per returned gate.
 pub fn select_suspects(inter: &icd_intercell::IntercellDiagnosis) -> Vec<GateId> {
+    let _s = icd_obs::stage("flow.select_suspects");
     let mut gates: Vec<GateId> = inter.multiplet.clone();
     for c in &inter.candidates {
         if gates.len() >= MAX_ANALYZED_GATES {
@@ -521,34 +535,38 @@ pub fn analyze_suspect(
     gate: GateId,
     cache: Option<&icd_core::AnalysisCache>,
 ) -> Result<GateAnalysis, (FlowStage, FlowError)> {
-    // Per-gate datalog view: only the failing patterns this gate
-    // *explains* (it lies on their critical paths) are local failing
-    // evidence; the other defects' failures become locally passing
-    // candidates, subject to the observability check. With a single
-    // defect this is the identity filter.
-    let explained: std::collections::HashSet<usize> = inter
-        .candidates
-        .iter()
-        .find(|c| c.gate == gate)
-        .map(|c| c.explained.iter().copied().collect())
-        .unwrap_or_default();
-    let gate_view = icd_faultsim::Datalog {
-        circuit_name: datalog.circuit_name.clone(),
-        num_patterns: datalog.num_patterns,
-        entries: datalog
-            .entries
+    let _suspect = icd_obs::stage("flow.analyze_suspect");
+    let local = {
+        let _s = icd_obs::stage("flow.local_extraction");
+        // Per-gate datalog view: only the failing patterns this gate
+        // *explains* (it lies on their critical paths) are local failing
+        // evidence; the other defects' failures become locally passing
+        // candidates, subject to the observability check. With a single
+        // defect this is the identity filter.
+        let explained: std::collections::HashSet<usize> = inter
+            .candidates
             .iter()
-            .filter(|e| explained.contains(&e.pattern_index))
-            .cloned()
-            .collect(),
-    };
-    let local = icd_intercell::extract_local_patterns_with_good(
-        &ctx.circuit,
-        &ctx.patterns,
-        &gate_view,
-        gate,
-        good,
-    )
+            .find(|c| c.gate == gate)
+            .map(|c| c.explained.iter().copied().collect())
+            .unwrap_or_default();
+        let gate_view = icd_faultsim::Datalog {
+            circuit_name: datalog.circuit_name.clone(),
+            num_patterns: datalog.num_patterns,
+            entries: datalog
+                .entries
+                .iter()
+                .filter(|e| explained.contains(&e.pattern_index))
+                .cloned()
+                .collect(),
+        };
+        icd_intercell::extract_local_patterns_with_good(
+            &ctx.circuit,
+            &ctx.patterns,
+            &gate_view,
+            gate,
+            good,
+        )
+    }
     .map_err(|e| (FlowStage::LocalExtraction, FlowError::Intercell(e)))?;
     let lfp = to_local_tests(&local.lfp);
     let lpp = to_local_tests(&local.lpp);
@@ -566,10 +584,16 @@ pub fn analyze_suspect(
             )
         })?
         .netlist();
-    let report = icd_core::diagnose_with_cache(cell, &lfp, &lpp, cache)
-        .map_err(|e| (FlowStage::IntraCell, FlowError::Core(e)))?;
-    let ranked = icd_core::rank_candidates_with_cache(cell, &report, &lfp, &lpp, cache)
-        .map_err(|e| (FlowStage::Ranking, FlowError::Core(e)))?;
+    let report = {
+        let _s = icd_obs::stage("flow.intra_cell");
+        icd_core::diagnose_with_cache(cell, &lfp, &lpp, cache)
+    }
+    .map_err(|e| (FlowStage::IntraCell, FlowError::Core(e)))?;
+    let ranked = {
+        let _s = icd_obs::stage("flow.ranking");
+        icd_core::rank_candidates_with_cache(cell, &report, &lfp, &lpp, cache)
+    }
+    .map_err(|e| (FlowStage::Ranking, FlowError::Core(e)))?;
     Ok(GateAnalysis {
         gate,
         lfp: lfp.len(),

@@ -134,6 +134,31 @@ impl AnalysisCache {
     pub fn cpt_len(&self) -> usize {
         self.cpt.iter().map(|s| lock(s).len()).sum()
     }
+
+    /// Records both cache families' counters into the installed
+    /// [`icd_obs`] collector (no-op when none is): truth tables as
+    /// `cache.table.*` (via [`TruthTableCache::observe`]), CPT traces as
+    /// `cache.cpt.*`. Lookup totals are scheduling-stable; hit/miss
+    /// splits are timing-class (cold-key races).
+    pub fn observe(&self) {
+        self.tables.observe();
+        let cpt = self.cpt_stats();
+        icd_obs::counter(
+            "cache.cpt.lookups",
+            (cpt.hits + cpt.misses) as u64,
+            icd_obs::Stability::Stable,
+        );
+        icd_obs::counter(
+            "cache.cpt.hits",
+            cpt.hits as u64,
+            icd_obs::Stability::Timing,
+        );
+        icd_obs::counter(
+            "cache.cpt.misses",
+            cpt.misses as u64,
+            icd_obs::Stability::Timing,
+        );
+    }
 }
 
 #[cfg(test)]
@@ -165,6 +190,41 @@ mod tests {
         let cache = AnalysisCache::new();
         assert!(cache.cpt(cell, &[Lv::One]).is_err());
         assert_eq!(cache.cpt_len(), 0);
+    }
+
+    #[test]
+    fn observe_exports_hand_counted_cpt_counters() {
+        let cells = CellLibrary::standard();
+        let cell = cells.get("AO7SVTX1").unwrap().netlist();
+        let cache = AnalysisCache::new();
+        let a = vec![Lv::One, Lv::Zero, Lv::Zero];
+        let b = vec![Lv::Zero, Lv::One, Lv::One];
+        // Hand-counted: misses on the two cold vectors, then 3 hits.
+        cache.cpt(cell, &a).unwrap();
+        cache.cpt(cell, &b).unwrap();
+        for _ in 0..3 {
+            cache.cpt(cell, &a).unwrap();
+        }
+        // One cold truth-table derivation and one hit.
+        cache.truth_table(cell).unwrap();
+        cache.truth_table(cell).unwrap();
+
+        let collector = icd_obs::Collector::new();
+        {
+            let _active = collector.install_local();
+            cache.observe();
+        }
+        let snap = collector.snapshot();
+        assert_eq!(snap.counters["cache.cpt.lookups"].0, 5);
+        assert_eq!(snap.counters["cache.cpt.hits"].0, 3);
+        assert_eq!(snap.counters["cache.cpt.misses"].0, 2);
+        assert_eq!(snap.counters["cache.table.lookups"].0, 2);
+        assert_eq!(snap.counters["cache.table.hits"].0, 1);
+        assert_eq!(snap.counters["cache.table.misses"].0, 1);
+        // The lookup totals survive redaction; the splits do not.
+        let redacted = snap.redacted();
+        assert_eq!(redacted.counters["cache.cpt.lookups"].0, 5);
+        assert_eq!(redacted.counters["cache.cpt.hits"].0, 0);
     }
 
     #[test]

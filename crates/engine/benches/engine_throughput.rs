@@ -13,7 +13,7 @@ use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use icd_bench::flow::ExperimentContext;
-use icd_engine::{synthesize_batch, BatchConfig, BatchEngine, EngineConfig};
+use icd_engine::{synthesize_batch, BatchConfig, BatchEngine, Collector, EngineConfig};
 use icd_faultsim::Datalog;
 use icd_netlist::generator;
 
@@ -36,6 +36,9 @@ struct SweepPoint {
     seconds: f64,
     patterns_per_s: f64,
     suspects_per_s: f64,
+    /// (stage name, calls, total stage seconds summed over all calls),
+    /// from the run's `flow.*`/`batch.*` latency histograms.
+    stages: Vec<(&'static str, u64, f64)>,
 }
 
 fn sweep(ctx: &Arc<ExperimentContext>, batch: &[Datalog]) -> Vec<SweepPoint> {
@@ -43,17 +46,28 @@ fn sweep(ctx: &Arc<ExperimentContext>, batch: &[Datalog]) -> Vec<SweepPoint> {
         .iter()
         .map(|&workers| {
             let engine = BatchEngine::new(EngineConfig::with_workers(workers));
-            // Warm-up run, then the timed run.
+            // Warm-up run, then the timed + observed run.
             let _ = engine.diagnose_batch(ctx, batch).expect("batch runs");
+            let collector = Collector::new();
             let t0 = Instant::now();
-            let report = engine.diagnose_batch(ctx, batch).expect("batch runs");
+            let report = engine
+                .diagnose_batch_observed(ctx, batch, Some(&collector))
+                .expect("batch runs");
             let seconds = t0.elapsed().as_secs_f64().max(1e-9);
             let applied = (batch.len() * ctx.patterns.len()) as f64;
+            let stages = collector
+                .snapshot()
+                .histograms
+                .iter()
+                .filter(|(name, _)| name.starts_with("flow.") || name.starts_with("batch."))
+                .map(|(name, h)| (*name, h.count, h.sum_us as f64 / 1e6))
+                .collect();
             SweepPoint {
                 workers,
                 seconds,
                 patterns_per_s: applied / seconds,
                 suspects_per_s: report.stats.suspect_jobs as f64 / seconds,
+                stages,
             }
         })
         .collect()
@@ -67,21 +81,30 @@ fn write_json(points: &[SweepPoint]) {
     let results: Vec<String> = points
         .iter()
         .map(|p| {
+            let stages: Vec<String> = p
+                .stages
+                .iter()
+                .map(|(name, calls, secs)| {
+                    format!("\"{name}\": {{ \"calls\": {calls}, \"seconds\": {secs:.6} }}")
+                })
+                .collect();
             format!(
                 "    {{ \"workers\": {}, \"seconds\": {:.6}, \"patterns_per_s\": {:.1}, \
-                 \"suspects_per_s\": {:.2}, \"speedup\": {:.3} }}",
+                 \"suspects_per_s\": {:.2}, \"speedup\": {:.3},\n      \"stages\": {{ {} }} }}",
                 p.workers,
                 p.seconds,
                 p.patterns_per_s,
                 p.suspects_per_s,
-                base / p.seconds
+                base / p.seconds,
+                stages.join(", ")
             )
         })
         .collect();
     let json = format!(
         "{{\n  \"bench\": \"engine_throughput\",\n  \"circuit\": \"B/{DIVISOR}\",\n  \
          \"patterns\": {PATTERNS},\n  \"datalogs\": {DATALOGS},\n  \"cores\": {cores},\n  \
-         \"results\": [\n{}\n  ]\n}}\n",
+         \"single_core\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
+        cores == 1,
         results.join(",\n")
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! icdiag gen <dir> [--devices N] [--seed S] [--divisor D] [--patterns P]
-//! icdiag run <dir> [--workers N]
+//! icdiag run <dir> [--workers N] [--quiet] [--trace-out FILE] [--metrics-out FILE]
+//! icdiag check-metrics <file>
 //! ```
 //!
 //! `gen` synthesizes a failing-device batch: a netlist (`netlist.txt`),
@@ -10,24 +11,43 @@
 //! and one tester datalog per device (`device-NNN.log`).
 //!
 //! `run` diagnoses such a directory with the parallel batch engine and
-//! prints one summary line per datalog plus an aggregate throughput
-//! line. Worker count comes from `--workers`, else `ICD_WORKERS`, else
-//! the machine's parallelism.
+//! prints one summary line per datalog, an aggregate throughput line
+//! and (unless `--quiet`) a per-stage latency breakdown. Worker count
+//! comes from `--workers`, else `ICD_WORKERS`, else the machine's
+//! parallelism. `--trace-out` / `--metrics-out` export the run's span
+//! tree and metrics snapshot as JSON.
+//!
+//! `check-metrics` validates a `--metrics-out` file offline (the CI
+//! smoke check; no `jq` in the build environment).
+//!
+//! Exit codes: `0` clean diagnosis; `1` operational error; `2` usage
+//! error; `3` degraded diagnosis (some datalog failed outright or some
+//! suspect was skipped for a reason other than missing local failures).
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::sync::Arc;
 
-use icd_bench::flow::{pattern_set_for, ExperimentContext};
+use icd_bench::flow::{pattern_set_for, ExperimentContext, FlowError};
 use icd_cells::CellLibrary;
-use icd_engine::{synthesize_batch, BatchConfig, BatchEngine, EngineConfig};
+use icd_engine::{synthesize_batch, BatchConfig, BatchEngine, Collector, EngineConfig};
 use icd_faultsim::{datalog_text, Datalog};
 use icd_netlist::generator;
+use icd_obs::json::Value;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  icdiag gen <dir> [--devices N] [--seed S] [--divisor D] [--patterns P]\n  \
-         icdiag run <dir> [--workers N]"
+        "usage:\n  \
+         icdiag gen <dir> [--devices N] [--seed S] [--divisor D] [--patterns P]\n  \
+         icdiag run <dir> [--workers N] [--quiet] [--trace-out FILE] [--metrics-out FILE]\n  \
+         icdiag check-metrics <file>\n\
+         \n\
+         exit codes:\n  \
+         0  clean diagnosis\n  \
+         1  operational error (unreadable input, malformed datalog, ...)\n  \
+         2  usage error\n  \
+         3  degraded diagnosis: a datalog failed (panic or flow error) or a suspect\n     \
+         was skipped for a reason other than missing local failing patterns"
     );
     ExitCode::from(2)
 }
@@ -40,12 +60,17 @@ fn main() -> ExitCode {
     match command.as_str() {
         "gen" => cmd_gen(&args[1..]),
         "run" => cmd_run(&args[1..]),
+        "check-metrics" => cmd_check_metrics(&args[1..]),
         _ => usage(),
     }
 }
 
-/// Parses `--flag value` pairs after the positional directory.
-fn parse_flags(args: &[String]) -> Result<(PathBuf, Vec<(String, String)>), String> {
+/// Parses `--flag value` pairs after the positional directory; names in
+/// `boolean` take no value and record `"true"`.
+fn parse_flags(
+    args: &[String],
+    boolean: &[&str],
+) -> Result<(PathBuf, Vec<(String, String)>), String> {
     let mut iter = args.iter();
     let dir = iter
         .next()
@@ -56,6 +81,10 @@ fn parse_flags(args: &[String]) -> Result<(PathBuf, Vec<(String, String)>), Stri
         let name = flag
             .strip_prefix("--")
             .ok_or_else(|| format!("unexpected argument {flag:?}"))?;
+        if boolean.contains(&name) {
+            flags.push((name.to_owned(), "true".to_owned()));
+            continue;
+        }
         let value = iter
             .next()
             .ok_or_else(|| format!("--{name} needs a value"))?;
@@ -88,7 +117,7 @@ fn cmd_gen(args: &[String]) -> ExitCode {
 }
 
 fn gen(args: &[String]) -> Result<(), String> {
-    let (dir, flags) = parse_flags(args)?;
+    let (dir, flags) = parse_flags(args, &[])?;
     let devices: usize = flag(&flags, "devices", 8)?;
     let seed: u64 = flag(&flags, "seed", 0x1cd1a6)?;
     let divisor: usize = flag(&flags, "divisor", 400)?;
@@ -136,7 +165,7 @@ fn gen(args: &[String]) -> Result<(), String> {
 
 fn cmd_run(args: &[String]) -> ExitCode {
     match run(args) {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(e) => {
             eprintln!("icdiag run: {e}");
             ExitCode::FAILURE
@@ -169,9 +198,18 @@ fn read_manifest(dir: &Path) -> Result<(usize, u64), String> {
     }
 }
 
-fn run(args: &[String]) -> Result<(), String> {
-    let (dir, flags) = parse_flags(args)?;
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    let (dir, flags) = parse_flags(args, &["quiet"])?;
     let workers: usize = flag(&flags, "workers", 0)?;
+    let quiet = flags.iter().any(|(n, _)| n == "quiet");
+    let out_path = |name: &str| {
+        flags
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| PathBuf::from(v))
+    };
+    let trace_out = out_path("trace-out");
+    let metrics_out = out_path("metrics-out");
 
     // Rebuild the context: parse the netlist against the standard
     // library, regenerate the recorded test set.
@@ -214,11 +252,30 @@ fn run(args: &[String]) -> Result<(), String> {
         EngineConfig::from_env()
     };
     let engine = BatchEngine::new(config);
+    let collector = Collector::new();
     let batch = engine
-        .diagnose_batch(&ctx, &datalogs)
+        .diagnose_batch_observed(&ctx, &datalogs, Some(&collector))
         .map_err(|e| format!("batch diagnosis: {e}"))?;
 
+    // Degraded: a whole datalog failed, or a suspect was skipped for a
+    // reason other than the routine "no local failing patterns".
+    let mut degraded = false;
     for outcome in &batch.outcomes {
+        match &outcome.report {
+            Err(_) => degraded = true,
+            Ok(report) => {
+                if report
+                    .skipped
+                    .iter()
+                    .any(|s| !matches!(s.error, FlowError::NoLocalFailures))
+                {
+                    degraded = true;
+                }
+            }
+        }
+        if quiet {
+            continue;
+        }
         let name = log_files[outcome.index]
             .file_name()
             .map(|n| n.to_string_lossy().into_owned())
@@ -272,5 +329,136 @@ fn run(args: &[String]) -> Result<(), String> {
         stats.table_cache.hit_rate() * 100.0,
         stats.cpt_cache.hit_rate() * 100.0,
     );
-    Ok(())
+
+    let snapshot = collector.snapshot();
+    if !quiet {
+        let stages: Vec<_> = snapshot
+            .histograms
+            .iter()
+            .filter(|(name, _)| name.starts_with("flow.") || name.starts_with("batch."))
+            .collect();
+        if !stages.is_empty() {
+            println!("per-stage latency:");
+            for (name, h) in stages {
+                println!(
+                    "  {name:<22} {:>7} calls  total {:>10.1} ms  mean {:>8.0} us",
+                    h.count,
+                    h.sum_us as f64 / 1_000.0,
+                    h.mean_us(),
+                );
+            }
+        }
+    }
+    if let Some(path) = trace_out {
+        std::fs::write(&path, collector.trace_json(false))
+            .map_err(|e| format!("writing {}: {e}", path.display()))?;
+    }
+    if let Some(path) = metrics_out {
+        std::fs::write(&path, snapshot.to_json())
+            .map_err(|e| format!("writing {}: {e}", path.display()))?;
+    }
+
+    Ok(if degraded {
+        ExitCode::from(3)
+    } else {
+        ExitCode::SUCCESS
+    })
+}
+
+fn cmd_check_metrics(args: &[String]) -> ExitCode {
+    match check_metrics(args) {
+        Ok(summary) => {
+            println!("{summary}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("icdiag check-metrics: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Offline validation of a `--metrics-out` file: well-formed JSON, the
+/// expected counter/gauge/histogram keys, and internally consistent
+/// histograms (bucket counts summing to the sample count).
+fn check_metrics(args: &[String]) -> Result<String, String> {
+    let path = args.first().ok_or("missing <file>")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let root = icd_obs::json::parse(&text)
+        .map_err(|e| format!("{path}: invalid JSON at byte {}: {}", e.offset, e.message))?;
+
+    let section = |name: &str| {
+        root.get(name)
+            .ok_or_else(|| format!("{path}: missing {name:?} object"))
+    };
+    let counters = section("counters")?;
+    let gauges = section("gauges")?;
+    let histograms = section("histograms")?;
+
+    let check_value = |owner: &Value, kind: &str, name: &str| -> Result<(), String> {
+        let entry = owner
+            .get(name)
+            .ok_or_else(|| format!("{path}: missing {kind} {name:?}"))?;
+        entry
+            .get("value")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| format!("{path}: {kind} {name:?} lacks an integer \"value\""))?;
+        match entry.get("stability").and_then(Value::as_str) {
+            Some("stable") | Some("timing") => Ok(()),
+            _ => Err(format!(
+                "{path}: {kind} {name:?} lacks a \"stability\" of stable/timing"
+            )),
+        }
+    };
+    for name in [
+        "batch.datalogs",
+        "batch.suspect_jobs",
+        "cache.table.lookups",
+        "cache.cpt.lookups",
+        "pool.jobs_executed",
+    ] {
+        check_value(counters, "counter", name)?;
+    }
+    check_value(gauges, "gauge", "pool.workers")?;
+
+    let mut stage_histograms = 0usize;
+    let names = histograms
+        .as_object()
+        .ok_or_else(|| format!("{path}: \"histograms\" is not an object"))?;
+    for (name, h) in names {
+        let count = h
+            .get("count")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| format!("{path}: histogram {name:?} lacks \"count\""))?;
+        h.get("sum_us")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| format!("{path}: histogram {name:?} lacks \"sum_us\""))?;
+        let buckets = h
+            .get("buckets")
+            .and_then(Value::as_array)
+            .ok_or_else(|| format!("{path}: histogram {name:?} lacks \"buckets\""))?;
+        if buckets.len() != icd_obs::BUCKETS {
+            return Err(format!(
+                "{path}: histogram {name:?} has {} buckets, expected {}",
+                buckets.len(),
+                icd_obs::BUCKETS
+            ));
+        }
+        let bucket_total: u64 = buckets.iter().filter_map(Value::as_u64).sum();
+        if bucket_total != count {
+            return Err(format!(
+                "{path}: histogram {name:?} buckets sum to {bucket_total}, count is {count}"
+            ));
+        }
+        if name.starts_with("flow.") {
+            stage_histograms += 1;
+        }
+    }
+    if stage_histograms == 0 {
+        return Err(format!("{path}: no flow.* stage histograms recorded"));
+    }
+    Ok(format!(
+        "{path}: ok ({} flow stage histograms)",
+        stage_histograms
+    ))
 }

@@ -232,8 +232,15 @@ fn front_stage(
     good: &icd_faultsim::BitValues,
     datalog: &Datalog,
 ) -> Result<FrontOutput, JobError> {
-    let (datalog, sanitize) = datalog.sanitize(ctx.circuit.outputs().len());
-    if datalog.all_pass() {
+    let (datalog, sanitize) = {
+        let _s = icd_obs::stage("flow.sanitize");
+        datalog.sanitize(ctx.circuit.outputs().len())
+    };
+    let escaped = {
+        let _s = icd_obs::stage("flow.escape_check");
+        datalog.all_pass()
+    };
+    if escaped {
         return Ok(FrontOutput::Done(Box::new(FlowReport {
             failing_patterns: 0,
             sanitize,
@@ -242,8 +249,11 @@ fn front_stage(
             unexplained: Vec::new(),
         })));
     }
-    let inter = icd_intercell::diagnose_with_good(&ctx.circuit, &ctx.patterns, &datalog, good)
-        .map_err(|e| JobError::Flow(FlowError::Intercell(e)))?;
+    let inter = {
+        let _s = icd_obs::stage("flow.intercell");
+        icd_intercell::diagnose_with_good(&ctx.circuit, &ctx.patterns, &datalog, good)
+            .map_err(|e| JobError::Flow(FlowError::Intercell(e)))?
+    };
     let suspects = select_suspects(&inter);
     if suspects.is_empty() {
         return Ok(FrontOutput::Done(Box::new(FlowReport {
@@ -301,8 +311,31 @@ impl BatchEngine {
         ctx: &Arc<ExperimentContext>,
         datalogs: &[Datalog],
     ) -> Result<BatchReport, FlowError> {
+        self.diagnose_batch_observed(ctx, datalogs, None)
+    }
+
+    /// [`diagnose_batch`](BatchEngine::diagnose_batch) with observability
+    /// attached: when `collector` is given it is installed for the whole
+    /// run, every job executes under a span carrying its merge identity
+    /// (`batch.front` with a `datalog` attribute, `batch.suspect` with
+    /// `datalog` and `slot`), and the run's cache, set-cover and pool
+    /// health counters are recorded into it before the pool is joined.
+    ///
+    /// # Errors
+    ///
+    /// As [`diagnose_batch`](BatchEngine::diagnose_batch).
+    pub fn diagnose_batch_observed(
+        &self,
+        ctx: &Arc<ExperimentContext>,
+        datalogs: &[Datalog],
+        collector: Option<&icd_obs::Collector>,
+    ) -> Result<BatchReport, FlowError> {
+        let _recording = collector.map(icd_obs::Collector::install);
         let t0 = Instant::now();
-        let good = Arc::new(icd_faultsim::good_simulate(&ctx.circuit, &ctx.patterns)?);
+        let good = {
+            let _s = icd_obs::stage("batch.good_simulate");
+            Arc::new(icd_faultsim::good_simulate(&ctx.circuit, &ctx.patterns)?)
+        };
         let cache = Arc::new(AnalysisCache::new());
         let pool = WorkerPool::new(self.config.workers, self.config.queue_capacity);
         // Results flow back over one mpsc channel; the coordinator keeps
@@ -316,6 +349,7 @@ impl BatchEngine {
             let job_tx = tx.clone();
             let datalog = datalog.clone();
             pool.submit(Box::new(move || {
+                let _span = icd_obs::span_with("batch.front", &[("datalog", index as u64)]);
                 let output =
                     match catch_unwind(AssertUnwindSafe(|| front_stage(&ctx, &good, &datalog))) {
                         Ok(r) => r,
@@ -366,6 +400,10 @@ impl BatchEngine {
                             let shared = Arc::clone(&shared);
                             let job_tx = tx.clone();
                             pool.submit(Box::new(move || {
+                                let _span = icd_obs::span_with(
+                                    "batch.suspect",
+                                    &[("datalog", index as u64), ("slot", slot as u64)],
+                                );
                                 let result = catch_unwind(AssertUnwindSafe(|| {
                                     analyze_suspect(
                                         &ctx,
@@ -417,6 +455,40 @@ impl BatchEngine {
         }
         drop(tx);
 
+        // Join the workers first so the pool counters are final, then
+        // export this run's metrics into the installed collector.
+        let workers = pool.workers();
+        let pool_metrics = pool.into_metrics();
+        if icd_obs::enabled() {
+            use icd_obs::Stability::{Stable, Timing};
+            icd_obs::counter("batch.datalogs", datalogs.len() as u64, Stable);
+            icd_obs::counter("batch.suspect_jobs", suspect_jobs as u64, Stable);
+            cache.observe();
+            icd_obs::counter("pool.jobs_executed", pool_metrics.jobs_executed, Stable);
+            icd_obs::counter(
+                "pool.panics_contained",
+                pool_metrics.panics_contained,
+                Stable,
+            );
+            icd_obs::counter("pool.steals", pool_metrics.steals, Timing);
+            icd_obs::counter(
+                "pool.busy_us",
+                pool_metrics.busy_us.iter().sum::<u64>(),
+                Timing,
+            );
+            icd_obs::counter(
+                "pool.idle_us",
+                pool_metrics.idle_us.iter().sum::<u64>(),
+                Timing,
+            );
+            icd_obs::gauge_set(
+                "pool.queue_high_water",
+                pool_metrics.queue_high_water,
+                Timing,
+            );
+            icd_obs::gauge_set("pool.workers", workers as u64, Timing);
+        }
+
         let merged = outcomes
             .into_iter()
             .enumerate()
@@ -432,7 +504,7 @@ impl BatchEngine {
             stats: BatchStats {
                 datalogs: datalogs.len(),
                 suspect_jobs,
-                workers: pool.workers(),
+                workers,
                 elapsed: t0.elapsed(),
                 table_cache: cache.table_stats(),
                 cpt_cache: cache.cpt_stats(),

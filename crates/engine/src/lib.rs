@@ -23,7 +23,13 @@
 //!   untouched;
 //! * **deterministic merging** — results are placed by (datalog index,
 //!   suspect slot), so the merged [`BatchReport`] is byte-identical for
-//!   any worker count and any scheduling order.
+//!   any worker count and any scheduling order;
+//! * **observability** — [`BatchEngine::diagnose_batch_observed`]
+//!   attaches an [`icd_obs`] [`Collector`] to a run: per-job spans keyed
+//!   by merge identity, per-stage latency histograms, cache/set-cover
+//!   counters and pool health (queue depth, steals, per-worker
+//!   busy/idle). The span forest and the redacted metrics snapshot are
+//!   byte-identical at any worker count.
 //!
 //! ```
 //! use icd_bench::flow::ExperimentContext;
@@ -54,10 +60,11 @@ mod pool;
 
 pub use batch::{synthesize_batch, BatchConfig};
 pub use engine::{BatchEngine, BatchOutcome, BatchReport, BatchStats, EngineConfig, JobError};
-pub use pool::{Job, WorkerPool};
+pub use pool::{Job, PoolMetrics, WorkerPool};
 
 // Convenience re-exports: everything a caller needs to build a batch.
 pub use icd_bench::flow::{ExperimentContext, FlowError, FlowReport, FlowStage, SkippedGate};
+pub use icd_obs::{Collector, MetricsSnapshot};
 
 #[cfg(test)]
 mod tests {

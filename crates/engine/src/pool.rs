@@ -21,9 +21,10 @@
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// A unit of work. Jobs communicate results themselves (typically via an
 /// `mpsc::Sender` captured by the closure).
@@ -46,6 +47,37 @@ struct PoolShared {
     space: Condvar,
     capacity: usize,
     panics: AtomicUsize,
+    /// Jobs run to completion (panicked or not).
+    executed: AtomicU64,
+    /// Jobs taken from a sibling's queue rather than the worker's own.
+    steals: AtomicU64,
+    /// Most jobs ever waiting at once — how hard backpressure worked.
+    queue_high_water: AtomicU64,
+    /// Per-worker time spent running jobs (ns).
+    busy_ns: Vec<AtomicU64>,
+    /// Per-worker time spent waiting for work (ns).
+    idle_ns: Vec<AtomicU64>,
+}
+
+/// Health counters of one pool, captured by [`WorkerPool::metrics`].
+/// Everything except `workers` and `jobs_executed` is
+/// scheduling-dependent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoolMetrics {
+    /// Worker thread count.
+    pub workers: usize,
+    /// Jobs run to completion (including contained panics).
+    pub jobs_executed: u64,
+    /// Jobs stolen from a sibling queue.
+    pub steals: u64,
+    /// Most jobs ever waiting at once.
+    pub queue_high_water: u64,
+    /// Panics the pool-level net contained.
+    pub panics_contained: u64,
+    /// Per-worker time spent running jobs (µs).
+    pub busy_us: Vec<u64>,
+    /// Per-worker time spent waiting for work (µs).
+    pub idle_us: Vec<u64>,
 }
 
 fn lock(shared: &PoolShared) -> MutexGuard<'_, PoolState> {
@@ -78,6 +110,11 @@ impl WorkerPool {
             space: Condvar::new(),
             capacity: queue_capacity.max(1),
             panics: AtomicUsize::new(0),
+            executed: AtomicU64::new(0),
+            steals: AtomicU64::new(0),
+            queue_high_water: AtomicU64::new(0),
+            busy_ns: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+            idle_ns: (0..workers).map(|_| AtomicU64::new(0)).collect(),
         });
         let handles = (0..workers)
             .map(|i| {
@@ -105,6 +142,9 @@ impl WorkerPool {
         state.next = state.next.wrapping_add(1);
         state.queues[slot].push_back(job);
         state.queued += 1;
+        self.shared
+            .queue_high_water
+            .fetch_max(state.queued as u64, Ordering::Relaxed);
         drop(state);
         self.shared.work.notify_one();
     }
@@ -118,10 +158,39 @@ impl WorkerPool {
     pub fn caught_panics(&self) -> usize {
         self.shared.panics.load(Ordering::Relaxed)
     }
-}
 
-impl Drop for WorkerPool {
-    fn drop(&mut self) {
+    /// A snapshot of the pool's health counters. Job counts are exact
+    /// once the work they belong to has been joined (e.g. after the
+    /// engine drained its result channels); busy/idle times are advisory
+    /// — a worker currently inside a job has not yet banked that time.
+    /// Use [`WorkerPool::into_metrics`] for final, exact counters.
+    pub fn metrics(&self) -> PoolMetrics {
+        self.snapshot_metrics(self.handles.len())
+    }
+
+    /// Shuts the pool down (queued jobs still finish), joins every
+    /// worker, and returns the final health counters — exact, since no
+    /// worker can still be banking time.
+    pub fn into_metrics(mut self) -> PoolMetrics {
+        let workers = self.handles.len();
+        self.join_workers();
+        self.snapshot_metrics(workers)
+    }
+
+    fn snapshot_metrics(&self, workers: usize) -> PoolMetrics {
+        let to_us = |ns: &AtomicU64| ns.load(Ordering::Relaxed) / 1_000;
+        PoolMetrics {
+            workers,
+            jobs_executed: self.shared.executed.load(Ordering::Relaxed),
+            steals: self.shared.steals.load(Ordering::Relaxed),
+            queue_high_water: self.shared.queue_high_water.load(Ordering::Relaxed),
+            panics_contained: self.shared.panics.load(Ordering::Relaxed) as u64,
+            busy_us: self.shared.busy_ns.iter().map(to_us).collect(),
+            idle_us: self.shared.idle_ns.iter().map(to_us).collect(),
+        }
+    }
+
+    fn join_workers(&mut self) {
         {
             let mut state = lock(&self.shared);
             state.shutdown = true;
@@ -136,29 +205,39 @@ impl Drop for WorkerPool {
     }
 }
 
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.join_workers();
+    }
+}
+
 /// Takes the next job for worker `me`: own queue first (FIFO), then a
 /// steal from the back of the longest sibling queue (LIFO from the
 /// victim's view — the classic stealing order, which takes the coarsest
-/// not-yet-started work).
-fn take_job(state: &mut PoolState, me: usize) -> Option<Job> {
+/// not-yet-started work). The flag reports whether the job was stolen.
+fn take_job(state: &mut PoolState, me: usize) -> Option<(Job, bool)> {
     if let Some(job) = state.queues[me].pop_front() {
         state.queued -= 1;
-        return Some(job);
+        return Some((job, false));
     }
     let victim = (0..state.queues.len())
         .filter(|&i| i != me && !state.queues[i].is_empty())
         .max_by_key(|&i| state.queues[i].len())?;
     let job = state.queues[victim].pop_back()?;
     state.queued -= 1;
-    Some(job)
+    Some((job, true))
 }
 
 fn worker_loop(me: usize, shared: &PoolShared) {
     loop {
+        let idle_start = Instant::now();
         let job = {
             let mut state = lock(shared);
             loop {
-                if let Some(job) = take_job(&mut state, me) {
+                if let Some((job, stolen)) = take_job(&mut state, me) {
+                    if stolen {
+                        shared.steals.fetch_add(1, Ordering::Relaxed);
+                    }
                     break job;
                 }
                 if state.shutdown {
@@ -170,10 +249,14 @@ fn worker_loop(me: usize, shared: &PoolShared) {
                 };
             }
         };
+        shared.idle_ns[me].fetch_add(idle_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
         shared.space.notify_one();
+        let busy_start = Instant::now();
         if catch_unwind(AssertUnwindSafe(job)).is_err() {
             shared.panics.fetch_add(1, Ordering::Relaxed);
         }
+        shared.busy_ns[me].fetch_add(busy_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        shared.executed.fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -253,6 +336,30 @@ mod tests {
         fn lock_rx(m: &Mutex<mpsc::Receiver<()>>) -> MutexGuard<'_, mpsc::Receiver<()>> {
             m.lock().unwrap()
         }
+    }
+
+    #[test]
+    fn metrics_count_executed_jobs_and_queue_high_water() {
+        let pool = WorkerPool::new(2, 16);
+        let (tx, rx) = mpsc::channel();
+        for i in 0..25usize {
+            let tx = tx.clone();
+            pool.submit(Box::new(move || {
+                tx.send(i).unwrap();
+            }));
+        }
+        drop(tx);
+        assert_eq!(rx.iter().count(), 25);
+        // Joining makes the counters exact: no worker is still banking
+        // the final job's timing after its send.
+        let m = pool.into_metrics();
+        assert_eq!(m.workers, 2);
+        assert_eq!(m.jobs_executed, 25);
+        assert_eq!(m.panics_contained, 0);
+        assert!(m.queue_high_water >= 1);
+        assert!(m.queue_high_water <= 16);
+        assert_eq!(m.busy_us.len(), 2);
+        assert_eq!(m.idle_us.len(), 2);
     }
 
     #[test]

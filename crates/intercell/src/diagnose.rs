@@ -302,11 +302,13 @@ pub fn diagnose_with_options(
     let mut uncovered: std::collections::HashSet<usize> = failing.iter().copied().collect();
     let min_gain = options.min_cover_gain.max(1);
     let mut multiplet = Vec::new();
+    let mut cover_iterations: u64 = 0;
     while !uncovered.is_empty()
         && options
             .max_multiplet
             .is_none_or(|cap| multiplet.len() < cap)
     {
+        cover_iterations += 1;
         let best = candidates
             .iter()
             .filter(|c| !multiplet.contains(&c.gate))
@@ -329,6 +331,24 @@ pub fn diagnose_with_options(
     }
     let mut unexplained: Vec<usize> = uncovered.into_iter().collect();
     unexplained.sort_unstable();
+
+    // All three are pure functions of the input datalog, independent of
+    // scheduling — hence scheduling-stable for the redacted snapshot.
+    icd_obs::counter(
+        "intercell.set_cover.iterations",
+        cover_iterations,
+        icd_obs::Stability::Stable,
+    );
+    icd_obs::counter(
+        "intercell.candidates",
+        candidates.len() as u64,
+        icd_obs::Stability::Stable,
+    );
+    icd_obs::counter(
+        "intercell.unexplained",
+        unexplained.len() as u64,
+        icd_obs::Stability::Stable,
+    );
 
     Ok(IntercellDiagnosis {
         candidates,
@@ -556,6 +576,30 @@ mod tests {
         .unwrap();
         assert_eq!(capped.multiplet.len(), 1);
         assert!(!capped.unexplained.is_empty());
+    }
+
+    #[test]
+    fn set_cover_iterations_are_counted() {
+        let lib = lib();
+        let c = circuit(&lib);
+        let u1 = c.find_gate("U1").unwrap();
+        let faulty = FaultyGate::new(u1, FaultyBehavior::Static(TruthTable::from_fn(2, |_| true)));
+        let pats = all_patterns4();
+        let log = run_test(&c, &pats, &faulty).unwrap();
+        let collector = icd_obs::Collector::new();
+        let diag = {
+            let _active = collector.install_local();
+            diagnose(&c, &pats, &log).unwrap()
+        };
+        // One gate covers everything: exactly one greedy iteration.
+        assert_eq!(diag.multiplet, vec![u1]);
+        let snap = collector.snapshot();
+        assert_eq!(snap.counters["intercell.set_cover.iterations"].0, 1);
+        assert_eq!(
+            snap.counters["intercell.candidates"].0,
+            diag.candidates.len() as u64
+        );
+        assert_eq!(snap.counters["intercell.unexplained"].0, 0);
     }
 
     #[test]

@@ -97,6 +97,22 @@ impl TruthTableCache {
     pub fn misses(&self) -> usize {
         self.misses.load(Ordering::Relaxed)
     }
+
+    /// Records the cache counters into the installed [`icd_obs`]
+    /// collector (no-op when none is): the lookup *total* is
+    /// scheduling-stable, while the hit/miss split is timing-class —
+    /// two threads racing on the same cold cell both derive and both
+    /// count a miss.
+    pub fn observe(&self) {
+        let (hits, misses) = (self.hits() as u64, self.misses() as u64);
+        icd_obs::counter(
+            "cache.table.lookups",
+            hits + misses,
+            icd_obs::Stability::Stable,
+        );
+        icd_obs::counter("cache.table.hits", hits, icd_obs::Stability::Timing);
+        icd_obs::counter("cache.table.misses", misses, icd_obs::Stability::Timing);
+    }
 }
 
 #[cfg(test)]
@@ -123,6 +139,33 @@ mod tests {
         assert_eq!((cache.hits(), cache.misses()), (1, 1));
         assert_eq!(cache.len(), 1);
         assert_eq!(*t1, inv.truth_table().unwrap());
+    }
+
+    #[test]
+    fn observe_exports_hand_counted_hit_miss_counters() {
+        let collector = icd_obs::Collector::new();
+        let cache = TruthTableCache::new();
+        let inv = inverter();
+        // Hand-counted: 1 miss (cold), then 2 hits.
+        for _ in 0..3 {
+            cache.truth_table(&inv).unwrap();
+        }
+        {
+            let _active = collector.install_local();
+            cache.observe();
+        }
+        let snap = collector.snapshot();
+        assert_eq!(snap.counters["cache.table.lookups"].0, 3);
+        assert_eq!(snap.counters["cache.table.hits"].0, 2);
+        assert_eq!(snap.counters["cache.table.misses"].0, 1);
+        assert_eq!(
+            snap.counters["cache.table.lookups"].1,
+            icd_obs::Stability::Stable
+        );
+        assert_eq!(
+            snap.counters["cache.table.hits"].1,
+            icd_obs::Stability::Timing
+        );
     }
 
     #[test]
