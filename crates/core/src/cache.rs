@@ -20,7 +20,7 @@ use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 
-use icd_logic::{Lv, TruthTable};
+use icd_logic::{Lv, PackedEval, TruthTable};
 use icd_switch::{CellNetlist, TruthTableCache};
 
 use crate::{transistor_cpt, CoreError, CptOutcome};
@@ -67,6 +67,9 @@ pub struct AnalysisCache {
     cpt: Vec<CptShard>,
     cpt_hits: AtomicUsize,
     cpt_misses: AtomicUsize,
+    packed: Mutex<HashMap<String, Arc<PackedEval>>>,
+    packed_hits: AtomicUsize,
+    packed_misses: AtomicUsize,
 }
 
 impl AnalysisCache {
@@ -77,6 +80,9 @@ impl AnalysisCache {
             cpt: (0..CPT_SHARDS).map(|_| Mutex::default()).collect(),
             cpt_hits: AtomicUsize::new(0),
             cpt_misses: AtomicUsize::new(0),
+            packed: Mutex::default(),
+            packed_hits: AtomicUsize::new(0),
+            packed_misses: AtomicUsize::new(0),
         }
     }
 
@@ -114,6 +120,29 @@ impl AnalysisCache {
         Ok(outcome)
     }
 
+    /// The cell's [`PackedEval`] bit-parallel evaluator, compiled once
+    /// per cell type from the (also cached) exhaustive truth table.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the switch-level truth-table derivation error; failures
+    /// are not cached.
+    pub fn packed_eval(&self, cell: &CellNetlist) -> Result<Arc<PackedEval>, CoreError> {
+        if let Some(e) = lock(&self.packed).get(cell.name()) {
+            self.packed_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(e));
+        }
+        // Compile outside the lock; a concurrent duplicate compile of the
+        // same (deterministic) evaluator is cheaper than serializing.
+        self.packed_misses.fetch_add(1, Ordering::Relaxed);
+        let table = self.truth_table(cell)?;
+        let eval = Arc::new(PackedEval::from_table(&table));
+        lock(&self.packed)
+            .entry(cell.name().to_owned())
+            .or_insert_with(|| Arc::clone(&eval));
+        Ok(eval)
+    }
+
     /// Truth-table cache counters.
     pub fn table_stats(&self) -> CacheStats {
         CacheStats {
@@ -127,6 +156,14 @@ impl AnalysisCache {
         CacheStats {
             hits: self.cpt_hits.load(Ordering::Relaxed),
             misses: self.cpt_misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Packed-evaluator cache counters.
+    pub fn packed_stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.packed_hits.load(Ordering::Relaxed),
+            misses: self.packed_misses.load(Ordering::Relaxed),
         }
     }
 
@@ -156,6 +193,22 @@ impl AnalysisCache {
         icd_obs::counter(
             "cache.cpt.misses",
             cpt.misses as u64,
+            icd_obs::Stability::Timing,
+        );
+        let packed = self.packed_stats();
+        icd_obs::counter(
+            "cache.packed.lookups",
+            (packed.hits + packed.misses) as u64,
+            icd_obs::Stability::Stable,
+        );
+        icd_obs::counter(
+            "cache.packed.hits",
+            packed.hits as u64,
+            icd_obs::Stability::Timing,
+        );
+        icd_obs::counter(
+            "cache.packed.misses",
+            packed.misses as u64,
             icd_obs::Stability::Timing,
         );
     }
@@ -225,6 +278,23 @@ mod tests {
         let redacted = snap.redacted();
         assert_eq!(redacted.counters["cache.cpt.lookups"].0, 5);
         assert_eq!(redacted.counters["cache.cpt.hits"].0, 0);
+    }
+
+    #[test]
+    fn packed_eval_is_cached_and_transparent() {
+        let cells = CellLibrary::standard();
+        let cell = cells.get("AO7SVTX1").unwrap().netlist();
+        let cache = AnalysisCache::new();
+        let eval = cache.packed_eval(cell).unwrap();
+        // Same value a cold compile would produce.
+        assert_eq!(*eval, PackedEval::from_table(&cell.truth_table().unwrap()));
+        // Second lookup is a hit on the same allocation and does not
+        // touch the truth-table cache again.
+        let tables_before = cache.table_stats();
+        let again = cache.packed_eval(cell).unwrap();
+        assert!(Arc::ptr_eq(&eval, &again));
+        assert_eq!(cache.table_stats(), tables_before);
+        assert_eq!(cache.packed_stats(), CacheStats { hits: 1, misses: 1 });
     }
 
     #[test]

@@ -18,7 +18,7 @@
 //! contradicts no passing pattern is *perfect*; the perfect subset is the
 //! improved resolution.
 
-use icd_logic::Lv;
+use icd_logic::{Lv, PackedEval, PackedWord};
 use icd_switch::{CellNetlist, Forcing, TNetId, TransistorId};
 
 use crate::{CoreError, DiagnosisReport, FaultCandidate, FaultModel, LocalTest, SuspectLocation};
@@ -110,16 +110,18 @@ impl RankedDiagnosis {
 }
 
 /// Predicted tester outcome of one candidate model on one local test.
+///
+/// `good_prev`/`good_cur` are the fault-free cell outputs under the
+/// test's previous/current vector, precomputed once per test by
+/// [`packed_good_outputs`] (they are candidate-independent).
 fn predicts_failure(
     cell: &CellNetlist,
-    good: &icd_logic::TruthTable,
+    (good_prev, good_cur): (Lv, Lv),
     candidate: &FaultCandidate,
     test: &LocalTest,
 ) -> Result<bool, CoreError> {
     let prev_lv: Vec<Lv> = test.previous.iter().copied().map(Lv::from).collect();
     let cur_lv: Vec<Lv> = test.inputs.iter().copied().map(Lv::from).collect();
-    let good_prev = good.eval_bits(&test.previous);
-    let good_cur = good.eval_bits(&test.inputs);
 
     let forced_static = |forcing: &Forcing| -> Result<bool, CoreError> {
         let vals = cell.solve(&cur_lv, forcing)?;
@@ -180,6 +182,53 @@ fn predicts_failure(
     }
 }
 
+/// The fault-free `(previous, current)` cell outputs of every local test,
+/// evaluated 64 tests per machine word on the shared
+/// [`icd_logic::packed`] kernel.
+///
+/// Every test width must already be validated against the evaluator's
+/// arity. For fully specified lanes the packed result is exactly the
+/// table entry [`icd_logic::TruthTable::eval_bits`] would return, so the
+/// ranking is byte-identical to the per-test scalar evaluation it
+/// replaces.
+fn packed_good_outputs(eval: &PackedEval, tests: &[LocalTest]) -> Vec<(Lv, Lv)> {
+    let n = eval.inputs();
+    let mut out = Vec::with_capacity(tests.len());
+    let mut prev_ins: Vec<PackedWord> = Vec::with_capacity(n);
+    let mut cur_ins: Vec<PackedWord> = Vec::with_capacity(n);
+    let mut words = 0u64;
+    for chunk in tests.chunks(64) {
+        prev_ins.clear();
+        cur_ins.clear();
+        for pin in 0..n {
+            let mut pv = 0u64;
+            let mut cv = 0u64;
+            for (lane, t) in chunk.iter().enumerate() {
+                if t.previous[pin] {
+                    pv |= 1u64 << lane;
+                }
+                if t.inputs[pin] {
+                    cv |= 1u64 << lane;
+                }
+            }
+            prev_ins.push(PackedWord::new(pv, !0));
+            cur_ins.push(PackedWord::new(cv, !0));
+        }
+        let p = eval
+            .eval_word(&prev_ins)
+            .expect("local test width checked before packing");
+        let c = eval
+            .eval_word(&cur_ins)
+            .expect("local test width checked before packing");
+        words += 2;
+        for lane in 0..chunk.len() {
+            out.push((p.lane(lane), c.lane(lane)));
+        }
+    }
+    icd_obs::counter("packed.words_simulated", words, icd_obs::Stability::Stable);
+    out
+}
+
 fn stuck_forcing(cell: &CellNetlist, location: SuspectLocation, value: Lv) -> Forcing {
     match location {
         SuspectLocation::Net(n) => Forcing::none().pin(n, value),
@@ -208,13 +257,17 @@ pub fn rank_candidates(
 }
 
 /// [`rank_candidates`] with an optional shared [`AnalysisCache`]: the
-/// cell's good truth table is fetched once per cell *type* instead of
-/// being re-derived per candidate × test. The ranking is identical to the
-/// uncached call.
+/// cell's good truth table and its packed evaluator are fetched once per
+/// cell *type* instead of being re-derived per candidate × test, and the
+/// fault-free outcome of every local test is evaluated bit-parallel up
+/// front (it does not depend on the candidate). The ranking is identical
+/// to the uncached call.
 ///
 /// # Errors
 ///
-/// Same as [`rank_candidates`].
+/// Same as [`rank_candidates`]; additionally reports
+/// [`CoreError::WrongLocalWidth`] for a malformed local test (instead of
+/// panicking inside the per-candidate evaluation).
 pub fn rank_candidates_with_cache(
     cell: &CellNetlist,
     report: &DiagnosisReport,
@@ -222,21 +275,33 @@ pub fn rank_candidates_with_cache(
     lpp: &[LocalTest],
     cache: Option<&crate::AnalysisCache>,
 ) -> Result<RankedDiagnosis, CoreError> {
-    let good = match cache {
-        Some(c) => c.truth_table(cell)?,
-        None => std::sync::Arc::new(cell.truth_table()?),
+    let packed = match cache {
+        Some(c) => c.packed_eval(cell)?,
+        None => std::sync::Arc::new(PackedEval::from_table(&cell.truth_table()?)),
     };
+    for t in lfp.iter().chain(lpp) {
+        for width in [t.previous.len(), t.inputs.len()] {
+            if width != packed.inputs() {
+                return Err(CoreError::WrongLocalWidth {
+                    expected: packed.inputs(),
+                    got: width,
+                });
+            }
+        }
+    }
+    let good_lfp = packed_good_outputs(&packed, lfp);
+    let good_lpp = packed_good_outputs(&packed, lpp);
     let mut ranked = Vec::with_capacity(report.candidates.len());
     for candidate in &report.candidates {
         let mut explains = 0usize;
-        for t in lfp {
-            if predicts_failure(cell, &good, candidate, t)? {
+        for (t, &g) in lfp.iter().zip(&good_lfp) {
+            if predicts_failure(cell, g, candidate, t)? {
                 explains += 1;
             }
         }
         let mut contradicts = 0usize;
-        for t in lpp {
-            if predicts_failure(cell, &good, candidate, t)? {
+        for (t, &g) in lpp.iter().zip(&good_lpp) {
+            if predicts_failure(cell, g, candidate, t)? {
                 contradicts += 1;
             }
         }
@@ -397,6 +462,42 @@ mod tests {
         if let Some(zc) = z_candidate {
             assert!(zc.contradicts_passing >= top.contradicts_passing);
         }
+    }
+
+    #[test]
+    fn malformed_local_test_is_an_error_not_a_panic() {
+        let cells = CellLibrary::standard();
+        let cell = cells.get("AO7SVTX1").unwrap().netlist();
+        let a = cell.find_net("A").unwrap();
+        let ch = characterize(cell, &Defect::hard_short(a, cell.gnd())).unwrap();
+        let (lfp, lpp) = local_patterns_static(cell, &ch.behavior.unwrap());
+        let report = diagnose(cell, &lfp, &lpp).unwrap();
+        // A truncated vector slipped into the passing set.
+        let mut bad_lpp = lpp.clone();
+        bad_lpp.push(LocalTest::static_vector(vec![true]));
+        let err = rank_candidates(cell, &report, &lfp, &bad_lpp);
+        assert!(matches!(
+            err,
+            Err(CoreError::WrongLocalWidth {
+                expected: 3,
+                got: 1
+            })
+        ));
+    }
+
+    #[test]
+    fn cached_and_uncached_rankings_are_identical() {
+        let cells = CellLibrary::standard();
+        let cell = cells.get("AO7SVTX1").unwrap().netlist();
+        let a = cell.find_net("A").unwrap();
+        let ch = characterize(cell, &Defect::hard_short(a, cell.gnd())).unwrap();
+        let (lfp, lpp) = local_patterns_static(cell, &ch.behavior.unwrap());
+        let report = diagnose(cell, &lfp, &lpp).unwrap();
+        let cache = crate::AnalysisCache::new();
+        let cached = rank_candidates_with_cache(cell, &report, &lfp, &lpp, Some(&cache)).unwrap();
+        let uncached = rank_candidates(cell, &report, &lfp, &lpp).unwrap();
+        assert_eq!(cached, uncached);
+        assert_eq!(cache.packed_stats().misses, 1);
     }
 
     #[test]

@@ -1,0 +1,112 @@
+//! Packed vs scalar good-machine simulation throughput.
+//!
+//! The packed path ([`good_simulate`]) evaluates 64 patterns per machine
+//! word on the `icd-logic::packed` kernel; the scalar oracle
+//! ([`good_simulate_scalar`]) walks the same circuit one ternary pattern
+//! at a time. Besides the criterion display, the run writes the
+//! machine-readable `BENCH_packed.json` at the workspace root with the
+//! measured single-core speedup (the acceptance floor is 5×).
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use icd_cells::CellLibrary;
+use icd_faultsim::{good_simulate, good_simulate_scalar};
+use icd_logic::Pattern;
+use icd_netlist::{generator, Circuit};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const DIVISOR: usize = 100;
+const PATTERNS: usize = 256;
+
+fn build_input() -> (Circuit, Vec<Pattern>) {
+    let lib = CellLibrary::standard().logic_library();
+    let config = generator::circuit_b().scaled_down(DIVISOR);
+    let circuit = generator::generate(&config, &lib).expect("circuit B builds at bench scale");
+    let width = circuit.inputs().len();
+    let mut rng = StdRng::seed_from_u64(0x9ac4ed);
+    let patterns: Vec<Pattern> = (0..PATTERNS)
+        .map(|_| Pattern::from_bits((0..width).map(|_| rng.random::<bool>())))
+        .collect();
+    (circuit, patterns)
+}
+
+/// Median-of-`runs` wall-clock seconds of `f`.
+fn time_median<F: FnMut()>(runs: usize, mut f: F) -> f64 {
+    let mut samples: Vec<f64> = (0..runs)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64().max(1e-9)
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+fn write_json(circuit: &Circuit, patterns: &[Pattern], scalar_s: f64, packed_s: f64) {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let gate_evals = (circuit.num_gates() * patterns.len()) as f64;
+    let json = format!(
+        "{{\n  \"bench\": \"packed_throughput\",\n  \"circuit\": \"B/{DIVISOR}\",\n  \
+         \"gates\": {},\n  \"patterns\": {},\n  \"cores\": {cores},\n  \
+         \"scalar_seconds\": {scalar_s:.6},\n  \"packed_seconds\": {packed_s:.6},\n  \
+         \"scalar_gate_evals_per_s\": {:.1},\n  \"packed_gate_evals_per_s\": {:.1},\n  \
+         \"speedup\": {:.3}\n}}\n",
+        circuit.num_gates(),
+        patterns.len(),
+        gate_evals / scalar_s,
+        gate_evals / packed_s,
+        scalar_s / packed_s,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_packed.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+    print!("{json}");
+}
+
+fn bench_packed(c: &mut Criterion) {
+    let (circuit, patterns) = build_input();
+
+    // Warm-up + the machine-readable comparison.
+    let _ = good_simulate(&circuit, &patterns).expect("packed sim runs");
+    let packed_s = time_median(5, || {
+        let _ = good_simulate(&circuit, &patterns).expect("packed sim runs");
+    });
+    let scalar_s = time_median(3, || {
+        let _ = good_simulate_scalar(&circuit, &patterns).expect("scalar sim runs");
+    });
+    write_json(&circuit, &patterns, scalar_s, packed_s);
+
+    // Criterion display: per-path latency over the same input.
+    let mut group = c.benchmark_group("good_machine_sim");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(patterns.len() as u64));
+    group.bench_with_input(
+        BenchmarkId::new("packed", PATTERNS),
+        &(&circuit, &patterns),
+        |b, (circuit, patterns)| {
+            b.iter(|| good_simulate(circuit, patterns).expect("packed sim runs"));
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("scalar", PATTERNS),
+        &(&circuit, &patterns),
+        |b, (circuit, patterns)| {
+            b.iter(|| good_simulate_scalar(circuit, patterns).expect("scalar sim runs"));
+        },
+    );
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_packed
+}
+criterion_main!(benches);

@@ -1,7 +1,8 @@
+use icd_logic::packed::PackedEval;
 use icd_logic::{Lv, Pattern};
 use icd_netlist::{Circuit, NetId};
 
-use crate::FaultSimError;
+use crate::{ternary_simulate, FaultSimError};
 
 /// Bit-parallel good-machine values: one bit per (net, pattern).
 ///
@@ -66,62 +67,26 @@ impl BitValues {
     }
 }
 
-/// Precomputed bitwise evaluator for one gate type: the minterms on which
-/// the (fully specified) truth table is `1`.
-#[derive(Debug, Clone)]
-pub(crate) struct MintermEval {
-    pub(crate) inputs: usize,
-    pub(crate) one_minterms: Vec<u32>,
-}
-
-impl MintermEval {
-    pub(crate) fn from_table(table: &icd_logic::TruthTable) -> Result<Self, FaultSimError> {
-        let mut one_minterms = Vec::new();
-        for (m, &v) in table.entries().iter().enumerate() {
-            match v {
-                Lv::One => one_minterms.push(m as u32),
-                Lv::Zero => {}
-                Lv::U => return Err(FaultSimError::UnknownGoodValue(format!("table entry {m}"))),
-            }
-        }
-        Ok(MintermEval {
-            inputs: table.inputs(),
-            one_minterms,
-        })
-    }
-
-    /// Evaluates one 64-pattern word from the input words.
-    #[inline]
-    pub(crate) fn eval_word(&self, input_words: &[u64]) -> u64 {
-        debug_assert_eq!(input_words.len(), self.inputs);
-        let mut out = 0u64;
-        for &m in &self.one_minterms {
-            let mut term = !0u64;
-            for (i, &w) in input_words.iter().enumerate() {
-                term &= if (m >> i) & 1 == 1 { w } else { !w };
-            }
-            out |= term;
-        }
-        out
-    }
-}
-
-pub(crate) fn build_evaluators(circuit: &Circuit) -> Result<Vec<MintermEval>, FaultSimError> {
+/// One [`PackedEval`] per library type of the circuit, rejecting tables
+/// with `U` entries (good machines are fully specified).
+pub(crate) fn build_evaluators(circuit: &Circuit) -> Result<Vec<PackedEval>, FaultSimError> {
     circuit
         .library()
         .iter()
-        .map(|(_, t)| MintermEval::from_table(t.table()))
+        .map(|(_, t)| {
+            let eval = PackedEval::from_table(t.table());
+            if eval.has_unknown_entries() {
+                return Err(FaultSimError::UnknownGoodValue(format!(
+                    "table of {} has U entries",
+                    t.name()
+                )));
+            }
+            Ok(eval)
+        })
         .collect()
 }
 
-/// Simulates the fault-free circuit over a set of fully specified patterns,
-/// 64 patterns per machine word.
-///
-/// # Errors
-///
-/// Returns an error when a pattern has the wrong width or contains `U`, or
-/// when a library cell's table has `U` entries.
-pub fn good_simulate(circuit: &Circuit, patterns: &[Pattern]) -> Result<BitValues, FaultSimError> {
+fn validate_patterns(circuit: &Circuit, patterns: &[Pattern]) -> Result<(), FaultSimError> {
     let num_inputs = circuit.inputs().len();
     for (i, p) in patterns.iter().enumerate() {
         if p.len() != num_inputs {
@@ -135,6 +100,23 @@ pub fn good_simulate(circuit: &Circuit, patterns: &[Pattern]) -> Result<BitValue
             return Err(FaultSimError::UnknownInPattern { pattern: i });
         }
     }
+    Ok(())
+}
+
+/// Simulates the fault-free circuit over a set of fully specified patterns,
+/// 64 patterns per machine word, on the shared [`icd_logic::packed`]
+/// kernel (binary fast path).
+///
+/// Every call adds `words × gates` to the `packed.words_simulated`
+/// [`icd_obs`] counter. [`good_simulate_scalar`] is the differential
+/// oracle for this function.
+///
+/// # Errors
+///
+/// Returns an error when a pattern has the wrong width or contains `U`, or
+/// when a library cell's table has `U` entries.
+pub fn good_simulate(circuit: &Circuit, patterns: &[Pattern]) -> Result<BitValues, FaultSimError> {
+    validate_patterns(circuit, patterns)?;
     let words_per_net = patterns.len().div_ceil(64).max(1);
     let mut data = vec![0u64; circuit.num_nets() * words_per_net];
 
@@ -156,11 +138,65 @@ pub fn good_simulate(circuit: &Circuit, patterns: &[Pattern]) -> Result<BitValue
             for &inp in circuit.gate_inputs(gate) {
                 input_words.push(data[inp.index() * words_per_net + w]);
             }
-            let out = eval.eval_word(&input_words);
+            let out = eval.eval_binary_word(&input_words);
             data[circuit.gate_output(gate).index() * words_per_net + w] = out;
         }
     }
+    icd_obs::counter(
+        "packed.words_simulated",
+        (words_per_net * circuit.num_gates()) as u64,
+        icd_obs::Stability::Stable,
+    );
 
+    Ok(BitValues {
+        num_patterns: patterns.len(),
+        words_per_net,
+        data,
+    })
+}
+
+/// The scalar differential oracle for [`good_simulate`]: one
+/// [`ternary_simulate`] call per pattern, packed into the same
+/// [`BitValues`] layout.
+///
+/// Bits beyond the pattern count are left at `0`, so compare per-lane (or
+/// through [`BitValues::tail_mask`]), not by raw word. Every call adds
+/// `patterns` to the `packed.scalar_fallbacks` [`icd_obs`] counter.
+///
+/// # Errors
+///
+/// Same contract as [`good_simulate`]; additionally reports
+/// [`FaultSimError::UnknownGoodValue`] if a net simulates to `U` (which a
+/// fully specified pattern set cannot produce on a `U`-free library).
+pub fn good_simulate_scalar(
+    circuit: &Circuit,
+    patterns: &[Pattern],
+) -> Result<BitValues, FaultSimError> {
+    validate_patterns(circuit, patterns)?;
+    // Match good_simulate's library validation so the two paths accept and
+    // reject exactly the same inputs.
+    build_evaluators(circuit)?;
+    let words_per_net = patterns.len().div_ceil(64).max(1);
+    let mut data = vec![0u64; circuit.num_nets() * words_per_net];
+    for (t, p) in patterns.iter().enumerate() {
+        let values = ternary_simulate(circuit, p)?;
+        for (net, &v) in values.iter().enumerate() {
+            match v {
+                Lv::One => data[net * words_per_net + t / 64] |= 1u64 << (t % 64),
+                Lv::Zero => {}
+                Lv::U => {
+                    return Err(FaultSimError::UnknownGoodValue(
+                        circuit.net_name(NetId::from_index(net)),
+                    ))
+                }
+            }
+        }
+    }
+    icd_obs::counter(
+        "packed.scalar_fallbacks",
+        patterns.len() as u64,
+        icd_obs::Stability::Stable,
+    );
     Ok(BitValues {
         num_patterns: patterns.len(),
         words_per_net,
@@ -258,14 +294,14 @@ mod tests {
     }
 
     #[test]
-    fn minterm_eval_word_matches_table() {
+    fn binary_eval_word_matches_table() {
         let t = TruthTable::from_fn(3, |b| (b[0] & b[1]) | b[2]);
-        let eval = MintermEval::from_table(&t).unwrap();
+        let eval = PackedEval::from_table(&t);
         // Pack the 8 combos into one word, inputs as bit masks.
         let a = 0b10101010u64;
         let b = 0b11001100u64;
         let c = 0b11110000u64;
-        let out = eval.eval_word(&[a, b, c]);
+        let out = eval.eval_binary_word(&[a, b, c]);
         for combo in 0..8 {
             let bits = [
                 (a >> combo) & 1 == 1,
@@ -274,5 +310,42 @@ mod tests {
             ];
             assert_eq!((out >> combo) & 1 == 1, t.eval_bits(&bits) == Lv::One);
         }
+    }
+
+    #[test]
+    fn scalar_oracle_agrees_with_packed_path() {
+        let lib = lib();
+        let circuit = circuit(&lib);
+        // 70 patterns to cover the tail word of the second lane group.
+        let patterns: Vec<Pattern> = (0..70)
+            .map(|i| Pattern::from_bits([(i % 3) == 0, (i % 7) < 3]))
+            .collect();
+        let packed = good_simulate(&circuit, &patterns).unwrap();
+        let scalar = good_simulate_scalar(&circuit, &patterns).unwrap();
+        assert_eq!(scalar.num_patterns(), packed.num_patterns());
+        for net in circuit.nets() {
+            for t in 0..patterns.len() {
+                assert_eq!(packed.value(net, t), scalar.value(net, t), "net {net:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn packed_counters_are_recorded() {
+        let lib = lib();
+        let circuit = circuit(&lib);
+        let patterns: Vec<Pattern> = (0..70)
+            .map(|i| Pattern::from_bits([i % 2 == 0, i % 3 == 0]))
+            .collect();
+        let collector = icd_obs::Collector::new();
+        {
+            let _active = collector.install_local();
+            good_simulate(&circuit, &patterns).unwrap();
+            good_simulate_scalar(&circuit, &patterns).unwrap();
+        }
+        let snap = collector.snapshot();
+        // 2 words per net × 3 gates, and one scalar fallback per pattern.
+        assert_eq!(snap.counters["packed.words_simulated"].0, 6);
+        assert_eq!(snap.counters["packed.scalar_fallbacks"].0, 70);
     }
 }

@@ -1,7 +1,8 @@
+use icd_logic::packed::{PackedEval, PackedWord};
 use icd_logic::{Lv, Pattern};
 use icd_netlist::Circuit;
 
-use crate::{good_simulate, BitValues, DiffPropagator, FaultSimError, FaultyGate};
+use crate::{good_simulate, BitValues, DiffPropagator, FaultSimError, FaultyBehavior, FaultyGate};
 
 /// One failing pattern in the [`Datalog`]: which pattern failed and at
 /// which observe points (indices into `circuit.outputs()`).
@@ -107,16 +108,74 @@ pub fn run_test_with_good(
     }
     let out_net = circuit.gate_output(gate);
 
+    // Static behaviours depend only on the current (good-machine) cell
+    // inputs, so their raw outputs are computed 64 patterns at a time on
+    // the packed kernel; `U` lanes are resolved through the sequential
+    // charge-retention chain below. Delay behaviours read the previous
+    // pattern too and stay on the scalar path.
+    let static_raw: Option<Vec<PackedWord>> = match &faulty.behavior {
+        FaultyBehavior::Static(table) => {
+            let eval = PackedEval::from_table(table);
+            let words = good.words_per_net();
+            let mut raw = Vec::with_capacity(words);
+            let mut ins: Vec<PackedWord> = Vec::with_capacity(8);
+            for w in 0..words {
+                ins.clear();
+                ins.extend(
+                    circuit
+                        .gate_inputs(gate)
+                        .iter()
+                        .map(|&n| PackedWord::new(good.word(n, w), !0)),
+                );
+                raw.push(
+                    eval.eval_word(&ins)
+                        .expect("behaviour arity checked against the gate above"),
+                );
+            }
+            icd_obs::counter(
+                "packed.words_simulated",
+                words as u64,
+                icd_obs::Stability::Stable,
+            );
+            Some(raw)
+        }
+        FaultyBehavior::Delay(_) => {
+            icd_obs::counter(
+                "packed.scalar_fallbacks",
+                patterns.len() as u64,
+                icd_obs::Stability::Stable,
+            );
+            None
+        }
+    };
+
     let mut entries = Vec::new();
     let mut prev_bits: Vec<bool> = Vec::new();
     let mut prev_out = Lv::U;
     for t in 0..patterns.len() {
-        let cur_bits = good.gate_input_bits(circuit, gate, t);
         if t == 0 {
-            prev_bits = cur_bits.clone();
             prev_out = Lv::from(good.value(out_net, 0));
         }
-        let faulty_out = faulty.behavior.eval(&prev_bits, &cur_bits, prev_out);
+        let faulty_out = match &static_raw {
+            Some(raw) => {
+                let v = raw[t / 64].lane(t % 64);
+                // Floating (U) output retains the previous charge.
+                if v == Lv::U {
+                    prev_out
+                } else {
+                    v
+                }
+            }
+            None => {
+                let cur_bits = good.gate_input_bits(circuit, gate, t);
+                if t == 0 {
+                    prev_bits = cur_bits.clone();
+                }
+                let out = faulty.behavior.eval(&prev_bits, &cur_bits, prev_out);
+                prev_bits = cur_bits;
+                out
+            }
+        };
         let good_out = Lv::from(good.value(out_net, t));
 
         if faulty_out != good_out {
@@ -132,7 +191,6 @@ pub fn run_test_with_good(
             }
         }
 
-        prev_bits = cur_bits;
         prev_out = faulty_out;
     }
 

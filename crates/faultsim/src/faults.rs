@@ -184,7 +184,7 @@ pub fn detects(circuit: &Circuit, good: &BitValues, fault: &GateFault) -> Vec<bo
                 );
             }
             let eval = &evals[circuit.gate_type_id(gate).index()];
-            let new = eval.eval_word(&input_words);
+            let new = eval.eval_binary_word(&input_words);
             let out = circuit.gate_output(gate);
             if out == site {
                 continue; // the fault dominates its own net

@@ -131,7 +131,11 @@ impl FaultyBehavior {
     pub fn ever_differs_from(&self, good: &TruthTable) -> bool {
         match self {
             FaultyBehavior::Static(t) => {
-                !good.differing_inputs(t).is_empty() || t.entries().contains(&Lv::U)
+                // An arity mismatch conservatively counts as "differs": the
+                // campaign then proceeds into `run_test`, which surfaces the
+                // structured `WrongFaultArity` error instead of panicking.
+                good.differing_inputs(t).map_or(true, |d| !d.is_empty())
+                    || t.entries().contains(&Lv::U)
             }
             FaultyBehavior::Delay(t) => t.differs_from_static(good),
         }

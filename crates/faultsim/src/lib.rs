@@ -58,7 +58,7 @@ mod faulty_gate;
 pub mod noise;
 mod ternary;
 
-pub use bitsim::{good_simulate, BitValues};
+pub use bitsim::{good_simulate, good_simulate_scalar, BitValues};
 pub use datalog::{run_test, run_test_gate_fault, run_test_multi, Datalog, DatalogEntry};
 pub use error::FaultSimError;
 pub use faults::{detects, detects_any, enumerate_stuck_at, enumerate_transitions, GateFault};

@@ -1,0 +1,118 @@
+//! Differential tests for the packed simulation paths: the bit-parallel
+//! good machine against its serial oracle, and the packed static-fault
+//! prefilter in `run_test` against the fully serial faulty machine of
+//! `run_test_multi`, over randomly generated circuits and pattern counts
+//! that do not fill a whole 64-lane word.
+
+#![allow(clippy::unwrap_used, clippy::panic)] // test code
+
+use icd_cells::CellLibrary;
+use icd_faultsim::{
+    good_simulate, good_simulate_scalar, run_test, run_test_multi, FaultyBehavior, FaultyGate,
+};
+use icd_logic::{Lv, Pattern, TruthTable};
+use icd_netlist::{generator, Circuit};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_circuit(seed: u64, gates: usize) -> Circuit {
+    let cells = CellLibrary::standard();
+    let logic = cells.logic_library();
+    let cfg = generator::GeneratorConfig {
+        name: format!("packed_diff{seed}"),
+        gates,
+        primary_inputs: 6,
+        primary_outputs: 6,
+        flip_flops: 2,
+        scan_chains: 1,
+        seed,
+    };
+    generator::generate(&cfg, &logic).expect("generates")
+}
+
+fn random_patterns(circuit: &Circuit, count: usize, seed: u64) -> Vec<Pattern> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let w = circuit.inputs().len();
+    (0..count)
+        .map(|_| Pattern::from_bits((0..w).map(|_| rng.random_bool(0.5))))
+        .collect()
+}
+
+/// A corrupted copy of `good`: each entry is independently flipped or
+/// degraded to `U` — the shape of a characterized defective cell.
+fn corrupt_table(good: &TruthTable, seed: u64) -> TruthTable {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let entries: Vec<Lv> = good
+        .entries()
+        .iter()
+        .map(|&v| {
+            if rng.random_bool(0.3) {
+                Lv::U
+            } else if rng.random_bool(0.5) {
+                !v
+            } else {
+                v
+            }
+        })
+        .collect();
+    TruthTable::from_entries(good.inputs(), entries).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The packed good machine and its per-pattern scalar oracle agree on
+    /// every (net, pattern), including tail words.
+    #[test]
+    fn packed_good_machine_matches_scalar_oracle(
+        seed in any::<u64>(),
+        gates in 8usize..80,
+        pats in 1usize..90,
+    ) {
+        let circuit = random_circuit(seed, gates);
+        let patterns = random_patterns(&circuit, pats, seed ^ 0xa5);
+        let packed = good_simulate(&circuit, &patterns).expect("packed simulates");
+        let scalar = good_simulate_scalar(&circuit, &patterns).expect("scalar simulates");
+        prop_assert_eq!(packed.num_patterns(), scalar.num_patterns());
+        prop_assert_eq!(packed.words_per_net(), scalar.words_per_net());
+        for net in circuit.nets() {
+            for t in 0..patterns.len() {
+                prop_assert_eq!(
+                    packed.value(net, t),
+                    scalar.value(net, t),
+                    "net {} pattern {}",
+                    circuit.net_name(net),
+                    t
+                );
+            }
+            // Raw words also agree under the tail mask.
+            for w in 0..packed.words_per_net() {
+                let m = packed.tail_mask(w);
+                prop_assert_eq!(packed.word(net, w) & m, scalar.word(net, w) & m);
+            }
+        }
+    }
+
+    /// `run_test`'s packed static prefilter produces the same datalog as
+    /// the fully serial faulty machine of `run_test_multi` for a single
+    /// static fault — including tables with `U` entries, which exercise
+    /// the sequential charge-retention chain across word boundaries.
+    #[test]
+    fn static_prefilter_matches_serial_faulty_machine(
+        seed in any::<u64>(),
+        gate_pick in any::<usize>(),
+        pats in 1usize..90,
+    ) {
+        let circuit = random_circuit(seed, 40);
+        let patterns = random_patterns(&circuit, pats, seed ^ 0x5a);
+        let order = circuit.topo_order();
+        let gate = order[gate_pick % order.len()];
+        let table = corrupt_table(circuit.gate_type(gate).table(), seed ^ 0xc3);
+        let faulty = FaultyGate::new(gate, FaultyBehavior::Static(table));
+        let packed_log = run_test(&circuit, &patterns, &faulty).expect("run_test");
+        let serial_log =
+            run_test_multi(&circuit, &patterns, std::slice::from_ref(&faulty)).expect("multi");
+        prop_assert_eq!(packed_log, serial_log);
+    }
+}

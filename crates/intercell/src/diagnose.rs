@@ -298,38 +298,84 @@ pub fn diagnose_with_options(
     // the cover when it newly explains at least `min_cover_gain` patterns
     // and the multiplet is below its cap; what stays uncovered is reported
     // as unexplained — the graceful answer for spurious-fail noise.
-    let failing: Vec<usize> = datalog.failing_pattern_indices();
-    let mut uncovered: std::collections::HashSet<usize> = failing.iter().copied().collect();
+    //
+    // Failing patterns are assigned bit slots so coverage is plain word
+    // arithmetic: each candidate's explained set becomes a bitmask once,
+    // each iteration computes every gain exactly once (popcount against
+    // the uncovered mask), and membership in the multiplet is a flag
+    // instead of a linear scan.
+    let mut slot_of: HashMap<usize, usize> = HashMap::new();
+    for t in datalog.failing_pattern_indices() {
+        let next = slot_of.len();
+        slot_of.entry(t).or_insert(next);
+    }
+    let mask_words = slot_of.len().div_ceil(64).max(1);
+    let mut uncovered = vec![0u64; mask_words];
+    for &s in slot_of.values() {
+        uncovered[s / 64] |= 1u64 << (s % 64);
+    }
+    let explained_masks: Vec<Vec<u64>> = candidates
+        .iter()
+        .map(|c| {
+            let mut mask = vec![0u64; mask_words];
+            for t in &c.explained {
+                if let Some(&s) = slot_of.get(t) {
+                    mask[s / 64] |= 1u64 << (s % 64);
+                }
+            }
+            mask
+        })
+        .collect();
+
     let min_gain = options.min_cover_gain.max(1);
+    let mut selected = vec![false; candidates.len()];
     let mut multiplet = Vec::new();
     let mut cover_iterations: u64 = 0;
-    while !uncovered.is_empty()
+    while uncovered.iter().any(|&w| w != 0)
         && options
             .max_multiplet
             .is_none_or(|cap| multiplet.len() < cap)
     {
         cover_iterations += 1;
-        let best = candidates
-            .iter()
-            .filter(|c| !multiplet.contains(&c.gate))
-            .max_by_key(|c| {
-                (
-                    c.explained.iter().filter(|t| uncovered.contains(t)).count(),
-                    std::cmp::Reverse(c.mispredicts),
-                    std::cmp::Reverse(c.gate),
-                )
-            });
+        // `>=` keeps later equal keys, matching `max_by_key`'s
+        // last-maximum tie-break (keys are in fact unique: the gate id is
+        // part of the key).
+        type CoverKey = (usize, std::cmp::Reverse<usize>, std::cmp::Reverse<GateId>);
+        let mut best: Option<(usize, CoverKey)> = None;
+        for (i, c) in candidates.iter().enumerate() {
+            if selected[i] {
+                continue;
+            }
+            let gain: usize = explained_masks[i]
+                .iter()
+                .zip(&uncovered)
+                .map(|(m, u)| (m & u).count_ones() as usize)
+                .sum();
+            let key = (
+                gain,
+                std::cmp::Reverse(c.mispredicts),
+                std::cmp::Reverse(c.gate),
+            );
+            if best.as_ref().is_none_or(|(_, bk)| key >= *bk) {
+                best = Some((i, key));
+            }
+        }
         match best {
-            Some(c) if c.explained.iter().filter(|t| uncovered.contains(t)).count() >= min_gain => {
-                for t in &c.explained {
-                    uncovered.remove(t);
+            Some((i, (gain, _, _))) if gain >= min_gain => {
+                for (u, m) in uncovered.iter_mut().zip(&explained_masks[i]) {
+                    *u &= !m;
                 }
-                multiplet.push(c.gate);
+                selected[i] = true;
+                multiplet.push(candidates[i].gate);
             }
             _ => break,
         }
     }
-    let mut unexplained: Vec<usize> = uncovered.into_iter().collect();
+    let mut unexplained: Vec<usize> = slot_of
+        .iter()
+        .filter(|&(_, &s)| (uncovered[s / 64] >> (s % 64)) & 1 == 1)
+        .map(|(&t, _)| t)
+        .collect();
     unexplained.sort_unstable();
 
     // All three are pure functions of the input datalog, independent of
@@ -600,6 +646,93 @@ mod tests {
             diag.candidates.len() as u64
         );
         assert_eq!(snap.counters["intercell.unexplained"].0, 0);
+    }
+
+    /// The straightforward greedy set cover the bitmask implementation in
+    /// phase 3 replaced: recompute-gain-per-comparison `max_by_key` over a
+    /// `HashSet` of uncovered patterns, with `multiplet.contains` for
+    /// membership. Kept as the semantic reference.
+    fn reference_cover(
+        candidates: &[GateCandidate],
+        failing: &[usize],
+        options: &DiagnoseOptions,
+    ) -> (Vec<GateId>, Vec<usize>) {
+        let mut uncovered: std::collections::HashSet<usize> = failing.iter().copied().collect();
+        let min_gain = options.min_cover_gain.max(1);
+        let mut multiplet = Vec::new();
+        while !uncovered.is_empty()
+            && options
+                .max_multiplet
+                .is_none_or(|cap| multiplet.len() < cap)
+        {
+            let best = candidates
+                .iter()
+                .filter(|c| !multiplet.contains(&c.gate))
+                .max_by_key(|c| {
+                    (
+                        c.explained.iter().filter(|t| uncovered.contains(t)).count(),
+                        std::cmp::Reverse(c.mispredicts),
+                        std::cmp::Reverse(c.gate),
+                    )
+                });
+            match best {
+                Some(c)
+                    if c.explained.iter().filter(|t| uncovered.contains(t)).count() >= min_gain =>
+                {
+                    for t in &c.explained {
+                        uncovered.remove(t);
+                    }
+                    multiplet.push(c.gate);
+                }
+                _ => break,
+            }
+        }
+        let mut unexplained: Vec<usize> = uncovered.into_iter().collect();
+        unexplained.sort_unstable();
+        (multiplet, unexplained)
+    }
+
+    #[test]
+    fn bitmask_cover_matches_reference_implementation() {
+        let lib = lib();
+        let c = circuit(&lib);
+        let u1 = c.find_gate("U1").unwrap();
+        let u2 = c.find_gate("U2").unwrap();
+        let pats = all_patterns4();
+
+        // Two simultaneous defects in disjoint cones plus a spurious fail:
+        // the hardest cover shape the suite exercises.
+        let f1 = FaultyGate::new(u1, FaultyBehavior::Static(TruthTable::from_fn(2, |_| true)));
+        let f2 = FaultyGate::new(u2, FaultyBehavior::Static(TruthTable::from_fn(2, |_| true)));
+        let log1 = run_test(&c, &pats, &f1).unwrap();
+        let log2 = run_test(&c, &pats, &f2).unwrap();
+        let mut merged = log1.clone();
+        merged.entries.extend(log2.entries.iter().cloned());
+        let spurious_t = merged.passing_pattern_indices()[0];
+        merged.entries.push(icd_faultsim::DatalogEntry {
+            pattern_index: spurious_t,
+            failing_outputs: vec![0],
+        });
+        let (merged, _) = merged.sanitize(c.outputs().len());
+        let good = good_simulate(&c, &pats).unwrap();
+
+        for options in [
+            DiagnoseOptions::default(),
+            DiagnoseOptions::noise_tolerant(),
+            DiagnoseOptions {
+                max_multiplet: Some(1),
+                ..DiagnoseOptions::default()
+            },
+        ] {
+            let diag = diagnose_with_options(&c, &pats, &merged, &good, &options).unwrap();
+            let (multiplet, unexplained) = reference_cover(
+                &diag.candidates,
+                &merged.failing_pattern_indices(),
+                &options,
+            );
+            assert_eq!(diag.multiplet, multiplet, "options {options:?}");
+            assert_eq!(diag.unexplained, unexplained, "options {options:?}");
+        }
     }
 
     #[test]

@@ -29,9 +29,11 @@
 #![warn(missing_docs)]
 
 mod lv;
+pub mod packed;
 mod pattern;
 mod truth_table;
 
 pub use lv::Lv;
+pub use packed::{PackedEval, PackedPatternSet, PackedWord};
 pub use pattern::{Pattern, PatternPair};
-pub use truth_table::{TruthTable, TruthTableError};
+pub use truth_table::{TruthTable, TruthTableError, MAX_TRUTH_TABLE_INPUTS};

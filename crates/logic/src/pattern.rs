@@ -68,9 +68,30 @@ impl Pattern {
     ///
     /// # Panics
     ///
-    /// Panics if `index` is out of bounds.
+    /// Panics if `index` is out of bounds; pipeline code should prefer
+    /// [`Pattern::try_set`].
     pub fn set(&mut self, index: usize, value: Lv) {
         self.values[index] = value;
+    }
+
+    /// Checked [`Pattern::set`]: rejects out-of-bounds indices instead of
+    /// panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TruthTableError::IndexOutOfBounds`](crate::TruthTableError::IndexOutOfBounds)
+    /// when `index >= self.len()`.
+    pub fn try_set(&mut self, index: usize, value: Lv) -> Result<(), crate::TruthTableError> {
+        match self.values.get_mut(index) {
+            Some(slot) => {
+                *slot = value;
+                Ok(())
+            }
+            None => Err(crate::TruthTableError::IndexOutOfBounds {
+                index,
+                len: self.values.len(),
+            }),
+        }
     }
 
     /// Iterates over the values.
@@ -257,6 +278,18 @@ mod tests {
         assert_eq!(p.to_string(), "UUU");
         assert!(!p.is_fully_specified());
         assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn try_set_checks_bounds() {
+        let mut p: Pattern = "010".parse().unwrap();
+        p.try_set(1, Lv::U).unwrap();
+        assert_eq!(p.to_string(), "0U0");
+        // Regression: `set` panicked here; `try_set` reports the width.
+        assert!(matches!(
+            p.try_set(3, Lv::One),
+            Err(crate::TruthTableError::IndexOutOfBounds { index: 3, len: 3 })
+        ));
     }
 
     #[test]

@@ -25,6 +25,20 @@ pub enum TruthTableError {
     },
     /// More inputs than the supported maximum (20).
     TooManyInputs(usize),
+    /// Two tables (or patterns) of different arities were combined.
+    ArityMismatch {
+        /// Arity of the left-hand operand.
+        left: usize,
+        /// Arity of the right-hand operand.
+        right: usize,
+    },
+    /// A position index was outside a pattern's width.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: usize,
+        /// The pattern's width.
+        len: usize,
+    },
 }
 
 impl fmt::Display for TruthTableError {
@@ -33,16 +47,31 @@ impl fmt::Display for TruthTableError {
             TruthTableError::BadPatternChar(c) => {
                 write!(f, "invalid pattern character {c:?}")
             }
-            TruthTableError::WrongEntryCount { inputs, got } => write!(
-                f,
-                "a {inputs}-input table needs {} entries, got {got}",
-                1usize << inputs
-            ),
+            // Checked shift: the variant is constructible with arbitrary
+            // `inputs`, so the message must not overflow for >= 64.
+            TruthTableError::WrongEntryCount { inputs, got } => {
+                match 1usize.checked_shl(*inputs as u32) {
+                    Some(needed) => write!(
+                        f,
+                        "a {inputs}-input table needs {needed} entries, got {got}"
+                    ),
+                    None => write!(
+                        f,
+                        "a {inputs}-input table needs 2^{inputs} entries, got {got}"
+                    ),
+                }
+            }
             TruthTableError::WrongArity { expected, got } => {
                 write!(f, "expected {expected} input values, got {got}")
             }
             TruthTableError::TooManyInputs(n) => {
                 write!(f, "{n} inputs exceed the supported maximum of 20")
+            }
+            TruthTableError::ArityMismatch { left, right } => {
+                write!(f, "arity mismatch: {left} vs {right} inputs")
+            }
+            TruthTableError::IndexOutOfBounds { index, len } => {
+                write!(f, "position {index} is out of bounds for width {len}")
             }
         }
     }
@@ -77,12 +106,26 @@ impl TruthTable {
     ///
     /// # Panics
     ///
-    /// Panics if `inputs > MAX_TRUTH_TABLE_INPUTS`.
-    pub fn from_fn<F: FnMut(&[bool]) -> bool>(inputs: usize, mut f: F) -> Self {
-        assert!(
-            inputs <= MAX_TRUTH_TABLE_INPUTS,
-            "too many truth table inputs"
-        );
+    /// Panics if `inputs > MAX_TRUTH_TABLE_INPUTS`; use
+    /// [`TruthTable::try_from_fn`] when the arity is not statically known.
+    pub fn from_fn<F: FnMut(&[bool]) -> bool>(inputs: usize, f: F) -> Self {
+        TruthTable::try_from_fn(inputs, f).expect("too many truth table inputs")
+    }
+
+    /// Fallible [`TruthTable::from_fn`]: rejects wide arities instead of
+    /// panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TruthTableError::TooManyInputs`] when `inputs` exceeds
+    /// [`MAX_TRUTH_TABLE_INPUTS`].
+    pub fn try_from_fn<F: FnMut(&[bool]) -> bool>(
+        inputs: usize,
+        mut f: F,
+    ) -> Result<Self, TruthTableError> {
+        if inputs > MAX_TRUTH_TABLE_INPUTS {
+            return Err(TruthTableError::TooManyInputs(inputs));
+        }
         let mut entries = Vec::with_capacity(1 << inputs);
         let mut bits = vec![false; inputs];
         for i in 0..(1usize << inputs) {
@@ -91,7 +134,7 @@ impl TruthTable {
             }
             entries.push(Lv::from(f(&bits)));
         }
-        TruthTable { inputs, entries }
+        Ok(TruthTable { inputs, entries })
     }
 
     /// Builds a table from explicit ternary entries.
@@ -200,15 +243,25 @@ impl TruthTable {
     ///
     /// This is how the defect-injection campaign decides which cell-level
     /// patterns *activate* a static defect.
-    pub fn differing_inputs(&self, other: &TruthTable) -> Vec<Vec<bool>> {
-        assert_eq!(self.inputs, other.inputs, "arity mismatch");
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TruthTableError::ArityMismatch`] when the two tables have
+    /// different input counts.
+    pub fn differing_inputs(&self, other: &TruthTable) -> Result<Vec<Vec<bool>>, TruthTableError> {
+        if self.inputs != other.inputs {
+            return Err(TruthTableError::ArityMismatch {
+                left: self.inputs,
+                right: other.inputs,
+            });
+        }
         let mut out = Vec::new();
         for i in 0..(1usize << self.inputs) {
             if self.entries[i].conflicts_with(other.entries[i]) {
                 out.push((0..self.inputs).map(|k| (i >> k) & 1 == 1).collect());
             }
         }
-        out
+        Ok(out)
     }
 
     /// Whether the two tables agree on every fully specified input.
@@ -275,8 +328,42 @@ mod tests {
         let good = and2();
         // Faulty AND whose output is stuck at 0: differs only on (1,1).
         let faulty = TruthTable::from_fn(2, |_| false);
-        let diff = good.differing_inputs(&faulty);
+        let diff = good.differing_inputs(&faulty).unwrap();
         assert_eq!(diff, vec![vec![true, true]]);
+    }
+
+    #[test]
+    fn differing_inputs_rejects_arity_mismatch() {
+        // Regression: this was an `assert_eq!` panic reachable from the
+        // injection campaign; it must be a structured error.
+        let good = and2();
+        let other = TruthTable::from_fn(3, |b| b[0]);
+        assert!(matches!(
+            good.differing_inputs(&other),
+            Err(TruthTableError::ArityMismatch { left: 2, right: 3 })
+        ));
+    }
+
+    #[test]
+    fn try_from_fn_boundary() {
+        assert!(TruthTable::try_from_fn(MAX_TRUTH_TABLE_INPUTS, |_| false).is_ok());
+        assert!(matches!(
+            TruthTable::try_from_fn(MAX_TRUTH_TABLE_INPUTS + 1, |_| false),
+            Err(TruthTableError::TooManyInputs(n)) if n == MAX_TRUTH_TABLE_INPUTS + 1
+        ));
+    }
+
+    #[test]
+    fn wrong_entry_count_display_never_overflows() {
+        let small = TruthTableError::WrongEntryCount { inputs: 3, got: 7 };
+        assert!(small.to_string().contains("needs 8 entries"));
+        // A 64+-input count cannot be shifted; the message falls back to
+        // the symbolic form instead of overflowing.
+        let wide = TruthTableError::WrongEntryCount {
+            inputs: 200,
+            got: 1,
+        };
+        assert!(wide.to_string().contains("2^200"));
     }
 
     #[test]
@@ -284,7 +371,7 @@ mod tests {
         let good = and2();
         let floaty =
             TruthTable::from_entries(2, vec![Lv::Zero, Lv::Zero, Lv::Zero, Lv::U]).unwrap();
-        assert!(good.differing_inputs(&floaty).is_empty());
+        assert!(good.differing_inputs(&floaty).unwrap().is_empty());
     }
 
     #[test]

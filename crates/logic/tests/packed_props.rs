@@ -1,0 +1,157 @@
+//! Differential property tests for the packed (bit-parallel) kernel: on
+//! every lane, plane arithmetic must agree with the scalar [`Lv`]
+//! operators and [`PackedEval`] with [`TruthTable::eval`] — including
+//! unknown inputs, unknown table entries and pattern counts that do not
+//! fill a whole word.
+
+#![allow(clippy::unwrap_used, clippy::panic)] // test code
+
+use icd_logic::{Lv, PackedEval, PackedPatternSet, PackedWord, Pattern, TruthTable};
+use proptest::prelude::*;
+
+fn arb_lv() -> impl Strategy<Value = Lv> {
+    prop_oneof![Just(Lv::Zero), Just(Lv::One), Just(Lv::U)]
+}
+
+fn arb_lanes() -> impl Strategy<Value = Vec<Lv>> {
+    prop::collection::vec(arb_lv(), 1..=64)
+}
+
+/// Scalar Kleene XOR (Lv has no `BitXor` impl; any `U` poisons).
+fn lv_xor(a: Lv, b: Lv) -> Lv {
+    match (a.to_bool(), b.to_bool()) {
+        (Some(x), Some(y)) => Lv::from(x ^ y),
+        _ => Lv::U,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// `from_lanes` → `lane` round-trips, and lanes beyond the input
+    /// length read back as `U` (unknown plane is zero there).
+    #[test]
+    fn word_lane_round_trip(lanes in arb_lanes()) {
+        let w = PackedWord::from_lanes(&lanes);
+        for (i, &v) in lanes.iter().enumerate() {
+            prop_assert_eq!(w.lane(i), v);
+        }
+        for i in lanes.len()..64 {
+            prop_assert_eq!(w.lane(i), Lv::U);
+        }
+    }
+
+    /// Plane AND/OR/XOR/NOT agree with the scalar `Lv` operators on
+    /// every lane.
+    #[test]
+    fn plane_ops_match_scalar_ops(a in arb_lanes(), b in arb_lanes()) {
+        let n = a.len().min(b.len());
+        let wa = PackedWord::from_lanes(&a[..n]);
+        let wb = PackedWord::from_lanes(&b[..n]);
+        for i in 0..n {
+            prop_assert_eq!(wa.and(wb).lane(i), a[i] & b[i], "and lane {}", i);
+            prop_assert_eq!(wa.or(wb).lane(i), a[i] | b[i], "or lane {}", i);
+            prop_assert_eq!(wa.xor(wb).lane(i), lv_xor(a[i], b[i]), "xor lane {}", i);
+            prop_assert_eq!((!wa).lane(i), !a[i], "not lane {}", i);
+            prop_assert_eq!(
+                (wa.conflicts(wb) >> i) & 1 == 1,
+                a[i].conflicts_with(b[i]),
+                "conflicts lane {}", i
+            );
+        }
+    }
+
+    /// `PackedEval::eval_word` equals `TruthTable::eval` on every lane,
+    /// for tables and inputs that may both contain `U`.
+    #[test]
+    fn eval_word_matches_ternary_eval(
+        entries in prop::collection::vec(arb_lv(), 8),
+        lanes in prop::collection::vec(prop::collection::vec(arb_lv(), 3), 1..=64),
+    ) {
+        let t = TruthTable::from_entries(3, entries).unwrap();
+        let eval = PackedEval::from_table(&t);
+        let words: Vec<PackedWord> = (0..3)
+            .map(|pin| {
+                let column: Vec<Lv> = lanes.iter().map(|l| l[pin]).collect();
+                PackedWord::from_lanes(&column)
+            })
+            .collect();
+        let out = eval.eval_word(&words).unwrap();
+        for (i, lane) in lanes.iter().enumerate() {
+            prop_assert_eq!(out.lane(i), t.eval(lane).unwrap(), "lane {}", i);
+        }
+    }
+
+    /// The binary fast path equals `eval_bits` for fully specified
+    /// inputs on a fully specified table.
+    #[test]
+    fn eval_binary_word_matches_eval_bits(
+        entries in prop::collection::vec(any::<bool>(), 8),
+        lanes in prop::collection::vec(prop::collection::vec(any::<bool>(), 3), 1..=64),
+    ) {
+        let t = TruthTable::from_entries(
+            3,
+            entries.iter().copied().map(Lv::from).collect(),
+        ).unwrap();
+        let eval = PackedEval::from_table(&t);
+        let words: Vec<u64> = (0..3)
+            .map(|pin| {
+                lanes.iter().enumerate().fold(0u64, |acc, (i, l)| {
+                    acc | (u64::from(l[pin]) << i)
+                })
+            })
+            .collect();
+        let out = eval.eval_binary_word(&words);
+        for (i, lane) in lanes.iter().enumerate() {
+            prop_assert_eq!(
+                (out >> i) & 1 == 1,
+                t.eval_bits(lane) == Lv::One,
+                "lane {}", i
+            );
+        }
+    }
+
+    /// `PackedPatternSet` round-trips arbitrary ternary patterns,
+    /// including counts that do not fill the last word; the tail lanes
+    /// are pinned to `Zero`.
+    #[test]
+    fn pattern_set_round_trip(
+        width in 1usize..6,
+        count in 1usize..130,
+        seed in any::<u64>(),
+    ) {
+        // Cheap deterministic lane values from the seed.
+        let mut state = seed | 1;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            match (state >> 33) % 3 {
+                0 => Lv::Zero,
+                1 => Lv::One,
+                _ => Lv::U,
+            }
+        };
+        let patterns: Vec<Pattern> = (0..count)
+            .map(|_| Pattern::new((0..width).map(|_| next()).collect::<Vec<Lv>>()))
+            .collect();
+        let set = PackedPatternSet::from_patterns(&patterns).unwrap();
+        prop_assert_eq!(set.width(), width);
+        prop_assert_eq!(set.num_patterns(), count);
+        prop_assert_eq!(set.num_words(), count.div_ceil(64));
+        for (t, p) in patterns.iter().enumerate() {
+            prop_assert_eq!(&set.pattern(t), p, "pattern {}", t);
+            for pin in 0..width {
+                prop_assert_eq!(set.value(pin, t), p[pin]);
+            }
+        }
+        // Tail lanes beyond the pattern count are pinned to Zero.
+        let last = set.num_words() - 1;
+        for pin in 0..width {
+            let w = set.word(pin, last);
+            for lane in 0..64 {
+                if last * 64 + lane >= count {
+                    prop_assert_eq!(w.lane(lane), Lv::Zero);
+                }
+            }
+        }
+    }
+}

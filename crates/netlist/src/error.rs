@@ -26,6 +26,28 @@ pub enum NetlistError {
         /// Pin names supplied.
         names: usize,
     },
+    /// A gate type declares more inputs than the simulator supports.
+    ///
+    /// Tables and packed evaluators enumerate `2^inputs` minterms, so the
+    /// arity must be capped when a library is built, not when the shift
+    /// finally overflows.
+    ArityTooLarge {
+        /// The gate type being declared.
+        gate_type: String,
+        /// Inputs declared.
+        inputs: usize,
+        /// The supported maximum ([`icd_logic::MAX_TRUTH_TABLE_INPUTS`]).
+        max: usize,
+    },
+    /// A pattern's width disagrees with the circuit's input count.
+    WrongPatternWidth {
+        /// Inputs the circuit declares.
+        expected: usize,
+        /// Width of the offending pattern.
+        got: usize,
+        /// Index of the offending pattern in its set.
+        pattern: usize,
+    },
     /// A net is driven by more than one gate.
     MultipleDrivers(String),
     /// A gate input references a net that is never driven and is not an
@@ -66,6 +88,22 @@ impl fmt::Display for NetlistError {
             } => write!(
                 f,
                 "gate type {gate_type:?}: truth table has {table_inputs} inputs but {names} pin names were given"
+            ),
+            NetlistError::ArityTooLarge {
+                gate_type,
+                inputs,
+                max,
+            } => write!(
+                f,
+                "gate type {gate_type:?} declares {inputs} inputs, more than the supported {max}"
+            ),
+            NetlistError::WrongPatternWidth {
+                expected,
+                got,
+                pattern,
+            } => write!(
+                f,
+                "pattern {pattern} has width {got}, the circuit has {expected} inputs"
             ),
             NetlistError::MultipleDrivers(n) => {
                 write!(f, "net {n:?} is driven by more than one gate")

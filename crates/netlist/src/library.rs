@@ -23,8 +23,12 @@ impl GateType {
     ///
     /// # Errors
     ///
-    /// Returns [`NetlistError::PinNameCountMismatch`] when the number of pin
-    /// names differs from the truth table's input count.
+    /// Returns [`NetlistError::ArityTooLarge`] when more pin names than
+    /// [`MAX_TRUTH_TABLE_INPUTS`](icd_logic::MAX_TRUTH_TABLE_INPUTS) are
+    /// given (a table that wide cannot exist, and downstream evaluators
+    /// enumerate `2^inputs` minterms), and
+    /// [`NetlistError::PinNameCountMismatch`] when the number of pin names
+    /// differs from the truth table's input count.
     pub fn new<S, I>(name: S, input_names: I, table: TruthTable) -> Result<Self, NetlistError>
     where
         S: Into<String>,
@@ -33,6 +37,13 @@ impl GateType {
     {
         let name = name.into();
         let input_names: Vec<String> = input_names.into_iter().map(Into::into).collect();
+        if input_names.len() > icd_logic::MAX_TRUTH_TABLE_INPUTS {
+            return Err(NetlistError::ArityTooLarge {
+                gate_type: name,
+                inputs: input_names.len(),
+                max: icd_logic::MAX_TRUTH_TABLE_INPUTS,
+            });
+        }
         if input_names.len() != table.inputs() {
             return Err(NetlistError::PinNameCountMismatch {
                 gate_type: name,
@@ -173,6 +184,28 @@ mod tests {
         let err = GateType::new("BAD", ["A", "B"], TruthTable::from_fn(1, |b| b[0]));
         assert!(matches!(
             err,
+            Err(NetlistError::PinNameCountMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn arity_is_capped_at_declaration() {
+        // Regression: wide arities must fail structurally here rather than
+        // overflow `1usize << inputs` somewhere downstream.
+        let names: Vec<String> = (0..21).map(|i| format!("I{i}")).collect();
+        let err = GateType::new("WIDE", names, TruthTable::from_fn(1, |b| b[0]));
+        assert!(matches!(
+            err,
+            Err(NetlistError::ArityTooLarge {
+                inputs: 21,
+                max: 20,
+                ..
+            })
+        ));
+        // The boundary itself is fine (table width is what actually limits).
+        let names20: Vec<String> = (0..20).map(|i| format!("I{i}")).collect();
+        assert!(matches!(
+            GateType::new("W20", names20, TruthTable::from_fn(1, |b| b[0])),
             Err(NetlistError::PinNameCountMismatch { .. })
         ));
     }

@@ -149,6 +149,16 @@ pub enum SwitchError {
     },
     /// The relaxation did not reach a fixed point (feedback structure).
     NoConvergence(String),
+    /// The cell declares more inputs than exhaustive characterization
+    /// supports (`2^inputs` vectors are enumerated).
+    TooManyInputs {
+        /// The cell being built.
+        cell: String,
+        /// Inputs declared.
+        inputs: usize,
+        /// The supported maximum.
+        max: usize,
+    },
 }
 
 impl fmt::Display for SwitchError {
@@ -170,6 +180,12 @@ impl fmt::Display for SwitchError {
             }
             SwitchError::NoConvergence(c) => {
                 write!(f, "switch-level relaxation did not converge for cell {c:?}")
+            }
+            SwitchError::TooManyInputs { cell, inputs, max } => {
+                write!(
+                    f,
+                    "cell {cell:?} declares {inputs} inputs, more than the supported {max}"
+                )
             }
         }
     }
@@ -448,6 +464,16 @@ impl CellNetlistBuilder {
         if let Some(e) = self.error {
             return Err(e);
         }
+        // Characterization enumerates 2^inputs vectors; cap the arity here
+        // so a malformed cell description fails structurally instead of
+        // overflowing `1usize << inputs` (or allocating 2^n tables) later.
+        if self.inputs.len() > icd_logic::MAX_TRUTH_TABLE_INPUTS {
+            return Err(SwitchError::TooManyInputs {
+                cell: self.name,
+                inputs: self.inputs.len(),
+                max: icd_logic::MAX_TRUTH_TABLE_INPUTS,
+            });
+        }
         let output = self
             .output
             .ok_or_else(|| SwitchError::NoOutput(self.name.clone()))?;
@@ -488,6 +514,29 @@ mod tests {
         b.pmos("P0", a, b.vdd(), z);
         b.nmos("N0", a, b.gnd(), z);
         b.finish().unwrap()
+    }
+
+    #[test]
+    fn too_many_inputs_rejected_at_finish() {
+        // Regression: an over-wide cell must fail structurally here, before
+        // exhaustive characterization tries to enumerate 2^n vectors.
+        let mut b = CellNetlistBuilder::new("WIDE");
+        let z = b.output("Z");
+        let mut last = b.vdd();
+        for i in 0..21 {
+            let g = b.input(&format!("I{i}"));
+            let next = if i == 20 { z } else { b.net(&format!("m{i}")) };
+            b.nmos(&format!("N{i}"), g, last, next);
+            last = next;
+        }
+        assert!(matches!(
+            b.finish(),
+            Err(SwitchError::TooManyInputs {
+                inputs: 21,
+                max: 20,
+                ..
+            })
+        ));
     }
 
     #[test]

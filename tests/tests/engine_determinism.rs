@@ -5,7 +5,10 @@
 //! 2. **Scheduling determinism** — the merged batch report is
 //!    byte-identical (by `Debug` rendering) for worker counts 1, 2 and 8,
 //!    including batches containing multi-defect devices and a poisoned
-//!    suspect.
+//!    suspect;
+//! 3. **Packed/scalar equivalence** — diagnosis reports driven by the
+//!    bit-parallel good machine are byte-identical to those driven by its
+//!    serial scalar oracle.
 
 use std::sync::Arc;
 
@@ -66,6 +69,36 @@ fn merged_reports_are_identical_across_worker_counts() {
     let eight = render(8, &ctx, &batch);
     assert_eq!(one, two, "2 workers diverge from 1");
     assert_eq!(one, eight, "8 workers diverge from 1");
+}
+
+#[test]
+fn packed_and_scalar_good_machines_yield_identical_reports() {
+    // Inter-cell diagnosis of the whole synthesized batch, once on the
+    // packed (64-patterns-per-word) good machine and once on the serial
+    // scalar oracle: the reports must be byte-identical. The pattern
+    // count deliberately does not fill a whole word, so the tail-lane
+    // handling is on the corpus path too.
+    let (ctx, batch) = batch_fixture();
+    assert!(
+        !ctx.patterns.len().is_multiple_of(64),
+        "fixture should exercise a partial tail word"
+    );
+    let packed = icd_faultsim::good_simulate(&ctx.circuit, &ctx.patterns).expect("packed sim");
+    let scalar =
+        icd_faultsim::good_simulate_scalar(&ctx.circuit, &ctx.patterns).expect("scalar sim");
+    for (i, datalog) in batch.iter().enumerate() {
+        let from_packed =
+            icd_intercell::diagnose_with_good(&ctx.circuit, &ctx.patterns, datalog, &packed)
+                .expect("diagnoses");
+        let from_scalar =
+            icd_intercell::diagnose_with_good(&ctx.circuit, &ctx.patterns, datalog, &scalar)
+                .expect("diagnoses");
+        assert_eq!(
+            format!("{from_packed:#?}"),
+            format!("{from_scalar:#?}"),
+            "datalog {i}: packed and scalar reports diverge"
+        );
+    }
 }
 
 #[test]
