@@ -1,4 +1,4 @@
-use icd_faultsim::{detects, good_simulate, GateFault};
+use icd_faultsim::{good_simulate, GateFault};
 use icd_logic::{Lv, Pattern};
 use icd_netlist::Circuit;
 use rand::rngs::StdRng;
@@ -109,9 +109,11 @@ pub fn fault_coverage(circuit: &Circuit, patterns: &[Pattern], faults: &[GateFau
         return 1.0;
     }
     let good = good_simulate(circuit, patterns).expect("well-formed patterns");
-    let detected = faults
+    // Fault-dropping campaign: each fault simulates only until its first
+    // detection.
+    let detected = icd_faultsim::first_detections(circuit, &good, faults)
         .iter()
-        .filter(|f| detects(circuit, &good, f).iter().any(|&d| d))
+        .filter(|d| d.is_some())
         .count();
     detected as f64 / faults.len() as f64
 }
@@ -144,12 +146,13 @@ pub fn generate_test_set(circuit: &Circuit, config: &TestSetConfig) -> Vec<Patte
         match config.kind {
             FaultKind::StuckAt => {
                 // Greedy selection: keep each pattern only if it is the
-                // first detector of some fault.
+                // first detector of some fault. Only the first detection
+                // matters, so detected faults are dropped mid-sweep.
                 let mut keep = vec![false; patterns.len()];
-                for fault in &faults {
-                    let det = detects(circuit, &good, fault);
-                    match det.iter().position(|&d| d) {
-                        Some(t) => keep[t] = true,
+                let firsts = icd_faultsim::first_detections(circuit, &good, &faults);
+                for (fault, first) in faults.iter().zip(&firsts) {
+                    match first {
+                        Some(t) => keep[*t] = true,
                         None => undetected.push(*fault),
                     }
                 }
@@ -160,9 +163,11 @@ pub fn generate_test_set(circuit: &Circuit, config: &TestSetConfig) -> Vec<Patte
                     .collect();
             }
             FaultKind::Transition => {
-                // Ordered sequence: no compaction, only coverage analysis.
-                for fault in &faults {
-                    if !detects(circuit, &good, fault).iter().any(|&d| d) {
+                // Ordered sequence: no compaction, only coverage analysis
+                // (with fault dropping).
+                let firsts = icd_faultsim::first_detections(circuit, &good, &faults);
+                for (fault, first) in faults.iter().zip(&firsts) {
+                    if first.is_none() {
                         undetected.push(*fault);
                     }
                 }

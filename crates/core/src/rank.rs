@@ -113,27 +113,32 @@ impl RankedDiagnosis {
 ///
 /// `good_prev`/`good_cur` are the fault-free cell outputs under the
 /// test's previous/current vector, precomputed once per test by
-/// [`packed_good_outputs`] (they are candidate-independent).
+/// [`packed_good_outputs`] (they are candidate-independent), and
+/// `prev_lv`/`cur_lv` are the test's vectors converted once per test by
+/// the caller (they are candidate-independent too).
 fn predicts_failure(
     cell: &CellNetlist,
     (good_prev, good_cur): (Lv, Lv),
     candidate: &FaultCandidate,
-    test: &LocalTest,
+    prev_lv: &[Lv],
+    cur_lv: &[Lv],
 ) -> Result<bool, CoreError> {
-    let prev_lv: Vec<Lv> = test.previous.iter().copied().map(Lv::from).collect();
-    let cur_lv: Vec<Lv> = test.inputs.iter().copied().map(Lv::from).collect();
-
     let forced_static = |forcing: &Forcing| -> Result<bool, CoreError> {
-        let vals = cell.solve(&cur_lv, forcing)?;
+        let vals = cell.solve(cur_lv, forcing)?;
         let out = vals.value(cell.output());
-        // A floating faulty output retains the previous faulty value,
-        // approximated by the previous good value (tester semantics).
-        let prev_vals = cell.solve(&prev_lv, forcing)?;
-        let prev_out = match prev_vals.value(cell.output()) {
-            Lv::U => good_prev,
-            v => v,
+        let effective = if out == Lv::U {
+            // A floating faulty output retains the previous faulty value,
+            // approximated by the previous good value (tester semantics).
+            // The previous-vector solve is only needed on this path, which
+            // halves the switch-level solves for non-floating candidates.
+            let prev_vals = cell.solve(prev_lv, forcing)?;
+            match prev_vals.value(cell.output()) {
+                Lv::U => good_prev,
+                v => v,
+            }
+        } else {
+            out
         };
-        let effective = if out == Lv::U { prev_out } else { out };
         Ok(effective.conflicts_with(good_cur))
     };
 
@@ -167,8 +172,8 @@ fn predicts_failure(
                     SuspectLocation::Transistor(t) => (vec![], vec![t]),
                 };
             let outcome = cell.solve_two_pattern(
-                &prev_lv,
-                &cur_lv,
+                prev_lv,
+                cur_lv,
                 &Forcing::none(),
                 &slow_nets,
                 &slow_transistors,
@@ -291,17 +296,32 @@ pub fn rank_candidates_with_cache(
     }
     let good_lfp = packed_good_outputs(&packed, lfp);
     let good_lpp = packed_good_outputs(&packed, lpp);
+    // Ternary views of the test vectors, converted once per test instead
+    // of once per candidate × test.
+    let to_lv = |tests: &[LocalTest]| -> Vec<(Vec<Lv>, Vec<Lv>)> {
+        tests
+            .iter()
+            .map(|t| {
+                (
+                    t.previous.iter().copied().map(Lv::from).collect(),
+                    t.inputs.iter().copied().map(Lv::from).collect(),
+                )
+            })
+            .collect()
+    };
+    let lfp_lv = to_lv(lfp);
+    let lpp_lv = to_lv(lpp);
     let mut ranked = Vec::with_capacity(report.candidates.len());
     for candidate in &report.candidates {
         let mut explains = 0usize;
-        for (t, &g) in lfp.iter().zip(&good_lfp) {
-            if predicts_failure(cell, g, candidate, t)? {
+        for (&g, (prev_lv, cur_lv)) in good_lfp.iter().zip(&lfp_lv) {
+            if predicts_failure(cell, g, candidate, prev_lv, cur_lv)? {
                 explains += 1;
             }
         }
         let mut contradicts = 0usize;
-        for (t, &g) in lpp.iter().zip(&good_lpp) {
-            if predicts_failure(cell, g, candidate, t)? {
+        for (&g, (prev_lv, cur_lv)) in good_lpp.iter().zip(&lpp_lv) {
+            if predicts_failure(cell, g, candidate, prev_lv, cur_lv)? {
                 contradicts += 1;
             }
         }
@@ -461,6 +481,43 @@ mod tests {
         assert!(top.is_perfect(ranked.num_lfp));
         if let Some(zc) = z_candidate {
             assert!(zc.contradicts_passing >= top.contradicts_passing);
+        }
+    }
+
+    #[test]
+    fn lazy_prev_solve_matches_the_eager_reference() {
+        // The previous-vector solve is skipped when the current-vector
+        // output is binary; this must not change any verdict relative to
+        // the original always-solve-both evaluation.
+        let cells = CellLibrary::standard();
+        let cell = cells.get("AO7SVTX1").unwrap().netlist();
+        let a = cell.find_net("A").unwrap();
+        let ch = characterize(cell, &Defect::hard_short(a, cell.gnd())).unwrap();
+        let (lfp, lpp) = local_patterns_static(cell, &ch.behavior.unwrap());
+        let report = diagnose(cell, &lfp, &lpp).unwrap();
+        let packed = PackedEval::from_table(&cell.truth_table().unwrap());
+        let tests: Vec<LocalTest> = lfp.iter().chain(&lpp).cloned().collect();
+        let good = packed_good_outputs(&packed, &tests);
+        for candidate in report
+            .candidates
+            .iter()
+            .filter(|c| matches!(c.model, FaultModel::StuckAt0 | FaultModel::StuckAt1))
+        {
+            let value = Lv::from(candidate.model == FaultModel::StuckAt1);
+            let forcing = stuck_forcing(cell, candidate.location, value);
+            for (t, &(gp, gc)) in tests.iter().zip(&good) {
+                let prev_lv: Vec<Lv> = t.previous.iter().copied().map(Lv::from).collect();
+                let cur_lv: Vec<Lv> = t.inputs.iter().copied().map(Lv::from).collect();
+                // Eager reference: always solve both vectors.
+                let out = cell.solve(&cur_lv, &forcing).unwrap().value(cell.output());
+                let prev_out = match cell.solve(&prev_lv, &forcing).unwrap().value(cell.output()) {
+                    Lv::U => gp,
+                    v => v,
+                };
+                let eager = (if out == Lv::U { prev_out } else { out }).conflicts_with(gc);
+                let lazy = predicts_failure(cell, (gp, gc), candidate, &prev_lv, &cur_lv).unwrap();
+                assert_eq!(lazy, eager, "candidate {candidate:?} test {t:?}");
+            }
         }
     }
 

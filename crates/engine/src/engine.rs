@@ -392,7 +392,18 @@ impl BatchEngine {
                             slots: (0..suspects.len()).map(|_| None).collect(),
                             filled: 0,
                         });
-                        for (slot, gate) in suspects.into_iter().enumerate() {
+                        // Largest fanout cones first: the most expensive
+                        // per-suspect resimulations start earliest, so no
+                        // big cone straggles at the tail of the pool.
+                        // Results merge by original slot, so the report is
+                        // independent of submission order (the sort is
+                        // stable, keeping the schedule deterministic too).
+                        let mut order: Vec<usize> = (0..suspects.len()).collect();
+                        order.sort_by_key(|&s| {
+                            std::cmp::Reverse(ctx.circuit.cone_size(suspects[s]))
+                        });
+                        for slot in order {
+                            let gate = suspects[slot];
                             suspect_jobs += 1;
                             let ctx = Arc::clone(ctx);
                             let good = Arc::clone(&good);

@@ -1,0 +1,280 @@
+//! Event-driven cone-restricted fault simulation vs the full packed
+//! faulty machine.
+//!
+//! Both sides run the same stuck-at campaign with fault dropping (each
+//! fault simulates only until its first detecting word). The baseline
+//! walks *every* gate of the circuit per simulated word on the packed
+//! binary kernel; the event-driven path ([`first_detections`]) seeds the
+//! fault site and evaluates only the divergence frontier inside its
+//! fanout cone, exiting early on silent words. Besides the criterion
+//! display, the run writes the machine-readable `BENCH_eventsim.json` at
+//! the workspace root with the measured single-core speedup (the
+//! acceptance floor is 3×) and the gates-evaluated reduction ratio.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use icd_cells::CellLibrary;
+use icd_faultsim::{enumerate_stuck_at, first_detections, good_simulate, GateFault};
+use icd_logic::{PackedEval, Pattern};
+use icd_netlist::{generator, Circuit};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const DIVISOR: usize = 90;
+const PATTERNS: usize = 256;
+const FAULT_SAMPLE: usize = 128;
+
+fn build_input() -> (Circuit, Vec<Pattern>, Vec<GateFault>) {
+    let lib = CellLibrary::standard().logic_library();
+    let config = generator::circuit_b().scaled_down(DIVISOR);
+    let circuit = generator::generate(&config, &lib).expect("circuit B builds at bench scale");
+    assert!(
+        circuit.num_gates() >= 7_000,
+        "bench floor is a 7k-gate circuit, got {}",
+        circuit.num_gates()
+    );
+    let width = circuit.inputs().len();
+    let mut rng = StdRng::seed_from_u64(0xc04e5);
+    let patterns: Vec<Pattern> = (0..PATTERNS)
+        .map(|_| Pattern::from_bits((0..width).map(|_| rng.random::<bool>())))
+        .collect();
+    // A deterministic stride sample over the collapsed-order fault list.
+    let all = enumerate_stuck_at(&circuit);
+    let stride = (all.len() / FAULT_SAMPLE).max(1);
+    let faults: Vec<GateFault> = all
+        .iter()
+        .step_by(stride)
+        .take(FAULT_SAMPLE)
+        .copied()
+        .collect();
+    (circuit, patterns, faults)
+}
+
+/// The full packed faulty machine: every gate of the circuit evaluated on
+/// the packed binary kernel for every simulated word, fault forced onto
+/// its site. Returns the first detecting pattern per fault (fault
+/// dropping at word granularity, like the event path) and the number of
+/// gate evaluations spent.
+struct FullMachine {
+    evals: Vec<PackedEval>,
+    input_words: Vec<Vec<u64>>,
+    good_values: Vec<Vec<u64>>,
+    words: usize,
+    tails: Vec<u64>,
+}
+
+impl FullMachine {
+    fn new(circuit: &Circuit, patterns: &[Pattern]) -> FullMachine {
+        let evals: Vec<PackedEval> = circuit
+            .topo_order()
+            .iter()
+            .map(|&g| PackedEval::from_table(circuit.gate_type(g).table()))
+            .collect();
+        let words = patterns.len().div_ceil(64).max(1);
+        let tails: Vec<u64> = (0..words)
+            .map(|w| {
+                let filled = patterns.len().saturating_sub(w * 64).min(64);
+                if filled == 64 {
+                    !0
+                } else {
+                    (1u64 << filled) - 1
+                }
+            })
+            .collect();
+        let mut input_words = vec![vec![0u64; words]; circuit.inputs().len()];
+        for (t, p) in patterns.iter().enumerate() {
+            for (i, words) in input_words.iter_mut().enumerate() {
+                if p[i] == icd_logic::Lv::One {
+                    words[t / 64] |= 1 << (t % 64);
+                }
+            }
+        }
+        let mut machine = FullMachine {
+            evals,
+            input_words,
+            good_values: Vec::new(),
+            words,
+            tails,
+        };
+        // The good machine is one full faulty-free pass.
+        machine.good_values = (0..words)
+            .map(|w| machine.simulate_word(circuit, w, None))
+            .collect();
+        machine
+    }
+
+    /// One full-topology packed pass of word `w`, with an optional
+    /// (net, value-plane) force dominating its net.
+    fn simulate_word(&self, circuit: &Circuit, w: usize, force: Option<(usize, u64)>) -> Vec<u64> {
+        let mut values = vec![0u64; circuit.num_nets()];
+        for (i, &net) in circuit.inputs().iter().enumerate() {
+            values[net.index()] = self.input_words[i][w];
+        }
+        if let Some((site, word)) = force {
+            values[site] = word;
+        }
+        let mut ins = Vec::with_capacity(8);
+        for (k, &gate) in circuit.topo_order().iter().enumerate() {
+            ins.clear();
+            ins.extend(circuit.gate_inputs(gate).iter().map(|&n| values[n.index()]));
+            let out = circuit.gate_output(gate).index();
+            values[out] = self.evals[k].eval_binary_word(&ins);
+            if let Some((site, word)) = force {
+                if out == site {
+                    values[out] = word;
+                }
+            }
+        }
+        values
+    }
+
+    /// First detecting pattern per fault; `gate_evals` accumulates the
+    /// total number of packed gate evaluations spent.
+    fn first_detections(
+        &self,
+        circuit: &Circuit,
+        faults: &[GateFault],
+        gate_evals: &mut u64,
+    ) -> Vec<Option<usize>> {
+        faults
+            .iter()
+            .map(|fault| {
+                let (site, value) = match *fault {
+                    GateFault::StuckAt { net, value } => (net.index(), value),
+                    _ => unreachable!("the campaign is stuck-at only"),
+                };
+                for w in 0..self.words {
+                    let plane = if value { !0u64 } else { 0u64 };
+                    let values = self.simulate_word(circuit, w, Some((site, plane)));
+                    *gate_evals += circuit.num_gates() as u64;
+                    let mut diff = 0u64;
+                    for &net in circuit.outputs() {
+                        diff |= (values[net.index()] ^ self.good_values[w][net.index()])
+                            & self.tails[w];
+                    }
+                    if diff != 0 {
+                        return Some(w * 64 + diff.trailing_zeros() as usize);
+                    }
+                }
+                None
+            })
+            .collect()
+    }
+}
+
+/// Median-of-`runs` wall-clock seconds of `f`.
+fn time_median<F: FnMut()>(runs: usize, mut f: F) -> f64 {
+    let mut samples: Vec<f64> = (0..runs)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64().max(1e-9)
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+#[allow(clippy::too_many_arguments)]
+fn write_json(
+    circuit: &Circuit,
+    faults: usize,
+    full_s: f64,
+    event_s: f64,
+    full_gate_evals: u64,
+    event_gate_evals: u64,
+    dropped: u64,
+) {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let json = format!(
+        "{{\n  \"bench\": \"cone_throughput\",\n  \"circuit\": \"B/{DIVISOR}\",\n  \
+         \"gates\": {},\n  \"patterns\": {PATTERNS},\n  \"faults\": {faults},\n  \
+         \"cores\": {cores},\n  \
+         \"full_seconds\": {full_s:.6},\n  \"event_seconds\": {event_s:.6},\n  \
+         \"full_gate_evals\": {full_gate_evals},\n  \"event_gate_evals\": {event_gate_evals},\n  \
+         \"gate_eval_reduction\": {:.1},\n  \"faults_dropped\": {dropped},\n  \
+         \"speedup\": {:.3}\n}}\n",
+        circuit.num_gates(),
+        full_gate_evals as f64 / event_gate_evals.max(1) as f64,
+        full_s / event_s,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_eventsim.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+    print!("{json}");
+}
+
+fn bench_cone(c: &mut Criterion) {
+    let (circuit, patterns, faults) = build_input();
+    let good = good_simulate(&circuit, &patterns).expect("good sim runs");
+    let full = FullMachine::new(&circuit, &patterns);
+
+    // Equivalence gate before timing anything: the event-driven campaign
+    // and the full machine must agree on every first detection.
+    let mut full_gate_evals = 0u64;
+    let full_firsts = full.first_detections(&circuit, &faults, &mut full_gate_evals);
+    let collector = icd_obs::Collector::new();
+    let event_firsts = {
+        let _active = collector.install_local();
+        first_detections(&circuit, &good, &faults)
+    };
+    assert_eq!(
+        event_firsts, full_firsts,
+        "event-driven and full-machine campaigns disagree"
+    );
+    let snap = collector.snapshot();
+    let event_gate_evals = snap.counters["eventsim.gates_evaluated"].0;
+    let dropped = snap.counters["eventsim.faults_dropped"].0;
+
+    let event_s = time_median(5, || {
+        let _ = first_detections(&circuit, &good, &faults);
+    });
+    let full_s = time_median(3, || {
+        let mut evals = 0u64;
+        let _ = full.first_detections(&circuit, &faults, &mut evals);
+    });
+    write_json(
+        &circuit,
+        faults.len(),
+        full_s,
+        event_s,
+        full_gate_evals,
+        event_gate_evals,
+        dropped,
+    );
+
+    // Criterion display: per-campaign latency over the same fault sample.
+    let mut group = c.benchmark_group("stuck_at_campaign");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(faults.len() as u64));
+    group.bench_with_input(
+        BenchmarkId::new("event_cone", faults.len()),
+        &(&circuit, &good, &faults),
+        |b, (circuit, good, faults)| {
+            b.iter(|| first_detections(circuit, good, faults));
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("full_packed", faults.len()),
+        &(&circuit, &faults),
+        |b, (circuit, faults)| {
+            b.iter(|| {
+                let mut evals = 0u64;
+                full.first_detections(circuit, faults, &mut evals)
+            });
+        },
+    );
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_cone
+}
+criterion_main!(benches);

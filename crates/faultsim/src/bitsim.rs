@@ -69,21 +69,22 @@ impl BitValues {
 
 /// One [`PackedEval`] per library type of the circuit, rejecting tables
 /// with `U` entries (good machines are fully specified).
-pub(crate) fn build_evaluators(circuit: &Circuit) -> Result<Vec<PackedEval>, FaultSimError> {
-    circuit
-        .library()
-        .iter()
-        .map(|(_, t)| {
-            let eval = PackedEval::from_table(t.table());
-            if eval.has_unknown_entries() {
-                return Err(FaultSimError::UnknownGoodValue(format!(
-                    "table of {} has U entries",
-                    t.name()
-                )));
-            }
-            Ok(eval)
-        })
-        .collect()
+///
+/// The evaluators are compiled once per circuit
+/// ([`Circuit::packed_evaluators`]) and shared by every simulation path.
+pub(crate) fn build_evaluators(
+    circuit: &Circuit,
+) -> Result<std::sync::Arc<Vec<PackedEval>>, FaultSimError> {
+    let evals = circuit.packed_evaluators();
+    for ((_, t), eval) in circuit.library().iter().zip(evals.iter()) {
+        if eval.has_unknown_entries() {
+            return Err(FaultSimError::UnknownGoodValue(format!(
+                "table of {} has U entries",
+                t.name()
+            )));
+        }
+    }
+    Ok(std::sync::Arc::clone(evals))
 }
 
 fn validate_patterns(circuit: &Circuit, patterns: &[Pattern]) -> Result<(), FaultSimError> {

@@ -1,8 +1,10 @@
 use icd_logic::packed::{PackedEval, PackedWord};
 use icd_logic::{Lv, Pattern};
-use icd_netlist::Circuit;
+use icd_netlist::{Circuit, GateId};
 
-use crate::{good_simulate, BitValues, DiffPropagator, FaultSimError, FaultyBehavior, FaultyGate};
+use crate::eventsim::{lane_mask, EventSim};
+use crate::faults::faulty_site_word;
+use crate::{good_simulate, BitValues, FaultSimError, FaultyBehavior, FaultyGate};
 
 /// One failing pattern in the [`Datalog`]: which pattern failed and at
 /// which observe points (indices into `circuit.outputs()`).
@@ -80,13 +82,19 @@ pub fn run_test(
     faulty: &FaultyGate,
 ) -> Result<Datalog, FaultSimError> {
     let good = good_simulate(circuit, patterns)?;
-    let mut propagator = DiffPropagator::new(circuit);
-    run_test_with_good(circuit, patterns, &good, faulty, &mut propagator)
+    let mut sim = EventSim::new(circuit)?;
+    run_test_with_good(circuit, patterns, &good, faulty, &mut sim)
 }
 
-/// [`run_test`] variant that reuses a precomputed good simulation and a
-/// propagator — the fast path for injection campaigns that apply the same
-/// pattern set to many faulty cells.
+/// [`run_test`] variant that reuses a precomputed good simulation and an
+/// event-driven propagator — the fast path for injection campaigns that
+/// apply the same pattern set to many faulty cells.
+///
+/// The faulty cell's per-pattern output is resolved serially first (charge
+/// retention chains through patterns), then the divergences propagate 64
+/// patterns per word through the cell's fanout cone; only patterns where
+/// the cell output degrades to `U` fall back to scalar ternary
+/// propagation. Flushes the `eventsim.*` counters on completion.
 ///
 /// # Errors
 ///
@@ -96,7 +104,7 @@ pub fn run_test_with_good(
     patterns: &[Pattern],
     good: &BitValues,
     faulty: &FaultyGate,
-    propagator: &mut DiffPropagator,
+    sim: &mut EventSim,
 ) -> Result<Datalog, FaultSimError> {
     let gate = faulty.gate;
     let expected = circuit.gate_type(gate).num_inputs();
@@ -149,7 +157,10 @@ pub fn run_test_with_good(
         }
     };
 
-    let mut entries = Vec::new();
+    // Phase 1: resolve the faulty cell's output per pattern. Charge
+    // retention and previous-pattern dependence chain serially through the
+    // sequence, so this stays scalar — but it touches only the one cell.
+    let mut out_values: Vec<Lv> = Vec::with_capacity(patterns.len());
     let mut prev_bits: Vec<bool> = Vec::new();
     let mut prev_out = Lv::U;
     for t in 0..patterns.len() {
@@ -176,23 +187,87 @@ pub fn run_test_with_good(
                 out
             }
         };
-        let good_out = Lv::from(good.value(out_net, t));
+        out_values.push(faulty_out);
+        prev_out = faulty_out;
+    }
 
-        if faulty_out != good_out {
-            // Propagate the difference through the fanout cone.
-            let base = base_from_bits(circuit, good, t);
-            let changed = propagator.propagate(circuit, &base, &[(out_net, faulty_out)]);
-            let failing: Vec<usize> = changed.iter().map(|&(i, _)| i).collect();
-            if !failing.is_empty() {
+    // Phase 2: propagate the divergences 64 patterns at a time through
+    // the cell's fanout cone. Lanes where the cell output degrades to `U`
+    // (possible only for Delay behaviours — retention resolves static `U`
+    // lanes to a previous binary charge) are pinned to the good machine in
+    // the word and handled by the scalar ternary fallback.
+    let mut entries = Vec::new();
+    let mut diffs: Vec<(usize, u64)> = Vec::new();
+    for w in 0..good.words_per_net() {
+        let tail = lane_mask(patterns.len(), w);
+        if tail == 0 {
+            continue;
+        }
+        let site_good = good.word(out_net, w);
+        let mut forced = site_good;
+        let mut u_mask = 0u64;
+        for lane in 0..64 {
+            let bit = 1u64 << lane;
+            if tail & bit == 0 {
+                break; // the tail mask is a contiguous low-bit run
+            }
+            match out_values[w * 64 + lane] {
+                Lv::One => forced |= bit,
+                Lv::Zero => forced &= !bit,
+                Lv::U => u_mask |= bit,
+            }
+        }
+        forced = (forced & !u_mask) | (site_good & u_mask);
+        let site_diff = sim.propagate_word(circuit, good, w, out_net, forced);
+
+        diffs.clear();
+        let mut any = 0u64;
+        if site_diff != 0 {
+            for (i, &net) in circuit.outputs().iter().enumerate() {
+                if sim.disturbed(net) {
+                    let d = sim.word(good, net, w) ^ good.word(net, w);
+                    if d != 0 {
+                        diffs.push((i, d));
+                        any |= d;
+                    }
+                }
+            }
+        }
+        if any == 0 && u_mask == 0 {
+            continue;
+        }
+        for lane in 0..64 {
+            let bit = 1u64 << lane;
+            if tail & bit == 0 {
+                break;
+            }
+            let t = w * 64 + lane;
+            if u_mask & bit != 0 {
+                // The tester observes an intermediate value: exact ternary
+                // propagation of the `U` through the cone.
+                let base = base_from_bits(circuit, good, t);
+                let changed = sim.propagate_ternary(circuit, &base, &[(out_net, Lv::U)]);
+                let failing: Vec<usize> = changed.iter().map(|&(i, _)| i).collect();
+                if !failing.is_empty() {
+                    entries.push(DatalogEntry {
+                        pattern_index: t,
+                        failing_outputs: failing,
+                    });
+                }
+            } else if any & bit != 0 {
+                let failing: Vec<usize> = diffs
+                    .iter()
+                    .filter(|&&(_, d)| d & bit != 0)
+                    .map(|&(i, _)| i)
+                    .collect();
                 entries.push(DatalogEntry {
                     pattern_index: t,
                     failing_outputs: failing,
                 });
             }
         }
-
-        prev_out = faulty_out;
     }
+    sim.observe();
 
     Ok(Datalog {
         circuit_name: circuit.name().to_owned(),
@@ -208,7 +283,9 @@ pub fn run_test_with_good(
 /// This is the tester model for defects that live **between** cells
 /// (inter-cell defects, the paper's circuit-C silicon case): the faulty
 /// net takes its corrupted value and the difference propagates to the
-/// observe points.
+/// observe points. Net-level faults are always binary, so the whole test
+/// runs 64 patterns per word on the event-driven kernel. Flushes the
+/// `eventsim.*` counters on completion.
 ///
 /// # Errors
 ///
@@ -219,46 +296,43 @@ pub fn run_test_gate_fault(
     fault: &crate::GateFault,
 ) -> Result<Datalog, FaultSimError> {
     let good = good_simulate(circuit, patterns)?;
-    let mut propagator = DiffPropagator::new(circuit);
+    let mut sim = EventSim::new(circuit)?;
     let site = fault.site();
     let mut entries = Vec::new();
-    for t in 0..patterns.len() {
-        let good_site = Lv::from(good.value(site, t));
-        let faulty_site = match *fault {
-            crate::GateFault::StuckAt { value, .. } => Lv::from(value),
-            crate::GateFault::SlowToRise { net } => {
-                let prev = good.value(net, t.saturating_sub(1));
-                let cur = good.value(net, t);
-                if !prev && cur {
-                    Lv::Zero
-                } else {
-                    Lv::from(cur)
-                }
-            }
-            crate::GateFault::SlowToFall { net } => {
-                let prev = good.value(net, t.saturating_sub(1));
-                let cur = good.value(net, t);
-                if prev && !cur {
-                    Lv::One
-                } else {
-                    Lv::from(cur)
-                }
-            }
-            crate::GateFault::Bridging { aggressor, .. } => Lv::from(good.value(aggressor, t)),
-        };
-        if faulty_site == good_site {
+    let mut diffs: Vec<(usize, u64)> = Vec::new();
+    for w in 0..good.words_per_net() {
+        let site_diff =
+            sim.propagate_word(circuit, &good, w, site, faulty_site_word(&good, fault, w));
+        if site_diff == 0 {
             continue;
         }
-        let base = base_from_bits(circuit, &good, t);
-        let changed = propagator.propagate(circuit, &base, &[(site, faulty_site)]);
-        let failing: Vec<usize> = changed.iter().map(|&(i, _)| i).collect();
-        if !failing.is_empty() {
+        diffs.clear();
+        let mut any = 0u64;
+        for (i, &net) in circuit.outputs().iter().enumerate() {
+            if sim.disturbed(net) {
+                let d = sim.word(&good, net, w) ^ good.word(net, w);
+                if d != 0 {
+                    diffs.push((i, d));
+                    any |= d;
+                }
+            }
+        }
+        let mut lanes = any;
+        while lanes != 0 {
+            let lane = lanes.trailing_zeros() as usize;
+            lanes &= lanes - 1;
+            let failing: Vec<usize> = diffs
+                .iter()
+                .filter(|&&(_, d)| d & (1u64 << lane) != 0)
+                .map(|&(i, _)| i)
+                .collect();
             entries.push(DatalogEntry {
-                pattern_index: t,
+                pattern_index: w * 64 + lane,
                 failing_outputs: failing,
             });
         }
     }
+    sim.observe();
     Ok(Datalog {
         circuit_name: circuit.name().to_owned(),
         num_patterns: patterns.len(),
@@ -270,11 +344,16 @@ pub fn run_test_gate_fault(
 /// simultaneously faulty cells — the multiple-defect regime, with **no
 /// assumption on how failing patterns distribute over the defects**.
 ///
-/// Unlike [`run_test`], the faulty machine is simulated in full per
-/// pattern (serial three-valued evaluation), so interacting defects —
-/// one faulty cell inside another's input cone — are handled exactly.
-/// Charge retention uses each faulty cell's own previous output in the
-/// faulty machine.
+/// Unlike [`run_test`], each pattern is evaluated serially (exact
+/// three-valued semantics), but *event-driven*: every faulty cell is
+/// seeded into a level-ordered frontier and only the gates its divergence
+/// reaches are re-evaluated over the good machine, so interacting defects
+/// — one faulty cell inside another's input cone — are handled exactly
+/// while untouched regions of the circuit are never visited. Charge
+/// retention uses each faulty cell's own previous output in the faulty
+/// machine. [`run_test_multi_full`] walks the full topology and is the
+/// differential oracle for this function. Emits the `eventsim.*`
+/// counters.
 ///
 /// # Errors
 ///
@@ -286,6 +365,156 @@ pub fn run_test_multi(
     faulty: &[FaultyGate],
 ) -> Result<Datalog, FaultSimError> {
     let good = good_simulate(circuit, patterns)?;
+    let by_gate = index_faulty_gates(circuit, faulty)?;
+
+    let mut entries = Vec::new();
+    // Faulty-machine state: previous inputs and output per faulty gate.
+    let mut prev_in: std::collections::HashMap<usize, Vec<bool>> = Default::default();
+    let mut prev_out: std::collections::HashMap<usize, Lv> = Default::default();
+
+    // Event scratch: per-net overlay of faulty-machine values that differ
+    // from the good machine, stamped per pattern; per-level worklists.
+    let num_nets = circuit.num_nets();
+    let mut overlay = vec![Lv::U; num_nets];
+    let mut net_stamp = vec![0u32; num_nets];
+    let mut gate_stamp = vec![0u32; circuit.num_gates()];
+    let mut stamp = 0u32;
+    let mut buckets: Vec<Vec<GateId>> = vec![Vec::new(); circuit.max_level() as usize + 1];
+    let mut gates_evaluated = 0u64;
+    let mut early_exits = 0u64;
+    let mut ins_lv: Vec<Lv> = Vec::with_capacity(8);
+
+    for t in 0..patterns.len() {
+        if stamp == u32::MAX {
+            net_stamp.fill(0);
+            gate_stamp.fill(0);
+            stamp = 1;
+        } else {
+            stamp += 1;
+        }
+        let mut any_overlay = false;
+        // Seed every faulty cell: its output may diverge on any pattern,
+        // and its retention state must advance even when it does not.
+        for f in faulty {
+            if gate_stamp[f.gate.index()] != stamp {
+                gate_stamp[f.gate.index()] = stamp;
+                buckets[circuit.gate_level(f.gate) as usize].push(f.gate);
+            }
+        }
+        let mut level = 0;
+        while level < buckets.len() {
+            if buckets[level].is_empty() {
+                level += 1;
+                continue;
+            }
+            // New events only land on strictly greater levels, so the
+            // taken bucket cannot grow while it drains.
+            let mut bucket = std::mem::take(&mut buckets[level]);
+            for &gate in &bucket {
+                gates_evaluated += 1;
+                ins_lv.clear();
+                for &n in circuit.gate_inputs(gate) {
+                    ins_lv.push(if net_stamp[n.index()] == stamp {
+                        overlay[n.index()]
+                    } else {
+                        Lv::from(good.value(n, t))
+                    });
+                }
+                let out = circuit.gate_output(gate);
+                let v = match by_gate.get(&gate.index()) {
+                    // Arity is checked at circuit construction; the
+                    // graceful fallback (treat an eval failure as arity
+                    // mismatch) keeps the tester path panic-free.
+                    None => circuit.gate_type(gate).table().eval(&ins_lv).map_err(|_| {
+                        FaultSimError::WrongFaultArity {
+                            expected: circuit.gate_type(gate).num_inputs(),
+                            got: ins_lv.len(),
+                        }
+                    })?,
+                    Some(f) => {
+                        // Unknown faulty-machine inputs are pessimistically
+                        // resolved to the good value for the behaviour
+                        // lookup.
+                        let cur: Vec<bool> = circuit
+                            .gate_inputs(gate)
+                            .iter()
+                            .zip(ins_lv.iter())
+                            .map(|(&n, &v)| v.to_bool().unwrap_or(good.value(n, t)))
+                            .collect();
+                        let prev = prev_in
+                            .get(&gate.index())
+                            .cloned()
+                            .unwrap_or_else(|| cur.clone());
+                        let po = prev_out
+                            .get(&gate.index())
+                            .copied()
+                            .unwrap_or(Lv::from(good.value(out, t)));
+                        let v = f.behavior.eval(&prev, &cur, po);
+                        prev_in.insert(gate.index(), cur);
+                        prev_out.insert(gate.index(), v);
+                        v
+                    }
+                };
+                if v != Lv::from(good.value(out, t)) {
+                    overlay[out.index()] = v;
+                    net_stamp[out.index()] = stamp;
+                    any_overlay = true;
+                    for &g in circuit.fanout(out) {
+                        if gate_stamp[g.index()] != stamp {
+                            gate_stamp[g.index()] = stamp;
+                            buckets[circuit.gate_level(g) as usize].push(g);
+                        }
+                    }
+                }
+            }
+            bucket.clear();
+            buckets[level] = bucket;
+            level += 1;
+        }
+        if !any_overlay {
+            early_exits += 1;
+            continue;
+        }
+        // Overlays are written only when they differ from the good value,
+        // so a live stamp is exactly a miscompare.
+        let failing: Vec<usize> = circuit
+            .outputs()
+            .iter()
+            .enumerate()
+            .filter(|&(_, &net)| net_stamp[net.index()] == stamp)
+            .map(|(i, _)| i)
+            .collect();
+        if !failing.is_empty() {
+            entries.push(DatalogEntry {
+                pattern_index: t,
+                failing_outputs: failing,
+            });
+        }
+    }
+    icd_obs::counter(
+        "eventsim.gates_evaluated",
+        gates_evaluated,
+        icd_obs::Stability::Stable,
+    );
+    icd_obs::counter(
+        "eventsim.early_exits",
+        early_exits,
+        icd_obs::Stability::Stable,
+    );
+
+    Ok(Datalog {
+        circuit_name: circuit.name().to_owned(),
+        num_patterns: patterns.len(),
+        entries,
+    })
+}
+
+/// Validates arities and uniqueness of the faulty-gate set and indexes it
+/// by gate.
+fn index_faulty_gates<'a>(
+    circuit: &Circuit,
+    faulty: &'a [FaultyGate],
+) -> Result<std::collections::HashMap<usize, &'a FaultyGate>, FaultSimError> {
     let mut by_gate: std::collections::HashMap<usize, &FaultyGate> = Default::default();
     for f in faulty {
         let expected = circuit.gate_type(f.gate).num_inputs();
@@ -302,6 +531,24 @@ pub fn run_test_multi(
             });
         }
     }
+    Ok(by_gate)
+}
+
+/// The full-topology differential oracle for [`run_test_multi`]: walks
+/// every gate of the circuit per pattern instead of only the divergence
+/// frontier. Byte-identical to the event-driven path by construction; the
+/// differential suites hold the two together.
+///
+/// # Errors
+///
+/// Same contract as [`run_test_multi`].
+pub fn run_test_multi_full(
+    circuit: &Circuit,
+    patterns: &[Pattern],
+    faulty: &[FaultyGate],
+) -> Result<Datalog, FaultSimError> {
+    let good = good_simulate(circuit, patterns)?;
+    let by_gate = index_faulty_gates(circuit, faulty)?;
 
     let mut entries = Vec::new();
     // Faulty-machine state: previous inputs and output per faulty gate.

@@ -1,10 +1,9 @@
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
 use std::fmt;
 
-use icd_netlist::{Circuit, GateId, NetId};
+use icd_netlist::{Circuit, NetId};
 
-use crate::bitsim::{build_evaluators, BitValues};
+use crate::bitsim::BitValues;
+use crate::eventsim::EventSim;
 
 /// A classical gate-level fault, used by ATPG and by inter-cell diagnosis.
 ///
@@ -106,7 +105,7 @@ pub fn enumerate_transitions(circuit: &Circuit) -> Vec<GateFault> {
 
 /// The word at the fault site in the faulty machine (bit `t` = value under
 /// pattern `t`).
-fn faulty_site_word(good: &BitValues, fault: &GateFault, w: usize) -> u64 {
+pub(crate) fn faulty_site_word(good: &BitValues, fault: &GateFault, w: usize) -> u64 {
     match *fault {
         GateFault::StuckAt { value, .. } => {
             if value {
@@ -133,7 +132,7 @@ fn faulty_site_word(good: &BitValues, fault: &GateFault, w: usize) -> u64 {
 
 /// The value of `net` one pattern earlier, bit-aligned with word `w`. The
 /// first pattern's "previous" value is itself (no transition).
-fn previous_word(good: &BitValues, net: NetId, w: usize) -> u64 {
+pub(crate) fn previous_word(good: &BitValues, net: NetId, w: usize) -> u64 {
     let cur = good.word(net, w);
     let carry = if w == 0 {
         cur & 1 // pattern 0 has no predecessor: replicate itself
@@ -147,82 +146,117 @@ fn previous_word(good: &BitValues, net: NetId, w: usize) -> u64 {
 /// at at least one circuit output?
 ///
 /// Feedback bridges (aggressor inside the victim's fanout cone) use the
-/// aggressor's *good* value, i.e. the loop is evaluated once.
+/// aggressor's *good* value, i.e. the loop is evaluated once. One-shot
+/// wrapper around [`detects_with`] that also flushes the `eventsim.*`
+/// counters; campaigns over many faults should share one [`EventSim`].
 pub fn detects(circuit: &Circuit, good: &BitValues, fault: &GateFault) -> Vec<bool> {
-    let evals = build_evaluators(circuit).expect("good simulation already validated the library");
+    let mut sim = EventSim::new(circuit).expect("good simulation already validated the library");
+    let detected = detects_with(&mut sim, circuit, good, fault);
+    sim.observe();
+    detected
+}
+
+/// [`detects`] on a caller-provided [`EventSim`], so injection campaigns
+/// reuse one set of scratch buffers across thousands of faults.
+pub fn detects_with(
+    sim: &mut EventSim,
+    circuit: &Circuit,
+    good: &BitValues,
+    fault: &GateFault,
+) -> Vec<bool> {
     let mut detected = vec![false; good.num_patterns()];
     let site = fault.site();
-
     for w in 0..good.words_per_net() {
-        let tail = good.tail_mask(w);
-        let site_faulty = faulty_site_word(good, fault, w) & tail;
-        let site_good = good.word(site, w) & tail;
-        if site_faulty == site_good {
+        let site_diff =
+            sim.propagate_word(circuit, good, w, site, faulty_site_word(good, fault, w));
+        if site_diff == 0 {
             continue;
         }
-
-        // Event-driven forward propagation of this word.
-        let mut overlay: HashMap<usize, u64> = HashMap::new();
-        overlay.insert(site.index(), site_faulty);
-        let mut heap: BinaryHeap<Reverse<(u32, GateId)>> = BinaryHeap::new();
-        let mut queued: HashMap<usize, ()> = HashMap::new();
-        for &g in circuit.fanout(site) {
-            if queued.insert(g.index(), ()).is_none() {
-                heap.push(Reverse((circuit.gate_level(g), g)));
-            }
-        }
-        let mut input_words: Vec<u64> = Vec::with_capacity(8);
-        while let Some(Reverse((_, gate))) = heap.pop() {
-            queued.remove(&gate.index());
-            input_words.clear();
-            for &n in circuit.gate_inputs(gate) {
-                input_words.push(
-                    overlay
-                        .get(&n.index())
-                        .copied()
-                        .unwrap_or_else(|| good.word(n, w)),
-                );
-            }
-            let eval = &evals[circuit.gate_type_id(gate).index()];
-            let new = eval.eval_binary_word(&input_words);
-            let out = circuit.gate_output(gate);
-            if out == site {
-                continue; // the fault dominates its own net
-            }
-            let old = overlay
-                .get(&out.index())
-                .copied()
-                .unwrap_or_else(|| good.word(out, w));
-            if new != old {
-                overlay.insert(out.index(), new);
-                for &g in circuit.fanout(out) {
-                    if queued.insert(g.index(), ()).is_none() {
-                        heap.push(Reverse((circuit.gate_level(g), g)));
-                    }
-                }
-            }
-        }
-
+        // Lanes past the pattern count were pinned to the good machine at
+        // the site, so output diffs are confined to real patterns.
         let mut diff = 0u64;
         for &out in circuit.outputs() {
-            if let Some(&v) = overlay.get(&out.index()) {
-                diff |= (v ^ good.word(out, w)) & tail;
+            if sim.disturbed(out) {
+                diff |= sim.word(good, out, w) ^ good.word(out, w);
             }
         }
-        if diff != 0 {
-            for t in 0..64 {
-                if (diff >> t) & 1 == 1 {
-                    detected[w * 64 + t] = true;
-                }
-            }
+        while diff != 0 {
+            let t = diff.trailing_zeros() as usize;
+            diff &= diff - 1;
+            detected[w * 64 + t] = true;
         }
     }
     detected
 }
 
-/// Whether any pattern detects the fault.
+/// The first pattern detecting `fault`, stopping the simulation as soon as
+/// it is found (the per-fault half of fault dropping: once a detection is
+/// known, the remaining pattern words are never simulated).
+pub fn first_detection_with(
+    sim: &mut EventSim,
+    circuit: &Circuit,
+    good: &BitValues,
+    fault: &GateFault,
+) -> Option<usize> {
+    let site = fault.site();
+    for w in 0..good.words_per_net() {
+        let site_diff =
+            sim.propagate_word(circuit, good, w, site, faulty_site_word(good, fault, w));
+        if site_diff == 0 {
+            continue;
+        }
+        let mut diff = 0u64;
+        for &out in circuit.outputs() {
+            if sim.disturbed(out) {
+                diff |= sim.word(good, out, w) ^ good.word(out, w);
+            }
+        }
+        if diff != 0 {
+            return Some(w * 64 + diff.trailing_zeros() as usize);
+        }
+    }
+    None
+}
+
+/// Fault-dropping simulation campaign: for each fault, the index of its
+/// first detecting pattern (or `None` if undetected).
+///
+/// Every detected fault is *dropped* — its simulation stops at the first
+/// detecting word instead of sweeping the full pattern set. One
+/// [`EventSim`] is shared across the whole campaign; the number of dropped
+/// faults is exported as the `eventsim.faults_dropped` counter alongside
+/// the usual `eventsim.*` totals.
+pub fn first_detections(
+    circuit: &Circuit,
+    good: &BitValues,
+    faults: &[GateFault],
+) -> Vec<Option<usize>> {
+    let mut sim = EventSim::new(circuit).expect("good simulation already validated the library");
+    let mut dropped = 0u64;
+    let firsts: Vec<Option<usize>> = faults
+        .iter()
+        .map(|fault| {
+            let first = first_detection_with(&mut sim, circuit, good, fault);
+            dropped += u64::from(first.is_some());
+            first
+        })
+        .collect();
+    icd_obs::counter(
+        "eventsim.faults_dropped",
+        dropped,
+        icd_obs::Stability::Stable,
+    );
+    sim.observe();
+    firsts
+}
+
+/// Whether any pattern detects the fault (early-exits at the first
+/// detection).
 pub fn detects_any(circuit: &Circuit, good: &BitValues, fault: &GateFault) -> bool {
-    detects(circuit, good, fault).iter().any(|&d| d)
+    let mut sim = EventSim::new(circuit).expect("good simulation already validated the library");
+    let first = first_detection_with(&mut sim, circuit, good, fault);
+    sim.observe();
+    first.is_some()
 }
 
 #[cfg(test)]

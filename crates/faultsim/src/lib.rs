@@ -7,6 +7,10 @@
 //!
 //! * [`good_simulate`] — bit-parallel (64 patterns/word) good-machine
 //!   simulation that scales to the paper's multi-million-gate circuits.
+//! * [`EventSim`] — event-driven, cone-restricted faulty-machine
+//!   propagation: divergences are seeded at the fault site over the shared
+//!   good machine and only the reached gates re-evaluate, with per-word
+//!   early exit and fault dropping ([`first_detections`]).
 //! * [`ternary_simulate`] / [`DiffPropagator`] — serial three-valued
 //!   simulation and event-driven difference propagation (used for
 //!   observability checks and faulty-response computation).
@@ -53,15 +57,23 @@ mod bitsim;
 mod datalog;
 pub mod datalog_text;
 mod error;
+mod eventsim;
 mod faults;
 mod faulty_gate;
 pub mod noise;
 mod ternary;
 
 pub use bitsim::{good_simulate, good_simulate_scalar, BitValues};
-pub use datalog::{run_test, run_test_gate_fault, run_test_multi, Datalog, DatalogEntry};
+pub use datalog::{
+    run_test, run_test_gate_fault, run_test_multi, run_test_multi_full, run_test_with_good,
+    Datalog, DatalogEntry,
+};
 pub use error::FaultSimError;
-pub use faults::{detects, detects_any, enumerate_stuck_at, enumerate_transitions, GateFault};
+pub use eventsim::EventSim;
+pub use faults::{
+    detects, detects_any, detects_with, enumerate_stuck_at, enumerate_transitions,
+    first_detection_with, first_detections, GateFault,
+};
 pub use faulty_gate::{DelayTable, FaultyBehavior, FaultyGate};
 pub use noise::{Corruption, NoiseModel, NoiseRng, SanitizeLog};
 pub use ternary::{ternary_simulate, DiffPropagator};

@@ -80,12 +80,71 @@ impl DiffPropagator {
     ///
     /// The returned vector lists `(output position, new value)` pairs for
     /// every circuit output whose effective value differs from `base`.
+    /// Each call adds the number of gates it re-evaluated to the
+    /// `eventsim.gates_evaluated` counter; calls where no force differs
+    /// from the base return immediately and count one
+    /// `eventsim.early_exits`.
     pub fn propagate(
         &mut self,
         circuit: &Circuit,
         base: &[Lv],
         forces: &[(NetId, Lv)],
     ) -> Vec<(usize, Lv)> {
+        self.run(circuit, base, forces);
+        // A forced output net with an empty fanout still changed, so the
+        // output scan cannot be skipped once any force took effect.
+        let stamp = self.stamp;
+        circuit
+            .outputs()
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &net)| {
+                if self.overlay_stamp[net.index()] == stamp
+                    && self.overlay[net.index()] != base[net.index()]
+                {
+                    Some((i, self.overlay[net.index()]))
+                } else {
+                    None
+                }
+            })
+            .collect()
+    }
+
+    /// [`DiffPropagator::propagate`], but scanning only the output
+    /// positions in `scan` (indices into `circuit.outputs()`).
+    ///
+    /// The caller must pass a superset of the positions the forces can
+    /// reach — e.g. the union of the forced nets' fanout-cone
+    /// observability sets ([`Circuit::observable_outputs`]) — otherwise
+    /// reachable miscompares are silently dropped.
+    pub fn propagate_within(
+        &mut self,
+        circuit: &Circuit,
+        base: &[Lv],
+        forces: &[(NetId, Lv)],
+        scan: &[usize],
+    ) -> Vec<(usize, Lv)> {
+        self.run(circuit, base, forces);
+        let stamp = self.stamp;
+        let outputs = circuit.outputs();
+        scan.iter()
+            .filter_map(|&i| {
+                let net = outputs[i];
+                if self.overlay_stamp[net.index()] == stamp
+                    && self.overlay[net.index()] != base[net.index()]
+                {
+                    Some((i, self.overlay[net.index()]))
+                } else {
+                    None
+                }
+            })
+            .collect()
+    }
+
+    /// The shared propagation core: applies `forces` and drains the
+    /// level-ordered frontier, leaving the result in the overlay under the
+    /// current stamp.
+    fn run(&mut self, circuit: &Circuit, base: &[Lv], forces: &[(NetId, Lv)]) {
         self.stamp = self.stamp.wrapping_add(1);
         if self.stamp == 0 {
             // Extremely rare wrap: clear stamps to stay sound.
@@ -109,19 +168,27 @@ impl DiffPropagator {
             }
         };
 
+        let mut any_force = false;
         for &(net, value) in forces {
             if base[net.index()] == value {
                 continue;
             }
+            any_force = true;
             self.overlay[net.index()] = value;
             self.overlay_stamp[net.index()] = stamp;
             for &g in circuit.fanout(net) {
                 schedule(g, &mut self.queued, &mut heap);
             }
         }
+        if !any_force {
+            icd_obs::counter("eventsim.early_exits", 1, icd_obs::Stability::Stable);
+            return;
+        }
 
+        let mut evaluated = 0u64;
         let mut ins: Vec<Lv> = Vec::with_capacity(8);
         while let Some(std::cmp::Reverse((_, gate))) = heap.pop() {
+            evaluated += 1;
             ins.clear();
             for &n in circuit.gate_inputs(gate) {
                 ins.push(if self.overlay_stamp[n.index()] == stamp {
@@ -149,21 +216,11 @@ impl DiffPropagator {
                 }
             }
         }
-
-        circuit
-            .outputs()
-            .iter()
-            .enumerate()
-            .filter_map(|(i, &net)| {
-                if self.overlay_stamp[net.index()] == stamp
-                    && self.overlay[net.index()] != base[net.index()]
-                {
-                    Some((i, self.overlay[net.index()]))
-                } else {
-                    None
-                }
-            })
-            .collect()
+        icd_obs::counter(
+            "eventsim.gates_evaluated",
+            evaluated,
+            icd_obs::Stability::Stable,
+        );
     }
 }
 

@@ -1,0 +1,387 @@
+//! Differential tests for the event-driven simulation paths: every
+//! cone-restricted kernel (`run_test`, `run_test_gate_fault`,
+//! `run_test_multi`, `detects`, `first_detections`, `DiffPropagator`)
+//! against a full-topology walk of the faulty machine, over randomly
+//! generated circuits, corrupted (`U`-bearing) cell tables, delay
+//! behaviours and pattern counts that do not fill a whole 64-lane word.
+
+#![allow(clippy::unwrap_used, clippy::panic)] // test code
+
+use icd_cells::CellLibrary;
+use icd_faultsim::{
+    detects, detects_any, first_detections, good_simulate, run_test, run_test_gate_fault,
+    run_test_multi, run_test_multi_full, ternary_simulate, DelayTable, DiffPropagator,
+    FaultyBehavior, FaultyGate, GateFault,
+};
+use icd_logic::{Lv, Pattern, TruthTable};
+use icd_netlist::{generator, Circuit, NetId};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_circuit(seed: u64, gates: usize) -> Circuit {
+    let cells = CellLibrary::standard();
+    let logic = cells.logic_library();
+    let cfg = generator::GeneratorConfig {
+        name: format!("event_diff{seed}"),
+        gates,
+        primary_inputs: 6,
+        primary_outputs: 6,
+        flip_flops: 2,
+        scan_chains: 1,
+        seed,
+    };
+    generator::generate(&cfg, &logic).expect("generates")
+}
+
+fn random_patterns(circuit: &Circuit, count: usize, seed: u64) -> Vec<Pattern> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let w = circuit.inputs().len();
+    (0..count)
+        .map(|_| Pattern::from_bits((0..w).map(|_| rng.random_bool(0.5))))
+        .collect()
+}
+
+/// A corrupted copy of `good`: each entry is independently flipped or
+/// degraded to `U` — the shape of a characterized defective cell.
+fn corrupt_table(good: &TruthTable, seed: u64) -> TruthTable {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let entries: Vec<Lv> = good
+        .entries()
+        .iter()
+        .map(|&v| {
+            if rng.random_bool(0.3) {
+                Lv::U
+            } else if rng.random_bool(0.5) {
+                !v
+            } else {
+                v
+            }
+        })
+        .collect();
+    TruthTable::from_entries(good.inputs(), entries).unwrap()
+}
+
+/// Full-topology scalar oracle for a net-level fault: simulates the whole
+/// faulty machine per pattern and returns the failing output positions.
+fn full_walk_gate_fault(
+    circuit: &Circuit,
+    patterns: &[Pattern],
+    fault: &GateFault,
+) -> Vec<Vec<usize>> {
+    let good = good_simulate(circuit, patterns).unwrap();
+    let site = fault.site();
+    let mut per_pattern = Vec::with_capacity(patterns.len());
+    for (t, pattern) in patterns.iter().enumerate() {
+        let faulty_site = match *fault {
+            GateFault::StuckAt { value, .. } => value,
+            GateFault::SlowToRise { net } => {
+                let prev = good.value(net, t.saturating_sub(1));
+                let cur = good.value(net, t);
+                if !prev && cur {
+                    false
+                } else {
+                    cur
+                }
+            }
+            GateFault::SlowToFall { net } => {
+                let prev = good.value(net, t.saturating_sub(1));
+                let cur = good.value(net, t);
+                if prev && !cur {
+                    true
+                } else {
+                    cur
+                }
+            }
+            GateFault::Bridging { aggressor, .. } => good.value(aggressor, t),
+        };
+        let mut values = vec![Lv::U; circuit.num_nets()];
+        for (i, &net) in circuit.inputs().iter().enumerate() {
+            values[net.index()] = pattern[i];
+        }
+        // The fault dominates its net: re-force after every driver write.
+        values[site.index()] = Lv::from(faulty_site);
+        for &gate in circuit.topo_order() {
+            let ins: Vec<Lv> = circuit
+                .gate_inputs(gate)
+                .iter()
+                .map(|&n| values[n.index()])
+                .collect();
+            let out = circuit.gate_output(gate);
+            values[out.index()] = circuit.gate_type(gate).table().eval(&ins).unwrap();
+            if out == site {
+                values[out.index()] = Lv::from(faulty_site);
+            }
+        }
+        let failing: Vec<usize> = circuit
+            .outputs()
+            .iter()
+            .enumerate()
+            .filter(|&(_, &net)| values[net.index()] != Lv::from(good.value(net, t)))
+            .map(|(i, _)| i)
+            .collect();
+        per_pattern.push(failing);
+    }
+    per_pattern
+}
+
+fn pick_fault(circuit: &Circuit, kind: usize, pick: usize, pick2: usize) -> GateFault {
+    let nets: Vec<NetId> = circuit.nets().collect();
+    let net = nets[pick % nets.len()];
+    match kind % 4 {
+        0 => GateFault::StuckAt {
+            net,
+            value: pick2 % 2 == 1,
+        },
+        1 => GateFault::SlowToRise { net },
+        2 => GateFault::SlowToFall { net },
+        _ => {
+            let aggressor = nets[pick2 % nets.len()];
+            GateFault::Bridging {
+                victim: net,
+                aggressor,
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// The event-driven single-faulty-cell tester (`run_test`) produces
+    /// the same datalog as the retained full-topology faulty machine —
+    /// including `U` table entries, which exercise the charge-retention
+    /// chain and the scalar ternary fallback lanes.
+    #[test]
+    fn event_run_test_matches_full_walk(
+        seed in any::<u64>(),
+        gate_pick in any::<usize>(),
+        pats in 1usize..90,
+    ) {
+        let circuit = random_circuit(seed, 40);
+        let patterns = random_patterns(&circuit, pats, seed ^ 0x5a);
+        let order = circuit.topo_order();
+        let gate = order[gate_pick % order.len()];
+        let table = corrupt_table(circuit.gate_type(gate).table(), seed ^ 0xc3);
+        let faulty = FaultyGate::new(gate, FaultyBehavior::Static(table));
+        let event = run_test(&circuit, &patterns, &faulty).expect("run_test");
+        let full = run_test_multi_full(&circuit, &patterns, std::slice::from_ref(&faulty))
+            .expect("full walk");
+        prop_assert_eq!(event, full);
+    }
+
+    /// Delay behaviours (previous-pattern dependence, raw `U` outputs that
+    /// bypass retention) through the event path vs the full walk.
+    #[test]
+    fn event_run_test_matches_full_walk_for_delay_behaviors(
+        seed in any::<u64>(),
+        gate_pick in any::<usize>(),
+        pats in 1usize..90,
+    ) {
+        let circuit = random_circuit(seed, 40);
+        let patterns = random_patterns(&circuit, pats, seed ^ 0x77);
+        let order = circuit.topo_order();
+        let gate = order[gate_pick % order.len()];
+        let good_table = circuit.gate_type(gate).table().clone();
+        let n = good_table.inputs();
+        // Deterministic late cell: stable vectors read the table, a
+        // transition either floats (odd parity) or holds the stale value.
+        let table = DelayTable::from_fn(n, move |prev, cur| {
+            if prev == cur {
+                good_table.eval_bits(cur)
+            } else if cur.iter().filter(|&&b| b).count() % 2 == 1 {
+                Lv::U
+            } else {
+                good_table.eval_bits(prev)
+            }
+        });
+        let faulty = FaultyGate::new(gate, FaultyBehavior::Delay(table));
+        let event = run_test(&circuit, &patterns, &faulty).expect("run_test");
+        let full = run_test_multi_full(&circuit, &patterns, std::slice::from_ref(&faulty))
+            .expect("full walk");
+        prop_assert_eq!(event, full);
+    }
+
+    /// The word-parallel net-fault tester and the fault-detection kernels
+    /// against the full-topology scalar oracle.
+    #[test]
+    fn event_net_fault_paths_match_full_walk(
+        seed in any::<u64>(),
+        kind in any::<usize>(),
+        pick in any::<usize>(),
+        pick2 in any::<usize>(),
+        pats in 1usize..90,
+    ) {
+        let circuit = random_circuit(seed, 40);
+        let patterns = random_patterns(&circuit, pats, seed ^ 0x33);
+        let fault = pick_fault(&circuit, kind, pick, pick2);
+        let oracle = full_walk_gate_fault(&circuit, &patterns, &fault);
+
+        let log = run_test_gate_fault(&circuit, &patterns, &fault).expect("run_test_gate_fault");
+        let expected: Vec<(usize, Vec<usize>)> = oracle
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| !f.is_empty())
+            .map(|(t, f)| (t, f.clone()))
+            .collect();
+        let got: Vec<(usize, Vec<usize>)> = log
+            .entries
+            .iter()
+            .map(|e| (e.pattern_index, e.failing_outputs.clone()))
+            .collect();
+        prop_assert_eq!(got, expected);
+
+        let good = good_simulate(&circuit, &patterns).unwrap();
+        let det = detects(&circuit, &good, &fault);
+        let want_det: Vec<bool> = oracle.iter().map(|f| !f.is_empty()).collect();
+        prop_assert_eq!(&det, &want_det);
+        prop_assert_eq!(detects_any(&circuit, &good, &fault), want_det.iter().any(|&d| d));
+
+        // Fault dropping returns exactly the first detection.
+        let firsts = first_detections(&circuit, &good, std::slice::from_ref(&fault));
+        prop_assert_eq!(firsts[0], want_det.iter().position(|&d| d));
+    }
+
+    /// The event-driven multi-defect tester vs its full-topology oracle,
+    /// with interacting defects (one faulty cell may sit in another's
+    /// cone).
+    #[test]
+    fn event_run_test_multi_matches_full_walk(
+        seed in any::<u64>(),
+        p0 in any::<usize>(),
+        p1 in any::<usize>(),
+        p2 in any::<usize>(),
+        pats in 1usize..90,
+    ) {
+        let circuit = random_circuit(seed, 40);
+        let patterns = random_patterns(&circuit, pats, seed ^ 0x44);
+        let order = circuit.topo_order();
+        let mut gates: Vec<_> = [p0, p1, p2].iter().map(|p| order[p % order.len()]).collect();
+        gates.sort();
+        gates.dedup();
+        let faulty: Vec<FaultyGate> = gates
+            .iter()
+            .enumerate()
+            .map(|(k, &g)| {
+                let table = corrupt_table(circuit.gate_type(g).table(), seed ^ (k as u64));
+                FaultyGate::new(g, FaultyBehavior::Static(table))
+            })
+            .collect();
+        let event = run_test_multi(&circuit, &patterns, &faulty).expect("event multi");
+        let full = run_test_multi_full(&circuit, &patterns, &faulty).expect("full multi");
+        prop_assert_eq!(event, full);
+    }
+
+    /// `DiffPropagator` (the scalar ternary event path) against a full
+    /// ternary resimulation with the forced net overridden, under
+    /// partially specified (`U`-bearing) patterns.
+    #[test]
+    fn diff_propagator_matches_full_ternary_resim(
+        seed in any::<u64>(),
+        pick in any::<usize>(),
+        value in 0usize..3,
+    ) {
+        let circuit = random_circuit(seed, 40);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x99);
+        let w = circuit.inputs().len();
+        let pattern = Pattern::new((0..w).map(|_| match rng.random_range(0..3) {
+            0 => Lv::Zero,
+            1 => Lv::One,
+            _ => Lv::U,
+        }));
+        let base = ternary_simulate(&circuit, &pattern).unwrap();
+        let nets: Vec<NetId> = circuit.nets().collect();
+        let net = nets[pick % nets.len()];
+        let forced = Lv::ALL[value];
+
+        let mut prop = DiffPropagator::new(&circuit);
+        let changed = prop.propagate(&circuit, &base, &[(net, forced)]);
+
+        // Oracle: full topo walk with the forced net dominated.
+        let mut values = base.clone();
+        values[net.index()] = forced;
+        for &gate in circuit.topo_order() {
+            let ins: Vec<Lv> = circuit
+                .gate_inputs(gate)
+                .iter()
+                .map(|&n| values[n.index()])
+                .collect();
+            let out = circuit.gate_output(gate);
+            values[out.index()] = circuit.gate_type(gate).table().eval(&ins).unwrap();
+            if out == net {
+                values[out.index()] = forced;
+            }
+        }
+        let expected: Vec<(usize, Lv)> = circuit
+            .outputs()
+            .iter()
+            .enumerate()
+            .filter(|&(_, &n)| values[n.index()] != base[n.index()])
+            .map(|(i, &n)| (i, values[n.index()]))
+            .collect();
+        prop_assert_eq!(changed, expected);
+    }
+}
+
+#[test]
+fn exact_word_boundary_pattern_counts_agree() {
+    // 64 patterns = exactly one full word; 70 = a 6-lane tail word.
+    for pats in [1usize, 63, 64, 65, 70] {
+        let circuit = random_circuit(7, 60);
+        let patterns = random_patterns(&circuit, pats, 0xbeef);
+        let order = circuit.topo_order();
+        let gate = order[order.len() / 2];
+        let table = corrupt_table(circuit.gate_type(gate).table(), 0xf00d);
+        let faulty = FaultyGate::new(gate, FaultyBehavior::Static(table));
+        let event = run_test(&circuit, &patterns, &faulty).unwrap();
+        let full = run_test_multi_full(&circuit, &patterns, std::slice::from_ref(&faulty)).unwrap();
+        assert_eq!(event, full, "pattern count {pats}");
+    }
+}
+
+#[test]
+fn empty_pattern_set_is_handled_by_every_path() {
+    let circuit = random_circuit(11, 40);
+    let order = circuit.topo_order();
+    let gate = order[0];
+    let table = corrupt_table(circuit.gate_type(gate).table(), 3);
+    let faulty = FaultyGate::new(gate, FaultyBehavior::Static(table));
+    let log = run_test(&circuit, &[], &faulty).unwrap();
+    assert_eq!(log.num_patterns, 0);
+    assert!(log.all_pass());
+
+    let good = good_simulate(&circuit, &[]).unwrap();
+    let out = circuit.gate_output(gate);
+    let fault = GateFault::stuck_at(out, true);
+    assert_eq!(detects(&circuit, &good, &fault), Vec::<bool>::new());
+    assert!(!detects_any(&circuit, &good, &fault));
+    assert_eq!(
+        first_detections(&circuit, &good, std::slice::from_ref(&fault)),
+        vec![None]
+    );
+    let log = run_test_gate_fault(&circuit, &[], &fault).unwrap();
+    assert!(log.all_pass());
+}
+
+#[test]
+fn campaign_counters_report_dropped_faults() {
+    let circuit = random_circuit(5, 60);
+    let patterns = random_patterns(&circuit, 70, 0x1234);
+    let good = good_simulate(&circuit, &patterns).unwrap();
+    let faults = icd_faultsim::enumerate_stuck_at(&circuit);
+    let collector = icd_obs::Collector::new();
+    let firsts = {
+        let _active = collector.install_local();
+        first_detections(&circuit, &good, &faults)
+    };
+    let detected = firsts.iter().filter(|f| f.is_some()).count() as u64;
+    assert!(detected > 0, "some stuck-at fault must be detectable");
+    let snap = collector.snapshot();
+    assert_eq!(snap.counters["eventsim.faults_dropped"].0, detected);
+    assert!(snap.counters["eventsim.gates_evaluated"].0 > 0);
+    // Per-fault detection agrees with the full sweep.
+    for (fault, first) in faults.iter().zip(&firsts) {
+        let det = detects(&circuit, &good, fault);
+        assert_eq!(*first, det.iter().position(|&d| d), "fault {fault}");
+    }
+}

@@ -279,12 +279,20 @@ pub fn diagnose_with_options(
             // the scoring rather than panicking the pipeline.
             continue;
         };
+        // A flipped gate output can only reach the outputs in its
+        // fanout-cone observability set; restrict the per-pattern output
+        // scan to those positions.
+        let obs_pos: Vec<usize> = circuit.observable_outputs(candidate.gate).iter().collect();
+        if obs_pos.is_empty() {
+            continue; // no observe point reachable: no flip can mispredict
+        }
         for (_, base) in &sample_bases {
             // If the defect were the stuck-at that explains the failures,
             // a passing pattern with the same good value and an observable
             // output would have failed too.
             if base[out.index()] == fail_v {
-                let changed = propagator.propagate(circuit, base, &[(out, !fail_v)]);
+                let changed =
+                    propagator.propagate_within(circuit, base, &[(out, !fail_v)], &obs_pos);
                 if !changed.is_empty() {
                     candidate.mispredicts += 1;
                 }
@@ -327,6 +335,33 @@ pub fn diagnose_with_options(
         })
         .collect();
 
+    // Cone pre-filter: a candidate whose observability set misses every
+    // failing output can never cover anything. CPT-derived candidates
+    // always reach the failing output they were traced from, so on a
+    // clean flow nothing is filtered — the filter guards the noisy paths
+    // and removes dead candidates from every cover iteration.
+    let mut failing_outputs_mask = vec![0u64; circuit.cone_index().output_words()];
+    for entry in &datalog.entries {
+        for &oi in &entry.failing_outputs {
+            // Positions were validated against `circuit.outputs()` in
+            // phase 1.
+            failing_outputs_mask[oi / 64] |= 1u64 << (oi % 64);
+        }
+    }
+    let cone_ok: Vec<bool> = candidates
+        .iter()
+        .map(|c| {
+            circuit
+                .observable_outputs(c.gate)
+                .intersects_words(&failing_outputs_mask)
+        })
+        .collect();
+    icd_obs::counter(
+        "intercell.cone_filtered",
+        cone_ok.iter().filter(|ok| !**ok).count() as u64,
+        icd_obs::Stability::Stable,
+    );
+
     let min_gain = options.min_cover_gain.max(1);
     let mut selected = vec![false; candidates.len()];
     let mut multiplet = Vec::new();
@@ -343,7 +378,7 @@ pub fn diagnose_with_options(
         type CoverKey = (usize, std::cmp::Reverse<usize>, std::cmp::Reverse<GateId>);
         let mut best: Option<(usize, CoverKey)> = None;
         for (i, c) in candidates.iter().enumerate() {
-            if selected[i] {
+            if selected[i] || !cone_ok[i] {
                 continue;
             }
             let gain: usize = explained_masks[i]

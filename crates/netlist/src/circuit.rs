@@ -1,5 +1,9 @@
 use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
 
+use icd_logic::packed::PackedEval;
+
+use crate::cone::{ConeIndex, ConeSet, Levels};
 use crate::{GateId, GateType, Library, NetId, NetlistError, TypeId};
 
 /// Sequential metadata retained by the full-scan abstraction.
@@ -94,6 +98,12 @@ pub struct Circuit {
     fanout_offset: Vec<u32>,
     fanout: Vec<GateId>,
     max_level: u32,
+    levels: Levels,
+
+    // Lazy derived: built on first use, shared by clones of the value
+    // they were built on.
+    cones: OnceLock<ConeIndex>,
+    packed_evals: OnceLock<Arc<Vec<PackedEval>>>,
 }
 
 impl Circuit {
@@ -188,6 +198,54 @@ impl Circuit {
     /// The largest gate level in the circuit.
     pub fn max_level(&self) -> u32 {
         self.max_level
+    }
+
+    /// The gates grouped by logic level, for level-ordered frontier
+    /// evaluation.
+    pub fn levels(&self) -> &Levels {
+        &self.levels
+    }
+
+    /// The lazily built fanout-cone index (see [`ConeIndex`] for the
+    /// memory cost; diagnosis-scale circuits pay a few MiB, and paths
+    /// that never query cones never build it).
+    pub fn cone_index(&self) -> &ConeIndex {
+        self.cones.get_or_init(|| ConeIndex::build(self))
+    }
+
+    /// The transitive fanout cone of `gate` as a gate-index bitset
+    /// (always contains `gate` itself). Builds the cone index on first
+    /// use.
+    pub fn fanout_cone(&self, gate: GateId) -> ConeSet<'_> {
+        self.cone_index().cone(gate)
+    }
+
+    /// The observe-point positions (indexes into [`Circuit::outputs`])
+    /// structurally reachable from `gate`'s output. Builds the cone
+    /// index on first use.
+    pub fn observable_outputs(&self, gate: GateId) -> ConeSet<'_> {
+        self.cone_index().observable(gate)
+    }
+
+    /// Number of gates in `gate`'s transitive fanout cone (including
+    /// itself). Builds the cone index on first use.
+    pub fn cone_size(&self, gate: GateId) -> u32 {
+        self.cone_index().cone_size(gate)
+    }
+
+    /// One compiled [`PackedEval`] per library type, indexed by
+    /// [`TypeId`] position. Compiled once per circuit on first use and
+    /// shared via [`Arc`] so repeated simulations (and clones of the
+    /// handle) reuse the same evaluators.
+    pub fn packed_evaluators(&self) -> &Arc<Vec<PackedEval>> {
+        self.packed_evals.get_or_init(|| {
+            Arc::new(
+                self.library
+                    .iter()
+                    .map(|(_, t)| PackedEval::from_table(t.table()))
+                    .collect(),
+            )
+        })
     }
 
     /// The printable name of a net (explicit name or `n<id>`).
@@ -543,6 +601,7 @@ impl<'lib> CircuitBuilder<'lib> {
             ));
         }
         let max_level = gate_level.iter().copied().max().unwrap_or(0);
+        let levels = Levels::build(&gate_level, max_level);
 
         Ok(Circuit {
             name: self.name,
@@ -565,6 +624,9 @@ impl<'lib> CircuitBuilder<'lib> {
             fanout_offset,
             fanout,
             max_level,
+            levels,
+            cones: OnceLock::new(),
+            packed_evals: OnceLock::new(),
         })
     }
 }

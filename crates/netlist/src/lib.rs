@@ -43,6 +43,7 @@
 #![warn(missing_docs)]
 
 mod circuit;
+pub mod cone;
 mod error;
 pub mod format;
 pub mod generator;
@@ -52,6 +53,7 @@ pub mod packed_sim;
 mod stats;
 
 pub use circuit::{Circuit, CircuitBuilder, ScanCell, ScanInfo, TesterCoordinate};
+pub use cone::{ConeIndex, ConeSet, Levels};
 pub use error::NetlistError;
 pub use ids::{GateId, NetId, TypeId};
 pub use library::{GateType, Library};

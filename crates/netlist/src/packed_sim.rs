@@ -12,7 +12,7 @@
 //! topological order) remains the authoritative oracle; the differential
 //! tests below and in `icd-faultsim` hold the two paths byte-identical.
 
-use icd_logic::packed::{PackedEval, PackedPatternSet, PackedWord};
+use icd_logic::packed::{PackedPatternSet, PackedWord};
 use icd_logic::{Lv, Pattern};
 
 use crate::{Circuit, NetId, NetlistError};
@@ -73,16 +73,6 @@ impl PackedNetValues {
     }
 }
 
-/// Builds one [`PackedEval`] per library type of `circuit`, indexed by
-/// [`TypeId`](crate::TypeId) position.
-fn build_packed_evaluators(circuit: &Circuit) -> Vec<PackedEval> {
-    circuit
-        .library()
-        .iter()
-        .map(|(_, t)| PackedEval::from_table(t.table()))
-        .collect()
-}
-
 /// Simulates the fault-free circuit under a packed pattern set, 64
 /// patterns per machine word.
 ///
@@ -106,7 +96,8 @@ pub fn packed_simulate(
             pattern: 0,
         });
     }
-    let evals = build_packed_evaluators(circuit);
+    // Evaluators are compiled once per circuit and reused across calls.
+    let evals = circuit.packed_evaluators();
     let words = patterns.num_words();
     let mut planes = vec![PackedWord::ALL_U; circuit.num_nets() * words];
 
@@ -299,6 +290,18 @@ mod tests {
                 pattern: 1,
             })
         ));
+    }
+
+    #[test]
+    fn packed_evaluators_are_compiled_once_per_circuit() {
+        let circuit = chain_circuit();
+        let first = std::sync::Arc::clone(circuit.packed_evaluators());
+        let patterns = vec![Pattern::from_bits([true, false])];
+        packed_simulate_patterns(&circuit, &patterns).unwrap();
+        packed_simulate_patterns(&circuit, &patterns).unwrap();
+        // Still the same compiled evaluators, not fresh per-call copies.
+        assert!(std::sync::Arc::ptr_eq(&first, circuit.packed_evaluators()));
+        assert_eq!(first.len(), circuit.library().len());
     }
 
     #[test]

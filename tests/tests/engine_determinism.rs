@@ -14,7 +14,8 @@ use std::sync::Arc;
 
 use icd_bench::flow::{analyze_datalog_report, ExperimentContext, FlowStage};
 use icd_engine::{synthesize_batch, BatchConfig, BatchEngine, EngineConfig};
-use icd_faultsim::Datalog;
+use icd_faultsim::{Datalog, FaultyBehavior, FaultyGate};
+use icd_logic::{Lv, TruthTable};
 
 /// Circuit A with a synthesized batch that mixes single- and two-defect
 /// devices, plus one all-pass device (test escape).
@@ -97,6 +98,56 @@ fn packed_and_scalar_good_machines_yield_identical_reports() {
             format!("{from_packed:#?}"),
             format!("{from_scalar:#?}"),
             "datalog {i}: packed and scalar reports diverge"
+        );
+    }
+}
+
+/// A deterministically corrupted copy of `table`: some entries flipped,
+/// some degraded to `U`.
+fn corrupted(table: &TruthTable, salt: usize) -> TruthTable {
+    let entries: Vec<Lv> = table
+        .entries()
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| match (i + salt) % 5 {
+            0 => !v,
+            1 => Lv::U,
+            _ => v,
+        })
+        .collect();
+    TruthTable::from_entries(table.inputs(), entries).expect("same shape as the good table")
+}
+
+#[test]
+fn event_driven_datalogs_match_the_full_topology_walk_end_to_end() {
+    // A mini corpus of multi-defect devices on circuit A: the default
+    // event-driven tester and the retained full-topology oracle must
+    // produce byte-identical datalogs, and those datalogs must drive the
+    // staged flow to byte-identical diagnosis reports.
+    let ctx = ExperimentContext::circuit_a().expect("circuit A builds");
+    let order = ctx.circuit.topo_order();
+    let corpus: &[&[usize]] = &[&[3], &[1, 17], &[5, 11, 23], &[0, 7]];
+    for (device, picks) in corpus.iter().enumerate() {
+        let faulty: Vec<FaultyGate> = picks
+            .iter()
+            .map(|&i| {
+                let gate = order[(i * 13 + device) % order.len()];
+                let table = corrupted(ctx.circuit.gate_type(gate).table(), i + device);
+                FaultyGate::new(gate, FaultyBehavior::Static(table))
+            })
+            .collect();
+        let event = icd_faultsim::run_test_multi(&ctx.circuit, &ctx.patterns, &faulty)
+            .expect("event-driven tester runs");
+        let full = icd_faultsim::run_test_multi_full(&ctx.circuit, &ctx.patterns, &faulty)
+            .expect("full-walk tester runs");
+        assert_eq!(event, full, "device {device}: datalogs diverge");
+
+        let from_event = analyze_datalog_report(&ctx, &event).expect("flow runs");
+        let from_full = analyze_datalog_report(&ctx, &full).expect("flow runs");
+        assert_eq!(
+            format!("{from_event:#?}"),
+            format!("{from_full:#?}"),
+            "device {device}: diagnosis reports diverge"
         );
     }
 }

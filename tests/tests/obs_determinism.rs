@@ -80,6 +80,42 @@ fn redacted_trace_and_metrics_are_byte_identical_across_worker_counts() {
 }
 
 #[test]
+fn eventsim_counters_are_present_and_scheduling_stable() {
+    let _serial = serial();
+    let (ctx, batch) = batch_fixture();
+
+    let eventsim_counters = |workers: usize| -> Vec<(String, u64)> {
+        let engine = BatchEngine::new(EngineConfig::with_workers(workers));
+        let collector = Collector::new();
+        let report = engine
+            .diagnose_batch_observed(&ctx, batch.as_slice(), Some(&collector))
+            .expect("batch runs");
+        assert_eq!(report.outcomes.len(), batch.len());
+        let snap = collector.snapshot();
+        snap.counters
+            .iter()
+            .filter(|(name, _)| name.starts_with("eventsim."))
+            .map(|(name, v)| (name.to_string(), v.0))
+            .collect()
+    };
+
+    let one = eventsim_counters(1);
+    let eight = eventsim_counters(8);
+    // The event-driven simulator runs on the diagnosis path and its
+    // counters are per-datalog sums, so they must be byte-identical no
+    // matter how the scheduler interleaves the jobs.
+    assert!(
+        one.iter()
+            .any(|(name, v)| name == "eventsim.gates_evaluated" && *v > 0),
+        "the event-driven path should evaluate gates during diagnosis: {one:?}"
+    );
+    assert_eq!(
+        one, eight,
+        "eventsim counters diverge between 1 and 8 workers"
+    );
+}
+
+#[test]
 fn observed_run_records_job_spans_and_stage_histograms() {
     let _serial = serial();
     let (ctx, batch) = batch_fixture();
