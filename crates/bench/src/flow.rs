@@ -35,6 +35,12 @@ pub enum FlowError {
     /// work; the payload is the panic message. The job is poisoned, the
     /// worker and the rest of the batch are not.
     Panicked(String),
+    /// The unit of work was cancelled cooperatively before it ran to
+    /// completion — its request deadline expired or its submitter gave
+    /// up (client disconnect, server drain). Cancellation is checked at
+    /// job boundaries only: a job that already started runs to its end,
+    /// and a cancelled job never poisons the worker pool.
+    Cancelled,
 }
 
 impl fmt::Display for FlowError {
@@ -53,6 +59,7 @@ impl fmt::Display for FlowError {
             FlowError::Netlist(e) => write!(f, "netlist construction failed: {e}"),
             FlowError::Defect(e) => write!(f, "defect injection failed: {e}"),
             FlowError::Panicked(msg) => write!(f, "worker caught a panic: {msg}"),
+            FlowError::Cancelled => write!(f, "job cancelled before completion"),
         }
     }
 }
@@ -63,7 +70,8 @@ impl Error for FlowError {
             FlowError::NotObservable
             | FlowError::NoInstance(_)
             | FlowError::NoLocalFailures
-            | FlowError::Panicked(_) => None,
+            | FlowError::Panicked(_)
+            | FlowError::Cancelled => None,
             FlowError::FaultSim(e) => Some(e),
             FlowError::Intercell(e) => Some(e),
             FlowError::Core(e) => Some(e),

@@ -7,6 +7,12 @@
 //! worker, plus the host's core count (speedup saturates at the physical
 //! parallelism — a single-core CI container reports ~1.0×, by design not
 //! a failure).
+//!
+//! Results are only comparable across equally-parallel hosts, so a run
+//! on a *narrower* machine refuses to overwrite an existing
+//! `BENCH_engine.json` recorded on a wider one (a laptop run must not
+//! clobber the reference numbers from a 16-core box). Set
+//! `ICD_BENCH_FORCE=1` to overwrite anyway.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -73,6 +79,19 @@ fn sweep(ctx: &Arc<ExperimentContext>, batch: &[Datalog]) -> Vec<SweepPoint> {
         .collect()
 }
 
+/// Whether overwriting the results at `path` would replace numbers from
+/// a host wider than `cores` of parallelism. Unreadable or malformed
+/// existing files never block (there is nothing trustworthy to protect).
+fn would_clobber_wider_host(path: &str, cores: usize) -> Option<u64> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let root = icd_obs::json::parse(&text).ok()?;
+    let recorded = root
+        .get("host_cores")
+        .or_else(|| root.get("cores"))
+        .and_then(icd_obs::json::Value::as_u64)?;
+    (recorded > cores as u64).then_some(recorded)
+}
+
 fn write_json(points: &[SweepPoint]) {
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -102,12 +121,27 @@ fn write_json(points: &[SweepPoint]) {
         .collect();
     let json = format!(
         "{{\n  \"bench\": \"engine_throughput\",\n  \"circuit\": \"B/{DIVISOR}\",\n  \
-         \"patterns\": {PATTERNS},\n  \"datalogs\": {DATALOGS},\n  \"cores\": {cores},\n  \
+         \"patterns\": {PATTERNS},\n  \"datalogs\": {DATALOGS},\n  \"host_cores\": {cores},\n  \
          \"single_core\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
         cores == 1,
         results.join(",\n")
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
+    let force = std::env::var("ICD_BENCH_FORCE").is_ok_and(|v| v == "1");
+    if let Some(recorded) = would_clobber_wider_host(path, cores) {
+        if !force {
+            eprintln!(
+                "not overwriting {path}: existing results are from a {recorded}-core host, \
+                 this one has {cores} (set ICD_BENCH_FORCE=1 to overwrite)"
+            );
+            print!("{json}");
+            return;
+        }
+        eprintln!(
+            "ICD_BENCH_FORCE=1: overwriting {recorded}-core results in {path} \
+             from a {cores}-core host"
+        );
+    }
     match std::fs::write(path, &json) {
         Ok(()) => println!("wrote {path}"),
         Err(e) => eprintln!("could not write {path}: {e}"),

@@ -16,6 +16,7 @@ use icd_faultsim::Datalog;
 use icd_intercell::IntercellDiagnosis;
 use icd_netlist::GateId;
 
+use crate::cancel::CancelToken;
 use crate::pool::WorkerPool;
 
 /// Engine sizing.
@@ -143,13 +144,13 @@ impl BatchReport {
 }
 
 /// Immutable per-datalog artifacts shared by that datalog's suspect jobs.
-struct FrontShared {
-    datalog: Datalog,
-    inter: IntercellDiagnosis,
+pub(crate) struct FrontShared {
+    pub(crate) datalog: Datalog,
+    pub(crate) inter: IntercellDiagnosis,
 }
 
 /// What the front-end stage of one datalog produced.
-enum FrontOutput {
+pub(crate) enum FrontOutput {
     /// The report is already complete (test escape, or failing patterns
     /// without any analyzable suspect).
     Done(Box<FlowReport>),
@@ -176,20 +177,20 @@ enum Message {
 }
 
 /// In-flight merge state of one datalog.
-struct Pending {
-    sanitize: icd_faultsim::SanitizeLog,
-    failing_patterns: usize,
-    unexplained: Vec<usize>,
-    suspects: Vec<GateId>,
-    slots: Vec<Option<Result<GateAnalysis, (FlowStage, FlowError)>>>,
-    filled: usize,
+pub(crate) struct Pending {
+    pub(crate) sanitize: icd_faultsim::SanitizeLog,
+    pub(crate) failing_patterns: usize,
+    pub(crate) unexplained: Vec<usize>,
+    pub(crate) suspects: Vec<GateId>,
+    pub(crate) slots: Vec<Option<Result<GateAnalysis, (FlowStage, FlowError)>>>,
+    pub(crate) filled: usize,
 }
 
 impl Pending {
     /// Merges the filled slots in suspect order — the exact order the
     /// sequential staged flow records analyses and skips, so the merged
     /// report is byte-identical to the single-threaded one.
-    fn merge(self) -> FlowReport {
+    pub(crate) fn merge(self) -> FlowReport {
         let mut analyses = Vec::new();
         let mut skipped = Vec::new();
         for (gate, slot) in self.suspects.into_iter().zip(self.slots) {
@@ -215,7 +216,7 @@ impl Pending {
     }
 }
 
-fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_owned()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -227,7 +228,7 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 
 /// The front half of the staged flow for one datalog: sanitation, escape
 /// check, inter-cell diagnosis, suspect selection. Runs on a worker.
-fn front_stage(
+pub(crate) fn front_stage(
     ctx: &ExperimentContext,
     good: &icd_faultsim::BitValues,
     datalog: &Datalog,
@@ -330,7 +331,37 @@ impl BatchEngine {
         datalogs: &[Datalog],
         collector: Option<&icd_obs::Collector>,
     ) -> Result<BatchReport, FlowError> {
+        self.diagnose_batch_cancellable(ctx, datalogs, collector, &CancelToken::new())
+    }
+
+    /// [`diagnose_batch_observed`](BatchEngine::diagnose_batch_observed)
+    /// under a cooperative [`CancelToken`]: the token is checked at every
+    /// job boundary (before each datalog's front stage and before each
+    /// per-suspect analysis). Once it reports cancelled — explicitly or
+    /// through its deadline — not-yet-started front jobs resolve to
+    /// [`JobError::Flow`]`(`[`FlowError::Cancelled`]`)`, not-yet-started
+    /// suspect jobs become [`SkippedGate`]s carrying
+    /// [`FlowError::Cancelled`], and already-running work finishes
+    /// normally. A cancelled job never poisons the pool: the merge loop
+    /// still drains every outstanding result, so the returned report
+    /// accounts for every datalog.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::Cancelled`] when the token is already
+    /// cancelled before the batch-wide good-machine simulation starts;
+    /// otherwise as [`diagnose_batch`](BatchEngine::diagnose_batch).
+    pub fn diagnose_batch_cancellable(
+        &self,
+        ctx: &Arc<ExperimentContext>,
+        datalogs: &[Datalog],
+        collector: Option<&icd_obs::Collector>,
+        token: &CancelToken,
+    ) -> Result<BatchReport, FlowError> {
         let _recording = collector.map(icd_obs::Collector::install);
+        if token.is_cancelled() {
+            return Err(FlowError::Cancelled);
+        }
         let t0 = Instant::now();
         let good = {
             let _s = icd_obs::stage("batch.good_simulate");
@@ -348,13 +379,17 @@ impl BatchEngine {
             let good = Arc::clone(&good);
             let job_tx = tx.clone();
             let datalog = datalog.clone();
+            let token = token.clone();
             pool.submit(Box::new(move || {
                 let _span = icd_obs::span_with("batch.front", &[("datalog", index as u64)]);
-                let output =
+                let output = if token.is_cancelled() {
+                    Err(JobError::Flow(FlowError::Cancelled))
+                } else {
                     match catch_unwind(AssertUnwindSafe(|| front_stage(&ctx, &good, &datalog))) {
                         Ok(r) => r,
                         Err(p) => Err(JobError::Panicked(panic_message(p))),
-                    };
+                    }
+                };
                 let _ = job_tx.send(Message::Front { index, output });
             }));
         }
@@ -410,24 +445,32 @@ impl BatchEngine {
                             let cache = Arc::clone(&cache);
                             let shared = Arc::clone(&shared);
                             let job_tx = tx.clone();
+                            let token = token.clone();
                             pool.submit(Box::new(move || {
                                 let _span = icd_obs::span_with(
                                     "batch.suspect",
                                     &[("datalog", index as u64), ("slot", slot as u64)],
                                 );
-                                let result = catch_unwind(AssertUnwindSafe(|| {
-                                    analyze_suspect(
-                                        &ctx,
-                                        &shared.datalog,
-                                        &shared.inter,
-                                        &good,
-                                        gate,
-                                        Some(&cache),
-                                    )
-                                }))
-                                .unwrap_or_else(|p| {
-                                    Err((FlowStage::Worker, FlowError::Panicked(panic_message(p))))
-                                });
+                                let result = if token.is_cancelled() {
+                                    Err((FlowStage::Worker, FlowError::Cancelled))
+                                } else {
+                                    catch_unwind(AssertUnwindSafe(|| {
+                                        analyze_suspect(
+                                            &ctx,
+                                            &shared.datalog,
+                                            &shared.inter,
+                                            &good,
+                                            gate,
+                                            Some(&cache),
+                                        )
+                                    }))
+                                    .unwrap_or_else(|p| {
+                                        Err((
+                                            FlowStage::Worker,
+                                            FlowError::Panicked(panic_message(p)),
+                                        ))
+                                    })
+                                };
                                 let _ = job_tx.send(Message::Suspect {
                                     index,
                                     slot,

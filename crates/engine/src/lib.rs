@@ -24,6 +24,16 @@
 //! * **deterministic merging** — results are placed by (datalog index,
 //!   suspect slot), so the merged [`BatchReport`] is byte-identical for
 //!   any worker count and any scheduling order;
+//! * **cooperative cancellation** — a [`CancelToken`] (explicit or
+//!   deadline-armed) threads through
+//!   [`BatchEngine::diagnose_batch_cancellable`] and
+//!   [`DiagnosisService::diagnose_streamed`]; it is checked at job
+//!   boundaries only, so cancelled work surfaces as
+//!   [`FlowError::Cancelled`] results and never poisons the pool;
+//! * **a long-lived streaming form** — [`DiagnosisService`] keeps one
+//!   pool, good simulation and cache alive across many requests and
+//!   streams per-suspect completions incrementally (the execution core
+//!   of the `icd-server` daemon);
 //! * **observability** — [`BatchEngine::diagnose_batch_observed`]
 //!   attaches an [`icd_obs`] [`Collector`] to a run: per-job spans keyed
 //!   by merge identity, per-stage latency histograms, cache/set-cover
@@ -55,12 +65,16 @@
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::panic))]
 
 mod batch;
+mod cancel;
 mod engine;
 mod pool;
+mod service;
 
 pub use batch::{synthesize_batch, BatchConfig};
+pub use cancel::CancelToken;
 pub use engine::{BatchEngine, BatchOutcome, BatchReport, BatchStats, EngineConfig, JobError};
 pub use pool::{Job, PoolMetrics, WorkerPool};
+pub use service::{summarize_report, DiagnosisService, ServiceError, StreamEvent};
 
 // Convenience re-exports: everything a caller needs to build a batch.
 pub use icd_bench::flow::{ExperimentContext, FlowError, FlowReport, FlowStage, SkippedGate};

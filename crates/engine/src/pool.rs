@@ -24,7 +24,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// A unit of work. Jobs communicate results themselves (typically via an
 /// `mpsc::Sender` captured by the closure).
@@ -34,6 +34,8 @@ struct PoolState {
     queues: Vec<VecDeque<Job>>,
     /// Jobs currently waiting in any queue (not yet picked up).
     queued: usize,
+    /// Jobs a worker is currently executing.
+    active: usize,
     /// Round-robin cursor for submissions.
     next: usize,
     shutdown: bool,
@@ -45,6 +47,8 @@ struct PoolShared {
     work: Condvar,
     /// Signalled when a worker takes a job (queue space freed).
     space: Condvar,
+    /// Signalled when the pool becomes idle (no queued or running job).
+    idle: Condvar,
     capacity: usize,
     panics: AtomicUsize,
     /// Jobs run to completion (panicked or not).
@@ -103,11 +107,13 @@ impl WorkerPool {
             state: Mutex::new(PoolState {
                 queues: (0..workers).map(|_| VecDeque::new()).collect(),
                 queued: 0,
+                active: 0,
                 next: 0,
                 shutdown: false,
             }),
             work: Condvar::new(),
             space: Condvar::new(),
+            idle: Condvar::new(),
             capacity: queue_capacity.max(1),
             panics: AtomicUsize::new(0),
             executed: AtomicU64::new(0),
@@ -138,6 +144,39 @@ impl WorkerPool {
                 Err(poisoned) => poisoned.into_inner(),
             };
         }
+        self.enqueue(state, job);
+    }
+
+    /// Tries to enqueue a job, waiting at most `wait` for queue space.
+    ///
+    /// Returns the job back (`Err`) when the queue stayed full for the
+    /// whole wait or the pool is shutting down — the caller owns the
+    /// retry policy (the diagnosis server retries with capped backoff
+    /// and eventually degrades the response instead of blocking a
+    /// connection thread forever).
+    pub fn try_submit(&self, job: Job, wait: Duration) -> Result<(), Job> {
+        let deadline = Instant::now() + wait;
+        let mut state = lock(&self.shared);
+        loop {
+            if state.shutdown {
+                return Err(job);
+            }
+            if state.queued < self.shared.capacity {
+                self.enqueue(state, job);
+                return Ok(());
+            }
+            let now = Instant::now();
+            let Some(left) = deadline.checked_duration_since(now) else {
+                return Err(job);
+            };
+            state = match self.shared.space.wait_timeout(state, left) {
+                Ok((g, _)) => g,
+                Err(poisoned) => poisoned.into_inner().0,
+            };
+        }
+    }
+
+    fn enqueue(&self, mut state: MutexGuard<'_, PoolState>, job: Job) {
         let slot = state.next % state.queues.len();
         state.next = state.next.wrapping_add(1);
         state.queues[slot].push_back(job);
@@ -152,6 +191,42 @@ impl WorkerPool {
     /// Number of worker threads.
     pub fn workers(&self) -> usize {
         self.handles.len()
+    }
+
+    /// Jobs not yet finished: waiting in a queue or running on a worker.
+    pub fn pending_jobs(&self) -> usize {
+        let state = lock(&self.shared);
+        state.queued + state.active
+    }
+
+    /// Blocks until no job is queued or running, or `timeout` elapses.
+    /// Returns whether the pool is idle — the drain primitive of a
+    /// graceful shutdown (stop submitting, then `wait_idle` under the
+    /// drain deadline).
+    pub fn wait_idle(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut state = lock(&self.shared);
+        loop {
+            if state.queued == 0 && state.active == 0 {
+                return true;
+            }
+            let now = Instant::now();
+            let Some(left) = deadline.checked_duration_since(now) else {
+                return false;
+            };
+            state = match self.shared.idle.wait_timeout(state, left) {
+                Ok((g, _)) => g,
+                Err(poisoned) => poisoned.into_inner().0,
+            };
+        }
+    }
+
+    /// Shuts the pool down in place: queued jobs still run, new
+    /// `try_submit`s are refused, workers are joined. Idempotent — a
+    /// second call (or the eventual drop) finds no workers left and
+    /// returns immediately.
+    pub fn shutdown(&mut self) {
+        self.join_workers();
     }
 
     /// Jobs whose panic the pool-level net had to contain.
@@ -238,6 +313,7 @@ fn worker_loop(me: usize, shared: &PoolShared) {
                     if stolen {
                         shared.steals.fetch_add(1, Ordering::Relaxed);
                     }
+                    state.active += 1;
                     break job;
                 }
                 if state.shutdown {
@@ -257,6 +333,14 @@ fn worker_loop(me: usize, shared: &PoolShared) {
         }
         shared.busy_ns[me].fetch_add(busy_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
         shared.executed.fetch_add(1, Ordering::Relaxed);
+        {
+            let mut state = lock(shared);
+            state.active -= 1;
+            if state.active == 0 && state.queued == 0 {
+                drop(state);
+                shared.idle.notify_all();
+            }
+        }
     }
 }
 
@@ -360,6 +444,112 @@ mod tests {
         assert!(m.queue_high_water <= 16);
         assert_eq!(m.busy_us.len(), 2);
         assert_eq!(m.idle_us.len(), 2);
+    }
+
+    #[test]
+    fn dropping_pool_with_queued_jobs_still_runs_them() {
+        // One slow worker, many queued jobs; the drop must finish every
+        // queued job before joining (queued work is never lost).
+        let pool = WorkerPool::new(1, 64);
+        let (tx, rx) = mpsc::channel();
+        for i in 0..30usize {
+            let tx = tx.clone();
+            pool.submit(Box::new(move || {
+                std::thread::sleep(Duration::from_millis(1));
+                tx.send(i).unwrap();
+            }));
+        }
+        drop(pool);
+        drop(tx);
+        let mut seen: Vec<usize> = rx.iter().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..30).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn wait_idle_drains_with_a_panicked_job_in_flight() {
+        let pool = WorkerPool::new(2, 16);
+        let (tx, rx) = mpsc::channel();
+        pool.submit(Box::new(|| {
+            std::thread::sleep(Duration::from_millis(5));
+            panic!("in-flight poison");
+        }));
+        for i in 0..8usize {
+            let tx = tx.clone();
+            pool.submit(Box::new(move || {
+                tx.send(i).unwrap();
+            }));
+        }
+        assert!(
+            pool.wait_idle(Duration::from_secs(10)),
+            "drain must complete despite the panicked job"
+        );
+        assert_eq!(pool.pending_jobs(), 0);
+        assert_eq!(pool.caught_panics(), 1);
+        drop(tx);
+        assert_eq!(rx.iter().count(), 8);
+        // The pool still accepts and runs work after the drain.
+        let (tx2, rx2) = mpsc::channel();
+        pool.submit(Box::new(move || {
+            tx2.send(99usize).unwrap();
+        }));
+        assert_eq!(rx2.recv_timeout(Duration::from_secs(5)), Ok(99));
+    }
+
+    #[test]
+    fn double_shutdown_is_idempotent() {
+        let mut pool = WorkerPool::new(2, 8);
+        let (tx, rx) = mpsc::channel();
+        for i in 0..6usize {
+            let tx = tx.clone();
+            pool.submit(Box::new(move || {
+                tx.send(i).unwrap();
+            }));
+        }
+        drop(tx);
+        pool.shutdown();
+        pool.shutdown(); // second explicit shutdown: no-op
+        assert_eq!(rx.iter().count(), 6);
+        // try_submit after shutdown is refused, not queued forever.
+        assert!(pool
+            .try_submit(Box::new(|| {}), Duration::from_millis(10))
+            .is_err());
+        let m = pool.into_metrics(); // third join via into_metrics + drop
+        assert_eq!(m.jobs_executed, 6);
+    }
+
+    #[test]
+    fn try_submit_times_out_on_a_full_queue_and_returns_the_job() {
+        let pool = WorkerPool::new(1, 1);
+        let (gate_tx, gate_rx) = mpsc::channel::<()>();
+        let gate_rx = Mutex::new(gate_rx);
+        pool.submit(Box::new(move || {
+            let _ = match gate_rx.lock() {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            }
+            .recv();
+        }));
+        // Worker busy on the gate; fill the single queue slot.
+        pool.submit(Box::new(|| {}));
+        let rejected = pool.try_submit(Box::new(|| {}), Duration::from_millis(50));
+        assert!(rejected.is_err(), "full queue must bounce the job");
+        gate_tx.send(()).unwrap();
+        // Space frees up: the bounced job can be resubmitted (the retry
+        // path of the server).
+        let job = rejected.unwrap_err();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let mut job = Some(job);
+        while let Some(j) = job.take() {
+            match pool.try_submit(j, Duration::from_millis(100)) {
+                Ok(()) => break,
+                Err(j) => {
+                    assert!(Instant::now() < deadline, "resubmission never succeeded");
+                    job = Some(j);
+                }
+            }
+        }
+        assert!(pool.wait_idle(Duration::from_secs(10)));
     }
 
     #[test]

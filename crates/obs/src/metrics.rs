@@ -123,6 +123,18 @@ pub struct MetricsSnapshot {
 }
 
 impl MetricsSnapshot {
+    /// The value of a named counter, `None` when it was never recorded.
+    /// Convenience for callers (CLI summaries, server health endpoints,
+    /// tests) that surface a handful of counters without walking the map.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.get(name).map(|&(v, _)| v)
+    }
+
+    /// The value of a named gauge, `None` when it was never recorded.
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        self.gauges.get(name).map(|&(v, _)| v)
+    }
+
     /// The scheduling-independent core of the snapshot: every
     /// [`Stability::Timing`] counter/gauge value is zeroed, histogram
     /// distributions (sum, buckets) are zeroed, and histogram counts

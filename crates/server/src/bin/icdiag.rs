@@ -1,8 +1,13 @@
-//! `icdiag` — batch volume-diagnosis driver.
+//! `icdiag` — batch volume-diagnosis driver and daemon front-end.
 //!
 //! ```text
 //! icdiag gen <dir> [--devices N] [--seed S] [--divisor D] [--patterns P]
 //! icdiag run <dir> [--workers N] [--quiet] [--trace-out FILE] [--metrics-out FILE]
+//! icdiag serve <dir> [--addr HOST:PORT] [--workers N] [--queue N] [--deadline-ms N]
+//!                    [--idle-ms N] [--drain-ms N] [--chaos-panic-rate F] [--chaos-seed S]
+//!                    [--metrics-out FILE]
+//! icdiag submit <addr> <file.log> [--deadline-ms N] [--timeout-ms N]
+//! icdiag shutdown <addr>
 //! icdiag check-metrics <file>
 //! ```
 //!
@@ -12,42 +17,60 @@
 //!
 //! `run` diagnoses such a directory with the parallel batch engine and
 //! prints one summary line per datalog, an aggregate throughput line
-//! and (unless `--quiet`) a per-stage latency breakdown. Worker count
-//! comes from `--workers`, else `ICD_WORKERS`, else the machine's
-//! parallelism. `--trace-out` / `--metrics-out` export the run's span
-//! tree and metrics snapshot as JSON.
+//! and (unless `--quiet`) a per-stage latency breakdown. Unreadable or
+//! unparseable datalogs are skipped and reported (counted in metrics as
+//! `run.inputs_skipped`); the run only fails when *no* datalog loads.
+//! Worker count comes from `--workers`, else `ICD_WORKERS`, else the
+//! machine's parallelism. `--trace-out` / `--metrics-out` export the
+//! run's span tree and metrics snapshot as JSON.
+//!
+//! `serve` hosts the same directory's context as a streaming TCP daemon
+//! (see `icd-server`); `submit` sends one datalog to a daemon and prints
+//! the identical summary line `run` would; `shutdown` asks a daemon to
+//! drain and exit.
 //!
 //! `check-metrics` validates a `--metrics-out` file offline (the CI
 //! smoke check; no `jq` in the build environment).
 //!
 //! Exit codes: `0` clean diagnosis; `1` operational error; `2` usage
-//! error; `3` degraded diagnosis (some datalog failed outright or some
-//! suspect was skipped for a reason other than missing local failures).
+//! error; `3` degraded diagnosis (some datalog failed outright, some
+//! suspect was skipped for a reason other than missing local failures,
+//! a submitted request came back degraded, or a serve drain was forced).
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::sync::Arc;
+use std::time::Duration;
 
 use icd_bench::flow::{pattern_set_for, ExperimentContext, FlowError};
 use icd_cells::CellLibrary;
-use icd_engine::{synthesize_batch, BatchConfig, BatchEngine, Collector, EngineConfig};
+use icd_engine::{
+    summarize_report, synthesize_batch, BatchConfig, BatchEngine, Collector, EngineConfig,
+};
 use icd_faultsim::{datalog_text, Datalog};
 use icd_netlist::generator;
 use icd_obs::json::Value;
+use icd_server::{ChaosPanics, Client, ResponseStatus, Server, ServerConfig};
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  \
          icdiag gen <dir> [--devices N] [--seed S] [--divisor D] [--patterns P]\n  \
          icdiag run <dir> [--workers N] [--quiet] [--trace-out FILE] [--metrics-out FILE]\n  \
+         icdiag serve <dir> [--addr HOST:PORT] [--workers N] [--queue N] [--deadline-ms N]\n                     \
+         [--idle-ms N] [--drain-ms N] [--chaos-panic-rate F] [--chaos-seed S]\n                     \
+         [--metrics-out FILE]\n  \
+         icdiag submit <addr> <file.log> [--deadline-ms N] [--timeout-ms N]\n  \
+         icdiag shutdown <addr>\n  \
          icdiag check-metrics <file>\n\
          \n\
          exit codes:\n  \
          0  clean diagnosis\n  \
          1  operational error (unreadable input, malformed datalog, ...)\n  \
          2  usage error\n  \
-         3  degraded diagnosis: a datalog failed (panic or flow error) or a suspect\n     \
-         was skipped for a reason other than missing local failing patterns"
+         3  degraded diagnosis: a datalog failed (panic or flow error), a suspect\n     \
+         was skipped for a reason other than missing local failing patterns,\n     \
+         a submitted request was answered degraded, or a serve drain was forced"
     );
     ExitCode::from(2)
 }
@@ -60,22 +83,18 @@ fn main() -> ExitCode {
     match command.as_str() {
         "gen" => cmd_gen(&args[1..]),
         "run" => cmd_run(&args[1..]),
+        "serve" => cmd_serve(&args[1..]),
+        "submit" => cmd_submit(&args[1..]),
+        "shutdown" => cmd_shutdown(&args[1..]),
         "check-metrics" => cmd_check_metrics(&args[1..]),
         _ => usage(),
     }
 }
 
-/// Parses `--flag value` pairs after the positional directory; names in
-/// `boolean` take no value and record `"true"`.
-fn parse_flags(
-    args: &[String],
-    boolean: &[&str],
-) -> Result<(PathBuf, Vec<(String, String)>), String> {
+/// Parses `--flag value` pairs; names in `boolean` take no value and
+/// record `"true"`.
+fn parse_flag_pairs(args: &[String], boolean: &[&str]) -> Result<Vec<(String, String)>, String> {
     let mut iter = args.iter();
-    let dir = iter
-        .next()
-        .ok_or_else(|| "missing <dir>".to_owned())?
-        .clone();
     let mut flags = Vec::new();
     while let Some(flag) = iter.next() {
         let name = flag
@@ -90,7 +109,19 @@ fn parse_flags(
             .ok_or_else(|| format!("--{name} needs a value"))?;
         flags.push((name.to_owned(), value.clone()));
     }
-    Ok((PathBuf::from(dir), flags))
+    Ok(flags)
+}
+
+/// Parses one positional path followed by `--flag value` pairs.
+fn parse_flags(
+    args: &[String],
+    boolean: &[&str],
+) -> Result<(PathBuf, Vec<(String, String)>), String> {
+    let dir = args
+        .first()
+        .ok_or_else(|| "missing <dir>".to_owned())?
+        .clone();
+    Ok((PathBuf::from(dir), parse_flag_pairs(&args[1..], boolean)?))
 }
 
 fn flag<T: std::str::FromStr>(
@@ -163,16 +194,6 @@ fn gen(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_run(args: &[String]) -> ExitCode {
-    match run(args) {
-        Ok(code) => code,
-        Err(e) => {
-            eprintln!("icdiag run: {e}");
-            ExitCode::FAILURE
-        }
-    }
-}
-
 fn read_manifest(dir: &Path) -> Result<(usize, u64), String> {
     let path = dir.join("manifest.txt");
     let text =
@@ -198,6 +219,37 @@ fn read_manifest(dir: &Path) -> Result<(usize, u64), String> {
     }
 }
 
+/// Rebuilds the experiment context a `gen` directory describes: parse
+/// the netlist against the standard library, regenerate the recorded
+/// test set. Shared by `run` and `serve`.
+fn load_context(dir: &Path) -> Result<Arc<ExperimentContext>, String> {
+    let cells = CellLibrary::standard();
+    let logic = cells.logic_library();
+    let netlist_path = dir.join("netlist.txt");
+    let netlist_text = std::fs::read_to_string(&netlist_path)
+        .map_err(|e| format!("reading {}: {e}", netlist_path.display()))?;
+    let circuit = icd_netlist::format::parse(&netlist_text, &logic)
+        .map_err(|e| format!("parsing {}: {e}", netlist_path.display()))?;
+    let (num_patterns, pattern_seed) = read_manifest(dir)?;
+    let patterns = pattern_set_for(&circuit, num_patterns, pattern_seed);
+    Ok(Arc::new(ExperimentContext {
+        cells,
+        logic,
+        circuit,
+        patterns,
+    }))
+}
+
+fn cmd_run(args: &[String]) -> ExitCode {
+    match run(args) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("icdiag run: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn run(args: &[String]) -> Result<ExitCode, String> {
     let (dir, flags) = parse_flags(args, &["quiet"])?;
     let workers: usize = flag(&flags, "workers", 0)?;
@@ -211,23 +263,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     let trace_out = out_path("trace-out");
     let metrics_out = out_path("metrics-out");
 
-    // Rebuild the context: parse the netlist against the standard
-    // library, regenerate the recorded test set.
-    let cells = CellLibrary::standard();
-    let logic = cells.logic_library();
-    let netlist_path = dir.join("netlist.txt");
-    let netlist_text = std::fs::read_to_string(&netlist_path)
-        .map_err(|e| format!("reading {}: {e}", netlist_path.display()))?;
-    let circuit = icd_netlist::format::parse(&netlist_text, &logic)
-        .map_err(|e| format!("parsing {}: {e}", netlist_path.display()))?;
-    let (num_patterns, pattern_seed) = read_manifest(&dir)?;
-    let patterns = pattern_set_for(&circuit, num_patterns, pattern_seed);
-    let ctx = Arc::new(ExperimentContext {
-        cells,
-        logic,
-        circuit,
-        patterns,
-    });
+    let ctx = load_context(&dir)?;
 
     // Every *.log in the directory, in name order (determinism).
     let mut log_files: Vec<PathBuf> = std::fs::read_dir(&dir)
@@ -239,11 +275,31 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     if log_files.is_empty() {
         return Err(format!("no *.log datalogs in {}", dir.display()));
     }
+    // A bad datalog is the tester's fault, not the batch's: skip it,
+    // say so, keep diagnosing the rest. Only an empty batch is fatal.
     let mut datalogs: Vec<Datalog> = Vec::with_capacity(log_files.len());
-    for path in &log_files {
-        let text = std::fs::read_to_string(path)
-            .map_err(|e| format!("reading {}: {e}", path.display()))?;
-        datalogs.push(datalog_text::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?);
+    let mut kept_files: Vec<PathBuf> = Vec::with_capacity(log_files.len());
+    let mut inputs_skipped = 0u64;
+    for path in log_files {
+        let loaded = std::fs::read_to_string(&path)
+            .map_err(|e| format!("reading: {e}"))
+            .and_then(|text| datalog_text::parse(&text).map_err(|e| e.to_string()));
+        match loaded {
+            Ok(datalog) => {
+                datalogs.push(datalog);
+                kept_files.push(path);
+            }
+            Err(why) => {
+                inputs_skipped += 1;
+                eprintln!("icdiag run: skipping {}: {why}", path.display());
+            }
+        }
+    }
+    if datalogs.is_empty() {
+        return Err(format!(
+            "all {inputs_skipped} datalogs in {} were unreadable or unparseable",
+            dir.display()
+        ));
     }
 
     let config = if workers > 0 {
@@ -253,6 +309,14 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     };
     let engine = BatchEngine::new(config);
     let collector = Collector::new();
+    if inputs_skipped > 0 {
+        let _guard = collector.install();
+        icd_obs::counter(
+            "run.inputs_skipped",
+            inputs_skipped,
+            icd_obs::Stability::Stable,
+        );
+    }
     let batch = engine
         .diagnose_batch_observed(&ctx, &datalogs, Some(&collector))
         .map_err(|e| format!("batch diagnosis: {e}"))?;
@@ -276,50 +340,26 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         if quiet {
             continue;
         }
-        let name = log_files[outcome.index]
+        let name = kept_files[outcome.index]
             .file_name()
             .map(|n| n.to_string_lossy().into_owned())
             .unwrap_or_else(|| format!("#{}", outcome.index));
         match &outcome.report {
-            Ok(report) if report.is_escape() => {
-                println!("{name}: PASS (test escape)");
-            }
-            Ok(report) => {
-                let top = report
-                    .best()
-                    .map(|a| {
-                        format!(
-                            "g{}:{} ({} candidates)",
-                            a.gate.index(),
-                            ctx.circuit.gate_type(a.gate).name(),
-                            a.ranked.candidates.len()
-                        )
-                    })
-                    .unwrap_or_else(|| "none".to_owned());
-                println!(
-                    "{name}: {} failing patterns, {} analyzed, {} skipped, {} unexplained, \
-                     top suspect {top}{}",
-                    report.failing_patterns,
-                    report.analyses.len(),
-                    report.skipped.len(),
-                    report.unexplained.len(),
-                    if report.is_degraded() {
-                        " [degraded]"
-                    } else {
-                        ""
-                    },
-                );
-            }
+            // The canonical shared rendering: the daemon's Report frames
+            // carry these exact bytes for the same datalog.
+            Ok(report) => println!("{name}: {}", summarize_report(&ctx, report)),
             Err(e) => println!("{name}: FAILED ({e})"),
         }
     }
 
+    let snapshot = collector.snapshot();
     let stats = &batch.stats;
     let seconds = stats.elapsed.as_secs_f64().max(1e-9);
     let applied = (stats.datalogs * ctx.patterns.len()) as f64;
     println!(
         "batch: {} datalogs, {} suspect jobs, {} workers, {:.2}s \
-         ({:.1} datalogs/s, {:.1} patterns/s, table cache {:.0}% hit, cpt cache {:.0}% hit)",
+         ({:.1} datalogs/s, {:.1} patterns/s, table cache {:.0}% hit, cpt cache {:.0}% hit, \
+         {} sim faults dropped, {} cones filtered, {} inputs skipped)",
         stats.datalogs,
         stats.suspect_jobs,
         stats.workers,
@@ -328,9 +368,11 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         applied / seconds,
         stats.table_cache.hit_rate() * 100.0,
         stats.cpt_cache.hit_rate() * 100.0,
+        snapshot.counter("eventsim.faults_dropped").unwrap_or(0),
+        snapshot.counter("intercell.cone_filtered").unwrap_or(0),
+        inputs_skipped,
     );
 
-    let snapshot = collector.snapshot();
     if !quiet {
         let stages: Vec<_> = snapshot
             .histograms
@@ -363,6 +405,130 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     } else {
         ExitCode::SUCCESS
     })
+}
+
+fn cmd_serve(args: &[String]) -> ExitCode {
+    match serve(args) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("icdiag serve: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn serve(args: &[String]) -> Result<ExitCode, String> {
+    let (dir, flags) = parse_flags(args, &[])?;
+    let addr: String = flag(&flags, "addr", "127.0.0.1:0".to_owned())?;
+    let workers: usize = flag(&flags, "workers", 0)?;
+    let queue: usize = flag(&flags, "queue", 64)?;
+    let deadline_ms: u64 = flag(&flags, "deadline-ms", 30_000)?;
+    let idle_ms: u64 = flag(&flags, "idle-ms", 30_000)?;
+    let drain_ms: u64 = flag(&flags, "drain-ms", 10_000)?;
+    let chaos_rate: f64 = flag(&flags, "chaos-panic-rate", 0.0)?;
+    let chaos_seed: u64 = flag(&flags, "chaos-seed", 0xc4a05)?;
+    let metrics_out = flags
+        .iter()
+        .find(|(n, _)| n == "metrics-out")
+        .map(|(_, v)| PathBuf::from(v));
+
+    let ctx = load_context(&dir)?;
+    let engine_defaults = if workers > 0 {
+        EngineConfig::with_workers(workers)
+    } else {
+        EngineConfig::from_env()
+    };
+    let config = ServerConfig {
+        workers: engine_defaults.workers,
+        queue_capacity: queue,
+        default_deadline: Duration::from_millis(deadline_ms),
+        idle_timeout: Duration::from_millis(idle_ms),
+        drain_deadline: Duration::from_millis(drain_ms),
+        chaos_panics: (chaos_rate > 0.0).then_some(ChaosPanics {
+            rate: chaos_rate,
+            seed: chaos_seed,
+        }),
+        ..ServerConfig::default()
+    };
+
+    let collector = Collector::new();
+    let _guard = collector.install();
+    let server = Server::bind(&addr, ctx, config).map_err(|e| format!("binding {addr}: {e}"))?;
+    let bound = server
+        .local_addr()
+        .map_err(|e| format!("local_addr: {e}"))?;
+    // The CI smoke step parses this exact line for the bound port.
+    println!("icdiag serve: listening on {bound}");
+    let outcome = server.run().map_err(|e| format!("serving: {e}"))?;
+    println!("icdiag serve: drained ({outcome:?})");
+    if let Some(path) = metrics_out {
+        std::fs::write(&path, collector.snapshot().to_json())
+            .map_err(|e| format!("writing {}: {e}", path.display()))?;
+    }
+    Ok(match outcome {
+        icd_server::DrainOutcome::Clean => ExitCode::SUCCESS,
+        icd_server::DrainOutcome::Forced => ExitCode::from(3),
+    })
+}
+
+fn cmd_submit(args: &[String]) -> ExitCode {
+    match submit(args) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("icdiag submit: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn submit(args: &[String]) -> Result<ExitCode, String> {
+    let [addr, file, rest @ ..] = args else {
+        return Err(
+            "usage: icdiag submit <addr> <file.log> [--deadline-ms N] [--timeout-ms N]".to_owned(),
+        );
+    };
+    let flags = parse_flag_pairs(rest, &[])?;
+    let deadline_ms: u32 = flag(&flags, "deadline-ms", 0)?;
+    let timeout_ms: u64 = flag(&flags, "timeout-ms", 60_000)?;
+
+    let text = std::fs::read_to_string(file).map_err(|e| format!("reading {file}: {e}"))?;
+    let mut client = Client::connect(addr.as_str(), Duration::from_millis(timeout_ms))
+        .map_err(|e| format!("connecting {addr}: {e}"))?;
+    let response = client
+        .submit(&text, deadline_ms)
+        .map_err(|e| format!("submitting {file}: {e}"))?;
+    let name = Path::new(file)
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| file.clone());
+    println!("{name}: {}", response.summary);
+    Ok(match response.status {
+        ResponseStatus::Ok => ExitCode::SUCCESS,
+        ResponseStatus::Degraded => ExitCode::from(3),
+    })
+}
+
+fn cmd_shutdown(args: &[String]) -> ExitCode {
+    match shutdown(args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("icdiag shutdown: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn shutdown(args: &[String]) -> Result<(), String> {
+    let Some(addr) = args.first() else {
+        return Err("usage: icdiag shutdown <addr>".to_owned());
+    };
+    let mut client = Client::connect(addr.as_str(), Duration::from_secs(10))
+        .map_err(|e| format!("connecting {addr}: {e}"))?;
+    client
+        .shutdown_server()
+        .map_err(|e| format!("shutting down {addr}: {e}"))?;
+    println!("icdiag shutdown: server draining");
+    Ok(())
 }
 
 fn cmd_check_metrics(args: &[String]) -> ExitCode {

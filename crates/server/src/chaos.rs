@@ -1,0 +1,219 @@
+//! Seedable fault injection for the daemon — the network-layer sibling
+//! of [`icd_faultsim::noise`]'s datalog corruption.
+//!
+//! Two halves:
+//!
+//! * [`ChaosPanics`] injects *server-side* worker panics through the
+//!   [`DiagnosisService`](icd_engine::DiagnosisService) job hook,
+//!   exercising panic containment, the retry loop and degraded
+//!   responses;
+//! * [`ChaosClient`] drives *client-side* protocol abuse — corrupted
+//!   frame bytes, connections dropped mid-frame, slow-loris writes,
+//!   stalled sockets — against a live server, so a soak test can assert
+//!   the daemon survives all of it while clean requests stay
+//!   byte-identical.
+//!
+//! Everything draws from the same SplitMix64 generator
+//! ([`icd_faultsim::NoiseRng`]), so one seed reproduces one storm.
+
+use std::io::Write;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use icd_faultsim::NoiseRng;
+
+use crate::frame::{self, Frame, FrameType};
+
+/// Seeded worker-panic injection: every front/suspect job panics with
+/// probability `rate`, drawn per execution — so a retried request
+/// usually survives, which is exactly the transient shape the retry
+/// loop exists for.
+#[derive(Debug, Clone)]
+pub struct ChaosPanics {
+    /// Per-job panic probability in `[0, 1]`.
+    pub rate: f64,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl ChaosPanics {
+    /// Builds the job hook to install with
+    /// [`DiagnosisService::with_job_hook`](icd_engine::DiagnosisService::with_job_hook).
+    pub fn hook(&self) -> Arc<dyn Fn() + Send + Sync> {
+        let rng = Mutex::new(NoiseRng::new(self.seed));
+        let rate = self.rate;
+        Arc::new(move || {
+            let inject = match rng.lock() {
+                Ok(mut rng) => rng.chance(rate),
+                // A poisoned mutex means a previous injection panicked
+                // while holding it — never happens (chance() can't
+                // panic), but never inject on that path.
+                Err(_) => false,
+            };
+            if inject {
+                // Panicking is this hook's entire job: it emulates a
+                // worker dying mid-computation.
+                #[allow(clippy::panic)]
+                {
+                    panic!("chaos: injected worker panic");
+                }
+            }
+        })
+    }
+}
+
+/// One flavor of client-side protocol abuse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClientFault {
+    /// XOR a handful of bytes somewhere in the encoded frame.
+    CorruptBytes,
+    /// Write only a prefix of the frame, then close the socket.
+    TruncateAndDrop,
+    /// Write the frame in tiny chunks with a delay between each — the
+    /// request is valid, just slow (must still be answered).
+    SlowLoris {
+        /// Pause between chunks.
+        delay_ms: u64,
+    },
+    /// Write half a header and then go silent without closing, leaving
+    /// the server to enforce its idle budget.
+    Stall,
+}
+
+/// A fault-injecting protocol driver aimed at one server address.
+pub struct ChaosClient {
+    addr: std::net::SocketAddr,
+    rng: NoiseRng,
+}
+
+impl ChaosClient {
+    /// Targets `addr` with a seeded fault stream.
+    ///
+    /// # Errors
+    ///
+    /// Address resolution failures.
+    pub fn new<A: ToSocketAddrs>(addr: A, seed: u64) -> std::io::Result<ChaosClient> {
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidInput, "no address"))?;
+        Ok(ChaosClient {
+            addr,
+            rng: NoiseRng::new(seed),
+        })
+    }
+
+    /// Opens a fresh connection and applies `fault` to one encoded
+    /// request frame. Returns whether the write side completed (for
+    /// `SlowLoris`, the caller may then read the response off the
+    /// returned stream).
+    ///
+    /// # Errors
+    ///
+    /// Connection failures. Write errors after a server-side close are
+    /// expected chaos outcomes and reported as `Ok(None)`.
+    pub fn send_faulty_request(
+        &mut self,
+        datalog_text: &str,
+        fault: ClientFault,
+    ) -> std::io::Result<Option<TcpStream>> {
+        let stream = TcpStream::connect(self.addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_write_timeout(Some(Duration::from_secs(5)))?;
+        let request = Frame {
+            frame_type: FrameType::Request,
+            request_id: self.rng.next_u64(),
+            payload: frame::request_payload(0, datalog_text),
+        };
+        let mut bytes = frame::encode(&request);
+        self.apply(&mut stream.try_clone()?, &mut bytes, fault)
+    }
+
+    fn apply(
+        &mut self,
+        stream: &mut TcpStream,
+        bytes: &mut [u8],
+        fault: ClientFault,
+    ) -> std::io::Result<Option<TcpStream>> {
+        match fault {
+            ClientFault::CorruptBytes => {
+                let flips = 1 + self.rng.below(3);
+                for _ in 0..flips {
+                    let i = self.rng.below(bytes.len());
+                    bytes[i] ^= (1 + self.rng.below(255)) as u8;
+                }
+                // The server may rightfully slam the door mid-write on
+                // a desynchronized frame; that is a pass, not an error.
+                if stream
+                    .write_all(bytes)
+                    .and_then(|()| stream.flush())
+                    .is_err()
+                {
+                    return Ok(None);
+                }
+                Ok(Some(stream.try_clone()?))
+            }
+            ClientFault::TruncateAndDrop => {
+                let keep = self.rng.below(bytes.len().max(2) - 1).max(1);
+                let _ = stream.write_all(&bytes[..keep]);
+                let _ = stream.flush();
+                // Dropping the stream closes it mid-frame.
+                Ok(None)
+            }
+            ClientFault::SlowLoris { delay_ms } => {
+                for chunk in bytes.chunks(7) {
+                    if stream
+                        .write_all(chunk)
+                        .and_then(|()| stream.flush())
+                        .is_err()
+                    {
+                        return Ok(None);
+                    }
+                    std::thread::sleep(Duration::from_millis(delay_ms));
+                }
+                Ok(Some(stream.try_clone()?))
+            }
+            ClientFault::Stall => {
+                let _ = stream.write_all(&bytes[..frame::HEADER_LEN / 2]);
+                let _ = stream.flush();
+                // Leak the stream to the caller so it stays open and
+                // silent; the server's idle budget must reap it.
+                Ok(Some(stream.try_clone()?))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn panic_hook_is_quiet_at_rate_zero_and_fires_at_rate_one() {
+        let quiet = ChaosPanics { rate: 0.0, seed: 1 }.hook();
+        for _ in 0..64 {
+            quiet();
+        }
+        let loud = ChaosPanics { rate: 1.0, seed: 1 }.hook();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| loud()));
+        assert!(result.is_err(), "rate-1.0 hook must panic");
+    }
+
+    #[test]
+    fn panic_hook_rate_is_roughly_respected() {
+        let hook = ChaosPanics {
+            rate: 0.25,
+            seed: 42,
+        }
+        .hook();
+        let mut panics = 0u32;
+        for _ in 0..400 {
+            if std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| hook())).is_err() {
+                panics += 1;
+            }
+        }
+        // 400 draws at p=0.25: expect ~100; accept a wide seeded band.
+        assert!((50..=150).contains(&panics), "panics={panics}");
+    }
+}

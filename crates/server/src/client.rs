@@ -1,0 +1,301 @@
+//! A small blocking client for the diagnosis daemon — what `icdiag
+//! submit` and the test harnesses speak.
+
+use std::error::Error;
+use std::fmt;
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::frame::{self, ErrorCode, Frame, FrameType, ResponseStatus, DEFAULT_MAX_PAYLOAD};
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The transport or framing failed.
+    Frame(frame::FrameError),
+    /// The server answered with an `Error` frame.
+    Server {
+        /// The machine-readable code byte.
+        code: Option<ErrorCode>,
+        /// The human-readable message.
+        message: String,
+    },
+    /// The server closed (or said goodbye) before answering.
+    Closed,
+    /// The server sent a response that makes no sense here (wrong
+    /// request id, malformed report payload).
+    UnexpectedResponse(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Frame(e) => write!(f, "{e}"),
+            ClientError::Server { code, message } => {
+                write!(f, "server error ({code:?}): {message}")
+            }
+            ClientError::Closed => write!(f, "server closed the connection before answering"),
+            ClientError::UnexpectedResponse(m) => write!(f, "unexpected response: {m}"),
+        }
+    }
+}
+
+impl Error for ClientError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ClientError::Frame(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<frame::FrameError> for ClientError {
+    fn from(e: frame::FrameError) -> Self {
+        ClientError::Frame(e)
+    }
+}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Frame(frame::FrameError::Io(e))
+    }
+}
+
+/// The server's final answer to one submitted datalog.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Complete or degraded (mirrors `icdiag` exit semantics).
+    pub status: ResponseStatus,
+    /// The canonical summary line — byte-identical to the matching
+    /// `icdiag run` output line.
+    pub summary: String,
+    /// Gate indices from the streamed `Suspects` frame (if any).
+    pub suspects: Vec<u32>,
+    /// `(slot, gate, ok)` from each streamed `Progress` frame.
+    pub progress: Vec<(usize, u32, bool)>,
+}
+
+/// One blocking connection to a diagnosis daemon. Requests run
+/// sequentially; the connection is reusable across requests.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connects with a socket read timeout generous enough for a full
+    /// diagnosis (pass the server's deadline plus slack).
+    ///
+    /// # Errors
+    ///
+    /// Connection/I-O failures.
+    pub fn connect<A: ToSocketAddrs>(addr: A, io_timeout: Duration) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(io_timeout))?;
+        stream.set_write_timeout(Some(io_timeout))?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            reader,
+            writer: BufWriter::new(stream),
+            next_id: 1,
+        })
+    }
+
+    fn send(&mut self, frame: &Frame) -> Result<(), ClientError> {
+        frame::write_frame(&mut self.writer, frame)?;
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    fn recv(&mut self) -> Result<Option<Frame>, ClientError> {
+        Ok(frame::read_frame(&mut self.reader, DEFAULT_MAX_PAYLOAD)?)
+    }
+
+    /// Round-trips a ping.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or a non-pong answer.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        let id = self.next_id();
+        self.send(&Frame::bare(FrameType::Ping, id))?;
+        match self.recv()? {
+            Some(f) if f.frame_type == FrameType::Pong && f.request_id == id => Ok(()),
+            Some(f) => Err(ClientError::UnexpectedResponse(format!(
+                "{:?}",
+                f.frame_type
+            ))),
+            None => Err(ClientError::Closed),
+        }
+    }
+
+    /// Submits one datalog (text form) and blocks until the final
+    /// `Report` frame, collecting streamed progress along the way.
+    /// `deadline_ms = 0` asks for the server's default deadline.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, server `Error` frames, or an early close.
+    pub fn submit(
+        &mut self,
+        datalog_text: &str,
+        deadline_ms: u32,
+    ) -> Result<Response, ClientError> {
+        let id = self.next_id();
+        self.send(&Frame {
+            frame_type: FrameType::Request,
+            request_id: id,
+            payload: frame::request_payload(deadline_ms, datalog_text),
+        })?;
+        let mut suspects = Vec::new();
+        let mut progress = Vec::new();
+        loop {
+            let Some(f) = self.recv()? else {
+                return Err(ClientError::Closed);
+            };
+            if f.request_id != id && f.frame_type != FrameType::Goodbye {
+                return Err(ClientError::UnexpectedResponse(format!(
+                    "frame for request {} while waiting on {id}",
+                    f.request_id
+                )));
+            }
+            match f.frame_type {
+                FrameType::Suspects => {
+                    // A retried attempt re-streams; last write wins.
+                    suspects = std::str::from_utf8(&f.payload)
+                        .unwrap_or("")
+                        .split_whitespace()
+                        .filter_map(|t| t.parse::<u32>().ok())
+                        .collect();
+                    progress.clear();
+                }
+                FrameType::Progress => {
+                    if let Some(p) = parse_progress(&f.payload) {
+                        progress.push(p);
+                    }
+                }
+                FrameType::Report => {
+                    let (status, summary) = parse_report(&f.payload)?;
+                    return Ok(Response {
+                        status,
+                        summary,
+                        suspects,
+                        progress,
+                    });
+                }
+                FrameType::Error => return Err(parse_error(&f.payload)),
+                FrameType::Goodbye => return Err(ClientError::Closed),
+                other => {
+                    return Err(ClientError::UnexpectedResponse(format!("{other:?}")));
+                }
+            }
+        }
+    }
+
+    /// Asks the daemon to drain and exit; resolves on its `Goodbye`.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or an unexpected answer.
+    pub fn shutdown_server(&mut self) -> Result<(), ClientError> {
+        let id = self.next_id();
+        self.send(&Frame::bare(FrameType::Shutdown, id))?;
+        match self.recv()? {
+            Some(f) if f.frame_type == FrameType::Goodbye => Ok(()),
+            // Server may close right after; treat EOF as acknowledged.
+            None => Ok(()),
+            Some(f) => Err(ClientError::UnexpectedResponse(format!(
+                "{:?}",
+                f.frame_type
+            ))),
+        }
+    }
+
+    fn next_id(&mut self) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+}
+
+fn parse_progress(payload: &[u8]) -> Option<(usize, u32, bool)> {
+    let text = std::str::from_utf8(payload).ok()?;
+    let mut slot = None;
+    let mut gate = None;
+    let mut ok = None;
+    for part in text.split_whitespace() {
+        let (key, value) = part.split_once('=')?;
+        match key {
+            "slot" => slot = value.parse::<usize>().ok(),
+            "gate" => gate = value.parse::<u32>().ok(),
+            "ok" => ok = Some(value == "1"),
+            _ => {}
+        }
+    }
+    Some((slot?, gate?, ok?))
+}
+
+fn parse_report(payload: &[u8]) -> Result<(ResponseStatus, String), ClientError> {
+    let (&status_byte, rest) = payload
+        .split_first()
+        .ok_or_else(|| ClientError::UnexpectedResponse("empty report payload".to_owned()))?;
+    let status = ResponseStatus::from_u8(status_byte).ok_or_else(|| {
+        ClientError::UnexpectedResponse(format!("unknown response status {status_byte}"))
+    })?;
+    let summary = String::from_utf8_lossy(rest).into_owned();
+    Ok((status, summary))
+}
+
+fn parse_error(payload: &[u8]) -> ClientError {
+    match payload.split_first() {
+        Some((&code, rest)) => ClientError::Server {
+            code: ErrorCode::from_u8(code),
+            message: String::from_utf8_lossy(rest).into_owned(),
+        },
+        None => ClientError::Server {
+            code: None,
+            message: "empty error payload".to_owned(),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn progress_and_report_payloads_parse() {
+        assert_eq!(parse_progress(b"slot=2 gate=17 ok=1"), Some((2, 17, true)));
+        assert_eq!(parse_progress(b"slot=0 gate=3 ok=0"), Some((0, 3, false)));
+        assert_eq!(parse_progress(b"slot=2 gate=17"), None);
+        assert_eq!(parse_progress(b"garbage"), None);
+
+        let (status, summary) = parse_report(b"\x00hello").expect("parses");
+        assert_eq!(status, ResponseStatus::Ok);
+        assert_eq!(summary, "hello");
+        let (status, _) = parse_report(b"\x03partial").expect("parses");
+        assert_eq!(status, ResponseStatus::Degraded);
+        assert!(parse_report(b"").is_err());
+        assert!(parse_report(b"\x07x").is_err());
+    }
+
+    #[test]
+    fn error_payloads_parse_with_and_without_known_codes() {
+        match parse_error(b"\x03queue full") {
+            ClientError::Server {
+                code: Some(ErrorCode::Busy),
+                message,
+            } => {
+                assert_eq!(message, "queue full");
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+        match parse_error(b"\xffwho knows") {
+            ClientError::Server { code: None, .. } => {}
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+}

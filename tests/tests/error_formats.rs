@@ -179,6 +179,8 @@ fn flow_error_formats_and_chains() {
         true,
     );
     assert_displays(&FlowError::Defect(DefectError::RailToRailShort), true);
+    assert_displays(&FlowError::Panicked("boom".into()), false);
+    assert_displays(&FlowError::Cancelled, false);
 
     // A two-level chain stays walkable end to end.
     let deep = FlowError::Core(CoreError::Switch(SwitchError::NoConvergence("INV".into())));
