@@ -143,6 +143,20 @@ impl AnalysisCache {
         Ok(eval)
     }
 
+    /// Seeds the truth-table cache with an already-derived table (a
+    /// snapshot restore — see `icd-volume`'s on-disk snapshot format).
+    /// Preloads count as neither hit nor miss, so a warm run whose cells
+    /// were all preloaded reports zero table misses.
+    pub fn preload_table(&self, name: &str, table: Arc<TruthTable>) {
+        self.tables.preload(name, table);
+    }
+
+    /// Every cached `(cell name, truth table)` pair, sorted by name —
+    /// what a snapshot writer persists.
+    pub fn table_snapshot(&self) -> Vec<(String, Arc<TruthTable>)> {
+        self.tables.snapshot()
+    }
+
     /// Truth-table cache counters.
     pub fn table_stats(&self) -> CacheStats {
         CacheStats {
@@ -295,6 +309,29 @@ mod tests {
         assert!(Arc::ptr_eq(&eval, &again));
         assert_eq!(cache.table_stats(), tables_before);
         assert_eq!(cache.packed_stats(), CacheStats { hits: 1, misses: 1 });
+    }
+
+    #[test]
+    fn preloaded_tables_serve_without_a_miss() {
+        let cells = CellLibrary::standard();
+        let cell = cells.get("AO7SVTX1").unwrap().netlist();
+        let warm = AnalysisCache::new();
+        warm.truth_table(cell).unwrap();
+        let snapshot = warm.table_snapshot();
+        assert_eq!(snapshot.len(), 1);
+        assert_eq!(snapshot[0].0, "AO7SVTX1");
+
+        let cold = AnalysisCache::new();
+        for (name, table) in snapshot {
+            cold.preload_table(&name, table);
+        }
+        let table = cold.truth_table(cell).unwrap();
+        assert_eq!(*table, cell.truth_table().unwrap());
+        assert_eq!(cold.table_stats(), CacheStats { hits: 1, misses: 0 });
+        // The packed evaluator compiles from the preloaded table too —
+        // still no table miss.
+        cold.packed_eval(cell).unwrap();
+        assert_eq!(cold.table_stats().misses, 0);
     }
 
     #[test]

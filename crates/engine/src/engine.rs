@@ -358,6 +358,36 @@ impl BatchEngine {
         collector: Option<&icd_obs::Collector>,
         token: &CancelToken,
     ) -> Result<BatchReport, FlowError> {
+        self.diagnose_batch_with_cache(
+            ctx,
+            datalogs,
+            collector,
+            token,
+            &Arc::new(AnalysisCache::new()),
+        )
+    }
+
+    /// [`diagnose_batch_cancellable`](BatchEngine::diagnose_batch_cancellable)
+    /// with a caller-owned [`AnalysisCache`] instead of a batch-private
+    /// one. The cache is strictly transparent (identical reports warm or
+    /// cold), so a volume run can carry one cache — possibly preloaded
+    /// from an on-disk snapshot — across many batches of the same design
+    /// and skip the per-cell-type truth-table derivations entirely.
+    ///
+    /// The reported [`BatchStats`] and observed `cache.*` counters cover
+    /// the cache's whole lifetime, not just this batch.
+    ///
+    /// # Errors
+    ///
+    /// As [`diagnose_batch_cancellable`](BatchEngine::diagnose_batch_cancellable).
+    pub fn diagnose_batch_with_cache(
+        &self,
+        ctx: &Arc<ExperimentContext>,
+        datalogs: &[Datalog],
+        collector: Option<&icd_obs::Collector>,
+        token: &CancelToken,
+        cache: &Arc<AnalysisCache>,
+    ) -> Result<BatchReport, FlowError> {
         let _recording = collector.map(icd_obs::Collector::install);
         if token.is_cancelled() {
             return Err(FlowError::Cancelled);
@@ -367,7 +397,7 @@ impl BatchEngine {
             let _s = icd_obs::stage("batch.good_simulate");
             Arc::new(icd_faultsim::good_simulate(&ctx.circuit, &ctx.patterns)?)
         };
-        let cache = Arc::new(AnalysisCache::new());
+        let cache = Arc::clone(cache);
         let pool = WorkerPool::new(self.config.workers, self.config.queue_capacity);
         // Results flow back over one mpsc channel; the coordinator keeps
         // the master sender so `recv` can never observe an early close

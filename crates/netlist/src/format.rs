@@ -252,6 +252,9 @@ gate U2 INV n1 -> y
         assert_eq!(c2.inputs().len(), c.inputs().len());
         assert_eq!(c2.outputs().len(), c.outputs().len());
         assert_eq!(c2.scan_info(), c.scan_info());
+        // The structural fingerprint survives the text round trip — the
+        // volume cache snapshots keyed by it depend on this.
+        assert_eq!(c2.content_hash(), c.content_hash());
     }
 
     #[test]

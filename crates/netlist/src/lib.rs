@@ -52,7 +52,7 @@ mod library;
 pub mod packed_sim;
 mod stats;
 
-pub use circuit::{Circuit, CircuitBuilder, ScanCell, ScanInfo, TesterCoordinate};
+pub use circuit::{Circuit, CircuitBuilder, ContentHash, ScanCell, ScanInfo, TesterCoordinate};
 pub use cone::{ConeIndex, ConeSet, Levels};
 pub use error::NetlistError;
 pub use ids::{GateId, NetId, TypeId};

@@ -1,19 +1,36 @@
 //! `icdiag` — batch volume-diagnosis driver and daemon front-end.
 //!
 //! ```text
-//! icdiag gen <dir> [--devices N] [--seed S] [--divisor D] [--patterns P]
+//! icdiag gen <dir> [--devices N] [--seed S] [--divisor D] [--patterns P] [--defect-rate R]
 //! icdiag run <dir> [--workers N] [--quiet] [--trace-out FILE] [--metrics-out FILE]
+//! icdiag volume <dir> [--workers N] [--seed S] [--cache-dir DIR] [--json-out FILE]
+//!                     [--check-planted] [--quiet] [--metrics-out FILE]
 //! icdiag serve <dir> [--addr HOST:PORT] [--workers N] [--queue N] [--deadline-ms N]
 //!                    [--idle-ms N] [--drain-ms N] [--chaos-panic-rate F] [--chaos-seed S]
 //!                    [--metrics-out FILE]
 //! icdiag submit <addr> <file.log> [--deadline-ms N] [--timeout-ms N]
+//! icdiag submit-volume <addr> <dir> [--deadline-ms N] [--timeout-ms N]
 //! icdiag shutdown <addr>
 //! icdiag check-metrics <file>
 //! ```
 //!
 //! `gen` synthesizes a failing-device batch: a netlist (`netlist.txt`),
 //! a manifest recording how to regenerate the test set (`manifest.txt`)
-//! and one tester datalog per device (`device-NNN.log`).
+//! and one tester datalog per device (`device-NNN.log`). With
+//! `--defect-rate R` (permille) the batch becomes a *population* with a
+//! planted systematic root cause: R permille of the devices carry the
+//! same defect on the same gate (recorded as `planted_gate=` in the
+//! manifest), the rest fail for unrelated background reasons.
+//!
+//! `volume` diagnoses every datalog in such a directory as one workload
+//! and aggregates per-device suspects into ranked systematic root-cause
+//! candidates (see `icd-volume`). The report is byte-identical at any
+//! worker count; `--cache-dir` persists derived truth tables keyed by
+//! the netlist's content hash, so a second run over the same design
+//! skips the switch-level derivations. `--check-planted` verifies the
+//! manifest's planted gate tops the ranking (the accuracy smoke check);
+//! `submit-volume` sends the same corpus to a daemon and prints the
+//! byte-identical JSON the local run would.
 //!
 //! `run` diagnoses such a directory with the parallel batch engine and
 //! prints one summary line per datalog, an aggregate throughput line
@@ -51,16 +68,23 @@ use icd_faultsim::{datalog_text, Datalog};
 use icd_netlist::generator;
 use icd_obs::json::Value;
 use icd_server::{ChaosPanics, Client, ResponseStatus, Server, ServerConfig};
+use icd_volume::{
+    synthesize_population, AggregationConfig, PopulationConfig, RootCauseKind, VolumeInput,
+    VolumeOptions, VolumeRun,
+};
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  \
-         icdiag gen <dir> [--devices N] [--seed S] [--divisor D] [--patterns P]\n  \
+         icdiag gen <dir> [--devices N] [--seed S] [--divisor D] [--patterns P] [--defect-rate R]\n  \
          icdiag run <dir> [--workers N] [--quiet] [--trace-out FILE] [--metrics-out FILE]\n  \
+         icdiag volume <dir> [--workers N] [--seed S] [--cache-dir DIR] [--json-out FILE]\n                      \
+         [--check-planted] [--quiet] [--metrics-out FILE]\n  \
          icdiag serve <dir> [--addr HOST:PORT] [--workers N] [--queue N] [--deadline-ms N]\n                     \
          [--idle-ms N] [--drain-ms N] [--chaos-panic-rate F] [--chaos-seed S]\n                     \
          [--metrics-out FILE]\n  \
          icdiag submit <addr> <file.log> [--deadline-ms N] [--timeout-ms N]\n  \
+         icdiag submit-volume <addr> <dir> [--deadline-ms N] [--timeout-ms N]\n  \
          icdiag shutdown <addr>\n  \
          icdiag check-metrics <file>\n\
          \n\
@@ -70,7 +94,8 @@ fn usage() -> ExitCode {
          2  usage error\n  \
          3  degraded diagnosis: a datalog failed (panic or flow error), a suspect\n     \
          was skipped for a reason other than missing local failing patterns,\n     \
-         a submitted request was answered degraded, or a serve drain was forced"
+         part of a volume population was skipped or failed, a submitted request\n     \
+         was answered degraded, or a serve drain was forced"
     );
     ExitCode::from(2)
 }
@@ -83,8 +108,10 @@ fn main() -> ExitCode {
     match command.as_str() {
         "gen" => cmd_gen(&args[1..]),
         "run" => cmd_run(&args[1..]),
+        "volume" => cmd_volume(&args[1..]),
         "serve" => cmd_serve(&args[1..]),
         "submit" => cmd_submit(&args[1..]),
+        "submit-volume" => cmd_submit_volume(&args[1..]),
         "shutdown" => cmd_shutdown(&args[1..]),
         "check-metrics" => cmd_check_metrics(&args[1..]),
         _ => usage(),
@@ -153,11 +180,30 @@ fn gen(args: &[String]) -> Result<(), String> {
     let seed: u64 = flag(&flags, "seed", 0x1cd1a6)?;
     let divisor: usize = flag(&flags, "divisor", 400)?;
     let patterns: usize = flag(&flags, "patterns", 64)?;
+    let defect_rate: u32 = flag(&flags, "defect-rate", 0)?;
 
     let ctx = ExperimentContext::from_preset(&generator::circuit_b(), divisor, patterns)
         .map_err(|e| format!("building circuit: {e}"))?;
-    let batch = synthesize_batch(&ctx, &BatchConfig::new(devices, seed))
-        .map_err(|e| format!("synthesizing batch: {e}"))?;
+    // With a defect rate, synthesize a population around one planted
+    // systematic root cause; without, the classic independent batch.
+    let mut planted_lines = String::new();
+    let batch = if defect_rate > 0 {
+        let mut cfg = PopulationConfig::new(devices, seed);
+        cfg.defect_rate_permille = defect_rate;
+        let population = synthesize_population(&ctx, &cfg)
+            .map_err(|e| format!("synthesizing population: {e}"))?;
+        planted_lines = format!(
+            "planted_gate={}\nplanted_cell={}\ndefect_rate_permille={}\nplanted_devices={}\n",
+            population.planted.gate_name,
+            population.planted.cell,
+            defect_rate,
+            population.planted_devices
+        );
+        population.datalogs
+    } else {
+        synthesize_batch(&ctx, &BatchConfig::new(devices, seed))
+            .map_err(|e| format!("synthesizing batch: {e}"))?
+    };
     if batch.is_empty() {
         return Err("no sampled defect produced a failing device at this scale".into());
     }
@@ -179,18 +225,22 @@ fn gen(args: &[String]) -> Result<(), String> {
     };
     write(
         "manifest.txt",
-        &format!("patterns={patterns}\npattern_seed={pattern_seed}\n"),
+        &format!("patterns={patterns}\npattern_seed={pattern_seed}\n{planted_lines}"),
     )?;
     for (i, datalog) in batch.iter().enumerate() {
         write(&format!("device-{i:03}.log"), &datalog_text::write(datalog))?;
     }
     println!(
-        "generated {} devices in {} ({} gates, {} patterns)",
+        "generated {} devices in {} ({} gates, {} patterns, netlist {})",
         batch.len(),
         dir.display(),
         ctx.circuit.num_gates(),
-        ctx.patterns.len()
+        ctx.patterns.len(),
+        ctx.circuit.content_hash()
     );
+    if !planted_lines.is_empty() {
+        print!("{planted_lines}");
+    }
     Ok(())
 }
 
@@ -264,6 +314,11 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     let metrics_out = out_path("metrics-out");
 
     let ctx = load_context(&dir)?;
+    if !quiet {
+        // The design fingerprint: two runs printing the same hash
+        // diagnosed the same netlist (see Circuit::content_hash).
+        println!("netlist {}", ctx.circuit.content_hash());
+    }
 
     // Every *.log in the directory, in name order (determinism).
     let mut log_files: Vec<PathBuf> = std::fs::read_dir(&dir)
@@ -407,6 +462,149 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     })
 }
 
+fn cmd_volume(args: &[String]) -> ExitCode {
+    match volume(args) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("icdiag volume: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Loads every `*.log` in `dir` in name order, returning the parsed
+/// inputs and the count of unreadable/unparseable files skipped.
+fn load_volume_inputs(dir: &Path) -> Result<(Vec<VolumeInput>, usize), String> {
+    let mut log_files: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| format!("reading {}: {e}", dir.display()))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "log"))
+        .collect();
+    log_files.sort();
+    if log_files.is_empty() {
+        return Err(format!("no *.log datalogs in {}", dir.display()));
+    }
+    let mut inputs = Vec::with_capacity(log_files.len());
+    let mut skipped = 0usize;
+    for path in log_files {
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| path.display().to_string());
+        let loaded = std::fs::read_to_string(&path)
+            .map_err(|e| format!("reading: {e}"))
+            .and_then(|text| datalog_text::parse(&text).map_err(|e| e.to_string()));
+        match loaded {
+            Ok(datalog) => inputs.push(VolumeInput { name, datalog }),
+            Err(why) => {
+                skipped += 1;
+                eprintln!("icdiag volume: skipping {}: {why}", path.display());
+            }
+        }
+    }
+    if inputs.is_empty() {
+        return Err(format!(
+            "all {skipped} datalogs in {} were unreadable or unparseable",
+            dir.display()
+        ));
+    }
+    Ok((inputs, skipped))
+}
+
+/// The `planted_gate=` line a `gen --defect-rate` manifest records.
+fn read_planted_gate(dir: &Path) -> Result<String, String> {
+    let path = dir.join("manifest.txt");
+    let text =
+        std::fs::read_to_string(&path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+    text.lines()
+        .find_map(|line| line.strip_prefix("planted_gate="))
+        .map(|v| v.trim().to_owned())
+        .ok_or_else(|| {
+            format!(
+                "{}: no planted_gate= line (generate with --defect-rate)",
+                path.display()
+            )
+        })
+}
+
+fn volume(args: &[String]) -> Result<ExitCode, String> {
+    let (dir, flags) = parse_flags(args, &["check-planted", "quiet"])?;
+    let workers: usize = flag(&flags, "workers", 0)?;
+    let quiet = flags.iter().any(|(n, _)| n == "quiet");
+    let check_planted = flags.iter().any(|(n, _)| n == "check-planted");
+    let mut aggregation = AggregationConfig::default();
+    aggregation.seed = flag(&flags, "seed", aggregation.seed)?;
+    let path_flag = |name: &str| {
+        flags
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| PathBuf::from(v))
+    };
+    let cache_dir = path_flag("cache-dir");
+    let json_out = path_flag("json-out");
+    let metrics_out = path_flag("metrics-out");
+
+    let ctx = load_context(&dir)?;
+    let (inputs, skipped) = load_volume_inputs(&dir)?;
+
+    let run = VolumeRun::new(
+        Arc::clone(&ctx),
+        VolumeOptions {
+            workers,
+            aggregation,
+            cache_dir,
+        },
+    );
+    let collector = Collector::new();
+    let outcome = run
+        .execute(&inputs, skipped, Some(&collector))
+        .map_err(|e| format!("volume diagnosis: {e}"))?;
+
+    for (name, why) in &outcome.failures {
+        eprintln!("icdiag volume: {name}: FAILED ({why})");
+    }
+    if !quiet {
+        print!("{}", outcome.report.render_text());
+        let stats = &outcome.stats;
+        println!(
+            "cache: {} tables restored, {} persisted, {} derived this run",
+            stats.snapshot_tables_loaded, stats.snapshot_tables_saved, stats.table_misses
+        );
+    }
+    if let Some(path) = json_out {
+        std::fs::write(&path, outcome.report.to_json())
+            .map_err(|e| format!("writing {}: {e}", path.display()))?;
+    }
+    if let Some(path) = metrics_out {
+        std::fs::write(&path, collector.snapshot().to_json())
+            .map_err(|e| format!("writing {}: {e}", path.display()))?;
+    }
+
+    if check_planted {
+        let planted = read_planted_gate(&dir)?;
+        let top = outcome.report.root_causes.first();
+        let hit = matches!(
+            top.map(|rc| &rc.kind),
+            Some(RootCauseKind::Gate { name, .. }) if *name == planted
+        );
+        if !hit {
+            return Err(format!(
+                "planted gate {planted} is not the top root cause (got {})",
+                top.map_or_else(|| "none".to_owned(), |rc| rc.kind.describe())
+            ));
+        }
+        println!("check-planted: ok ({planted} ranks first)");
+    }
+
+    Ok(
+        if outcome.report.devices_failed > 0 || outcome.report.devices_skipped > 0 {
+            ExitCode::from(3)
+        } else {
+            ExitCode::SUCCESS
+        },
+    )
+}
+
 fn cmd_serve(args: &[String]) -> ExitCode {
     match serve(args) {
         Ok(code) => code,
@@ -502,6 +700,64 @@ fn submit(args: &[String]) -> Result<ExitCode, String> {
         .map(|n| n.to_string_lossy().into_owned())
         .unwrap_or_else(|| file.clone());
     println!("{name}: {}", response.summary);
+    Ok(match response.status {
+        ResponseStatus::Ok => ExitCode::SUCCESS,
+        ResponseStatus::Degraded => ExitCode::from(3),
+    })
+}
+
+fn cmd_submit_volume(args: &[String]) -> ExitCode {
+    match submit_volume(args) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("icdiag submit-volume: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn submit_volume(args: &[String]) -> Result<ExitCode, String> {
+    let [addr, dir, rest @ ..] = args else {
+        return Err(
+            "usage: icdiag submit-volume <addr> <dir> [--deadline-ms N] [--timeout-ms N]"
+                .to_owned(),
+        );
+    };
+    let flags = parse_flag_pairs(rest, &[])?;
+    let deadline_ms: u32 = flag(&flags, "deadline-ms", 0)?;
+    let timeout_ms: u64 = flag(&flags, "timeout-ms", 120_000)?;
+
+    // Raw texts, name order: the server parses (and skips) for itself,
+    // so its skip accounting matches a local run over the same corpus.
+    let dir = PathBuf::from(dir);
+    let mut log_files: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .map_err(|e| format!("reading {}: {e}", dir.display()))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "log"))
+        .collect();
+    log_files.sort();
+    if log_files.is_empty() {
+        return Err(format!("no *.log datalogs in {}", dir.display()));
+    }
+    let mut devices: Vec<(String, String)> = Vec::with_capacity(log_files.len());
+    for path in log_files {
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| path.display().to_string());
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| format!("reading {}: {e}", path.display()))?;
+        devices.push((name, text));
+    }
+
+    let mut client = Client::connect(addr.as_str(), Duration::from_millis(timeout_ms))
+        .map_err(|e| format!("connecting {addr}: {e}"))?;
+    let response = client
+        .submit_volume(&devices, deadline_ms)
+        .map_err(|e| format!("submitting {}: {e}", dir.display()))?;
+    // The canonical volume-report JSON — byte-identical to a local
+    // `icdiag volume --json-out` over the same corpus.
+    println!("{}", response.summary);
     Ok(match response.status {
         ResponseStatus::Ok => ExitCode::SUCCESS,
         ResponseStatus::Degraded => ExitCode::from(3),

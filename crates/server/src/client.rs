@@ -195,6 +195,70 @@ impl Client {
         }
     }
 
+    /// Submits a named corpus of datalog texts for volume diagnosis and
+    /// blocks until the final `Report` frame, whose summary is the
+    /// canonical volume-report JSON (byte-identical to `icdiag volume
+    /// --json-out` over the same corpus). Streamed per-device
+    /// Suspects/Progress frames are collected like [`Client::submit`];
+    /// `suspects` holds the last streamed set.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, server `Error` frames, or an early close.
+    pub fn submit_volume(
+        &mut self,
+        devices: &[(String, String)],
+        deadline_ms: u32,
+    ) -> Result<Response, ClientError> {
+        let id = self.next_id();
+        self.send(&Frame {
+            frame_type: FrameType::Volume,
+            request_id: id,
+            payload: frame::volume_request_payload(deadline_ms, devices),
+        })?;
+        let mut suspects = Vec::new();
+        let mut progress = Vec::new();
+        loop {
+            let Some(f) = self.recv()? else {
+                return Err(ClientError::Closed);
+            };
+            if f.request_id != id && f.frame_type != FrameType::Goodbye {
+                return Err(ClientError::UnexpectedResponse(format!(
+                    "frame for request {} while waiting on {id}",
+                    f.request_id
+                )));
+            }
+            match f.frame_type {
+                FrameType::Suspects => {
+                    suspects = std::str::from_utf8(&f.payload)
+                        .unwrap_or("")
+                        .split_whitespace()
+                        .filter_map(|t| t.parse::<u32>().ok())
+                        .collect();
+                }
+                FrameType::Progress => {
+                    if let Some(p) = parse_progress(&f.payload) {
+                        progress.push(p);
+                    }
+                }
+                FrameType::Report => {
+                    let (status, summary) = parse_report(&f.payload)?;
+                    return Ok(Response {
+                        status,
+                        summary,
+                        suspects,
+                        progress,
+                    });
+                }
+                FrameType::Error => return Err(parse_error(&f.payload)),
+                FrameType::Goodbye => return Err(ClientError::Closed),
+                other => {
+                    return Err(ClientError::UnexpectedResponse(format!("{other:?}")));
+                }
+            }
+        }
+    }
+
     /// Asks the daemon to drain and exit; resolves on its `Goodbye`.
     ///
     /// # Errors

@@ -50,6 +50,14 @@ pub enum FrameType {
     Ping = 0x02,
     /// Client: ask the daemon to drain and exit; empty payload.
     Shutdown = 0x03,
+    /// Client: volume-diagnose many datalogs of the served design as one
+    /// workload. Payload: `u32 LE deadline_ms`, `u32 LE count`, then
+    /// `count` records of `u32 LE name_len, name, u32 LE text_len, text`
+    /// (see [`volume_request_payload`]). Answered with a single
+    /// [`FrameType::Report`] whose payload is the status byte followed
+    /// by the canonical volume-report JSON (byte-identical to
+    /// `icdiag volume --json-out` over the same corpus).
+    Volume = 0x04,
     /// Server: the front stage resolved; payload is ASCII gate indices,
     /// space-separated, in report slot order.
     Suspects = 0x81,
@@ -76,6 +84,7 @@ impl FrameType {
             0x01 => FrameType::Request,
             0x02 => FrameType::Ping,
             0x03 => FrameType::Shutdown,
+            0x04 => FrameType::Volume,
             0x81 => FrameType::Suspects,
             0x82 => FrameType::Progress,
             0x83 => FrameType::Report,
@@ -513,6 +522,61 @@ pub fn parse_request_payload(payload: &[u8]) -> Option<(u32, &str)> {
         .map(|text| (deadline_ms, text))
 }
 
+/// Builds a [`FrameType::Volume`] payload: a deadline and a named corpus
+/// of datalog texts.
+pub fn volume_request_payload(deadline_ms: u32, devices: &[(String, String)]) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(
+        8 + devices
+            .iter()
+            .map(|(n, t)| 8 + n.len() + t.len())
+            .sum::<usize>(),
+    );
+    payload.extend_from_slice(&deadline_ms.to_le_bytes());
+    payload.extend_from_slice(&(devices.len() as u32).to_le_bytes());
+    for (name, text) in devices {
+        payload.extend_from_slice(&(name.len() as u32).to_le_bytes());
+        payload.extend_from_slice(name.as_bytes());
+        payload.extend_from_slice(&(text.len() as u32).to_le_bytes());
+        payload.extend_from_slice(text.as_bytes());
+    }
+    payload
+}
+
+/// Splits a [`FrameType::Volume`] payload into `(deadline_ms, devices)`;
+/// `None` when any length field runs past the payload, the record count
+/// lies, or a name/text is not UTF-8.
+pub fn parse_volume_payload(payload: &[u8]) -> Option<(u32, Vec<(String, String)>)> {
+    fn take_u32(payload: &[u8], at: &mut usize) -> Option<u32> {
+        let bytes = payload.get(*at..*at + 4)?;
+        *at += 4;
+        Some(u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]))
+    }
+    fn take_str(payload: &[u8], at: &mut usize) -> Option<String> {
+        let len = take_u32(payload, at)? as usize;
+        let bytes = payload.get(*at..*at + len)?;
+        *at += len;
+        String::from_utf8(bytes.to_vec()).ok()
+    }
+    let mut at = 0usize;
+    let deadline_ms = take_u32(payload, &mut at)?;
+    let count = take_u32(payload, &mut at)? as usize;
+    // An absurd count claim must not pre-allocate unbounded memory: the
+    // payload itself bounds how many records can exist (≥ 8 bytes each).
+    if count > payload.len() / 8 + 1 {
+        return None;
+    }
+    let mut devices = Vec::with_capacity(count);
+    for _ in 0..count {
+        let name = take_str(payload, &mut at)?;
+        let text = take_str(payload, &mut at)?;
+        devices.push((name, text));
+    }
+    if at != payload.len() {
+        return None;
+    }
+    Some((deadline_ms, devices))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -523,6 +587,49 @@ mod tests {
             request_id: 0xdead_beef_cafe_f00d,
             payload: request_payload(1500, "datalog d0\npatterns 4\nfail 1 2\n"),
         }
+    }
+
+    #[test]
+    fn volume_payload_round_trips() {
+        let devices = vec![
+            (
+                "device-000.log".to_owned(),
+                "datalog d0\npatterns 4\n".to_owned(),
+            ),
+            (
+                "device-001.log".to_owned(),
+                "datalog d1\npatterns 4\nfail 1 2\n".to_owned(),
+            ),
+        ];
+        let payload = volume_request_payload(2500, &devices);
+        let (deadline, parsed) = parse_volume_payload(&payload).expect("parses");
+        assert_eq!(deadline, 2500);
+        assert_eq!(parsed, devices);
+        // Empty corpus round-trips too.
+        let empty = volume_request_payload(0, &[]);
+        assert_eq!(parse_volume_payload(&empty), Some((0, Vec::new())));
+    }
+
+    #[test]
+    fn malformed_volume_payloads_are_rejected() {
+        let devices = vec![("a.log".to_owned(), "datalog a\npatterns 1\n".to_owned())];
+        let good = volume_request_payload(0, &devices);
+        // Too short for the fixed prefix.
+        assert_eq!(parse_volume_payload(&good[..3]), None);
+        // Truncated mid-record.
+        assert_eq!(parse_volume_payload(&good[..good.len() - 1]), None);
+        // Trailing garbage.
+        let mut padded = good.clone();
+        padded.push(0);
+        assert_eq!(parse_volume_payload(&padded), None);
+        // A count that lies about how many records follow.
+        let mut lying = good.clone();
+        lying[4..8].copy_from_slice(&2u32.to_le_bytes());
+        assert_eq!(parse_volume_payload(&lying), None);
+        // An absurd count claim must not allocate.
+        let mut absurd = good;
+        absurd[4..8].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(parse_volume_payload(&absurd), None);
     }
 
     #[test]
@@ -686,6 +793,7 @@ mod tests {
             FrameType::Request,
             FrameType::Ping,
             FrameType::Shutdown,
+            FrameType::Volume,
             FrameType::Suspects,
             FrameType::Progress,
             FrameType::Report,

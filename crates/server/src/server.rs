@@ -375,6 +375,11 @@ impl Connection {
                                 return;
                             }
                         }
+                        FrameType::Volume => {
+                            if !self.handle_volume(&mut stream, &f) {
+                                return;
+                            }
+                        }
                         // A client sending server-side frames is out of
                         // protocol; frame-bounded, answer and continue.
                         _ => {
@@ -588,6 +593,102 @@ impl Connection {
                 frame::write_frame(stream, &error_frame(id, code, &message)).is_ok()
             }
         }
+    }
+
+    /// Runs one volume request: parse the corpus, diagnose every device
+    /// under one deadline token, aggregate, respond with the canonical
+    /// volume-report JSON. Returns whether the connection should keep
+    /// serving.
+    ///
+    /// Per-device behaviour mirrors `icdiag volume`: unparseable datalog
+    /// texts are skipped (counted, reflected in the report's coverage),
+    /// per-device diagnosis failures degrade the report instead of
+    /// failing the request. Only an unusable payload or an expired
+    /// deadline fails the whole request. Progress/Suspects frames are
+    /// streamed per device under the volume request id; clients collect
+    /// until the final Report frame.
+    fn handle_volume(&mut self, stream: &mut TcpStream, request: &Frame) -> bool {
+        count("server.volume_requests", 1);
+        let Some((deadline_ms, devices)) = frame::parse_volume_payload(&request.payload) else {
+            count("server.requests_bad_payload", 1);
+            return frame::write_frame(
+                stream,
+                &error_frame(
+                    request.request_id,
+                    ErrorCode::BadPayload,
+                    "volume payload malformed (length fields or UTF-8)",
+                ),
+            )
+            .is_ok();
+        };
+        let mut skipped = 0usize;
+        let mut parsed: Vec<(String, icd_faultsim::Datalog)> = Vec::with_capacity(devices.len());
+        for (name, text) in devices {
+            match icd_faultsim::datalog_text::parse(&text) {
+                Ok(d) => parsed.push((name, d)),
+                Err(_) => {
+                    count("server.volume_devices_skipped", 1);
+                    skipped += 1;
+                }
+            }
+        }
+        count("server.volume_devices", parsed.len() as u64);
+        let deadline = if deadline_ms == 0 {
+            self.config.default_deadline
+        } else {
+            Duration::from_millis(u64::from(deadline_ms))
+        };
+        let token = self.state.drain_token.child_with_deadline(Some(deadline));
+        let id = request.request_id;
+
+        self.state.active_requests.fetch_add(1, Ordering::AcqRel);
+        let mut reports: Vec<(String, FlowReport)> = Vec::new();
+        let mut failed = 0usize;
+        let mut fatal: Option<(ErrorCode, String)> = None;
+        for (name, datalog) in &parsed {
+            match self.diagnose_with_retry(stream, id, datalog, &token) {
+                Ok(report) => reports.push((name.clone(), report)),
+                Err((ErrorCode::DeadlineExceeded, message)) => {
+                    // The shared deadline is spent; nothing after this
+                    // device can complete either.
+                    fatal = Some((ErrorCode::DeadlineExceeded, message));
+                    break;
+                }
+                Err((ErrorCode::Internal, message)) if message.contains("connection lost") => {
+                    fatal = Some((ErrorCode::Internal, message));
+                    break;
+                }
+                Err(_) => failed += 1,
+            }
+        }
+        self.state.active_requests.fetch_sub(1, Ordering::AcqRel);
+
+        if let Some((code, message)) = fatal {
+            count("server.requests_failed", 1);
+            return frame::write_frame(stream, &error_frame(id, code, &message)).is_ok();
+        }
+        let ctx = self.service.context();
+        let named: Vec<(String, &FlowReport)> =
+            reports.iter().map(|(n, r)| (n.clone(), r)).collect();
+        let volume_report = icd_volume::assemble_report(
+            ctx,
+            ctx.circuit.content_hash(),
+            &named,
+            failed,
+            skipped,
+            &icd_volume::AggregationConfig::default(),
+        );
+        // Degraded mirrors `icdiag volume` exit code 3: part of the
+        // failing population never made it into the aggregate.
+        let status = if volume_report.devices_failed > 0 || volume_report.devices_skipped > 0 {
+            count("server.requests_degraded", 1);
+            ResponseStatus::Degraded
+        } else {
+            count("server.requests_ok", 1);
+            ResponseStatus::Ok
+        };
+        count("server.frames_tx", 1);
+        frame::write_frame(stream, &report_frame(id, status, &volume_report.to_json())).is_ok()
     }
 
     /// The transient-failure retry loop around one streamed diagnosis.

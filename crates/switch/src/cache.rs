@@ -78,6 +78,30 @@ impl TruthTableCache {
         Ok(table)
     }
 
+    /// Seeds the cache with an already-derived table (a snapshot restore).
+    /// Counts as neither hit nor miss; a later [`TruthTableCache::truth_table`]
+    /// lookup on the same cell is a hit that never runs the `2^n` solves.
+    pub fn preload(&self, name: &str, table: Arc<TruthTable>) {
+        lock_shard(self.shard_for(name)).insert(name.to_owned(), table);
+    }
+
+    /// Every cached `(cell name, table)` pair, sorted by name — the
+    /// deterministic iteration order a snapshot writer needs.
+    pub fn snapshot(&self) -> Vec<(String, Arc<TruthTable>)> {
+        let mut all: Vec<(String, Arc<TruthTable>)> = self
+            .shards
+            .iter()
+            .flat_map(|s| {
+                lock_shard(s)
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Arc::clone(v)))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        all.sort_by(|a, b| a.0.cmp(&b.0));
+        all
+    }
+
     /// Number of distinct cell types currently cached.
     pub fn len(&self) -> usize {
         self.shards.iter().map(|s| lock_shard(s).len()).sum()
@@ -166,6 +190,38 @@ mod tests {
             snap.counters["cache.table.hits"].1,
             icd_obs::Stability::Timing
         );
+    }
+
+    #[test]
+    fn preload_makes_the_first_lookup_a_hit() {
+        let cache = TruthTableCache::new();
+        let inv = inverter();
+        let table = Arc::new(inv.truth_table().unwrap());
+        cache.preload(inv.name(), Arc::clone(&table));
+        assert_eq!((cache.hits(), cache.misses()), (0, 0));
+        let got = cache.truth_table(&inv).unwrap();
+        assert!(Arc::ptr_eq(&got, &table));
+        assert_eq!((cache.hits(), cache.misses()), (1, 0));
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_complete() {
+        let cache = TruthTableCache::new();
+        let inv = inverter();
+        cache.truth_table(&inv).unwrap();
+        let mut b = CellNetlistBuilder::new("BUFX");
+        let a = b.input("A");
+        let mid = b.net("mid");
+        let z = b.output("Z");
+        b.pmos("P0", a, b.vdd(), mid);
+        b.nmos("N0", a, b.gnd(), mid);
+        b.pmos("P1", mid, b.vdd(), z);
+        b.nmos("N1", mid, b.gnd(), z);
+        let buf = b.finish().unwrap();
+        cache.truth_table(&buf).unwrap();
+        let snap = cache.snapshot();
+        let names: Vec<&str> = snap.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["BUFX", "INV"]);
     }
 
     #[test]

@@ -1,0 +1,39 @@
+//! Multi-observation volume diagnosis.
+//!
+//! The paper's per-device flow answers "what is wrong with *this*
+//! device". Production test generates thousands of failing datalogs per
+//! design; the question that matters there is "what is *systematically*
+//! wrong with this design or process". This crate treats many datalogs
+//! of one design as a single workload:
+//!
+//! * [`VolumeRun`] fingerprints the netlist ([`icd_netlist::ContentHash`]),
+//!   restores a persisted truth-table snapshot keyed by the fingerprint
+//!   ([`snapshot`]), fans the devices through the batch engine's
+//!   deterministic merge, and writes the warmed cache back out.
+//! * [`aggregate`](crate::aggregate::aggregate) buckets per-device
+//!   suspects by gate instance, cell type and fanout-cone region with
+//!   rank-weighted affinity scores and a seeded deterministic tie-break.
+//! * [`VolumeReport`] is the typed result — per-root-cause device
+//!   counts, example datalogs and failing-population coverage — with a
+//!   canonical JSON rendering that is byte-identical at any worker
+//!   count.
+//! * [`population`] synthesizes ground-truth corpora with one planted
+//!   systematic defect, the accuracy yardstick for everything above.
+//!
+//! Everything is std-only, like the rest of the workspace.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::panic))]
+
+pub mod aggregate;
+pub mod population;
+pub mod report;
+pub mod run;
+pub mod snapshot;
+
+pub use aggregate::{assemble_report, AggregationConfig};
+pub use population::{synthesize_population, PlantedDefect, Population, PopulationConfig};
+pub use report::{RootCause, RootCauseKind, VolumeReport};
+pub use run::{VolumeInput, VolumeOptions, VolumeOutcome, VolumeRun, VolumeRunStats};
+pub use snapshot::{snapshot_path, SnapshotError, SNAPSHOT_HEADER};

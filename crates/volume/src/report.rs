@@ -1,0 +1,300 @@
+//! The typed outcome of a volume run and its canonical renderings.
+//!
+//! The JSON rendering (`schema icd-volume-report.v1`) is the contract the
+//! determinism tests pin: every field is an integer or a string, keys are
+//! emitted in a fixed order, and nothing in it depends on worker count or
+//! wall-clock time — two runs over the same inputs must produce
+//! byte-identical documents.
+
+use std::fmt::Write as _;
+
+use icd_obs::json::write_string;
+
+/// What a ranked root-cause candidate points at, from most to least
+/// specific.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RootCauseKind {
+    /// One specific gate instance — the classic single systematic defect
+    /// (e.g. a layout hotspot under exactly one instance).
+    Gate {
+        /// Instance name in the netlist.
+        name: String,
+        /// Its cell type.
+        cell: String,
+    },
+    /// Every instance of one cell type — a library/process problem that
+    /// hits the type wherever it is placed.
+    CellType {
+        /// The cell type name.
+        cell: String,
+    },
+    /// A fanout-cone region, identified by the lowest-indexed observe
+    /// point the suspected gates reach — a routing/placement
+    /// neighbourhood rather than a specific instance.
+    Region {
+        /// Index into the circuit's observable-output list.
+        output: usize,
+        /// Human-readable tester coordinate of that observe point.
+        coordinate: String,
+    },
+}
+
+impl RootCauseKind {
+    /// Short machine tag for the JSON rendering.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            RootCauseKind::Gate { .. } => "gate",
+            RootCauseKind::CellType { .. } => "cell",
+            RootCauseKind::Region { .. } => "region",
+        }
+    }
+
+    /// Human-readable target description.
+    pub fn describe(&self) -> String {
+        match self {
+            RootCauseKind::Gate { name, cell } => format!("gate {name} ({cell})"),
+            RootCauseKind::CellType { cell } => format!("cell type {cell}"),
+            RootCauseKind::Region { coordinate, .. } => {
+                format!("region observed at {coordinate}")
+            }
+        }
+    }
+}
+
+/// One ranked systematic root-cause candidate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RootCause {
+    /// What the candidate points at.
+    pub kind: RootCauseKind,
+    /// Distinct devices whose suspects contributed to this candidate.
+    pub devices: usize,
+    /// Rank-weighted affinity score (higher = stronger evidence).
+    pub score: u64,
+    /// `devices` as a share of the diagnosed population, in permille.
+    pub share_permille: u32,
+    /// Example datalog names (first few contributors, input order).
+    pub examples: Vec<String>,
+}
+
+/// The aggregate outcome of one volume run over a device population.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VolumeReport {
+    /// Structural fingerprint of the diagnosed netlist
+    /// ([`icd_netlist::ContentHash`], lowercase hex).
+    pub netlist_hash: String,
+    /// Devices presented to the run (diagnosed + escaped + failed +
+    /// skipped).
+    pub devices_total: usize,
+    /// Devices whose diagnosis produced at least one suspect.
+    pub devices_diagnosed: usize,
+    /// Devices whose datalog had no failing pattern (test escapes).
+    pub devices_escaped: usize,
+    /// Devices whose diagnosis failed structurally.
+    pub devices_failed: usize,
+    /// Devices skipped before diagnosis (unreadable or empty datalogs).
+    pub devices_skipped: usize,
+    /// Diagnosed share of the failing population, in permille:
+    /// `diagnosed / (diagnosed + failed + skipped)`. Escapes are not
+    /// failing devices and do not count against coverage.
+    pub coverage_permille: u32,
+    /// Ranked systematic root-cause candidates, strongest first.
+    pub root_causes: Vec<RootCause>,
+}
+
+/// Integer permille with a total-population-of-zero convention of 1000
+/// (an empty population has nothing uncovered).
+pub(crate) fn permille(part: usize, whole: usize) -> u32 {
+    match (part * 1000).checked_div(whole) {
+        None => 1000,
+        Some(v) => v as u32,
+    }
+}
+
+impl VolumeReport {
+    /// Canonical JSON rendering (`schema icd-volume-report.v1`).
+    ///
+    /// Deterministic: fixed key order, integers and strings only (no
+    /// floats), no timestamps. Byte-identical across worker counts and
+    /// cache temperature.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\"schema\":\"icd-volume-report.v1\",\"netlist_hash\":");
+        write_string(&mut out, &self.netlist_hash);
+        let _ = write!(
+            out,
+            ",\"devices\":{{\"total\":{},\"diagnosed\":{},\"escaped\":{},\"failed\":{},\"skipped\":{}}}",
+            self.devices_total,
+            self.devices_diagnosed,
+            self.devices_escaped,
+            self.devices_failed,
+            self.devices_skipped
+        );
+        let _ = write!(out, ",\"coverage_permille\":{}", self.coverage_permille);
+        out.push_str(",\"root_causes\":[");
+        for (rank, rc) in self.root_causes.iter().enumerate() {
+            if rank > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{{\"rank\":{},\"kind\":", rank + 1);
+            write_string(&mut out, rc.kind.tag());
+            match &rc.kind {
+                RootCauseKind::Gate { name, cell } => {
+                    out.push_str(",\"gate\":");
+                    write_string(&mut out, name);
+                    out.push_str(",\"cell\":");
+                    write_string(&mut out, cell);
+                }
+                RootCauseKind::CellType { cell } => {
+                    out.push_str(",\"cell\":");
+                    write_string(&mut out, cell);
+                }
+                RootCauseKind::Region { output, coordinate } => {
+                    let _ = write!(out, ",\"output\":{output}");
+                    out.push_str(",\"coordinate\":");
+                    write_string(&mut out, coordinate);
+                }
+            }
+            let _ = write!(
+                out,
+                ",\"devices\":{},\"score\":{},\"share_permille\":{}",
+                rc.devices, rc.score, rc.share_permille
+            );
+            out.push_str(",\"examples\":[");
+            for (i, ex) in rc.examples.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_string(&mut out, ex);
+            }
+            out.push_str("]}");
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Human-readable multi-line rendering for the CLI.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "netlist {}", self.netlist_hash);
+        let _ = writeln!(
+            out,
+            "devices: {} total, {} diagnosed, {} escaped, {} failed, {} skipped",
+            self.devices_total,
+            self.devices_diagnosed,
+            self.devices_escaped,
+            self.devices_failed,
+            self.devices_skipped
+        );
+        let _ = writeln!(
+            out,
+            "coverage: {}.{:01}% of failing population diagnosed",
+            self.coverage_permille / 10,
+            self.coverage_permille % 10
+        );
+        if self.root_causes.is_empty() {
+            let _ = writeln!(out, "no systematic root-cause candidates");
+        } else {
+            let _ = writeln!(out, "root causes:");
+            for (rank, rc) in self.root_causes.iter().enumerate() {
+                let _ = writeln!(
+                    out,
+                    "  #{} {} — {} device(s), score {}, {}.{:01}% of diagnosed (e.g. {})",
+                    rank + 1,
+                    rc.kind.describe(),
+                    rc.devices,
+                    rc.score,
+                    rc.share_permille / 10,
+                    rc.share_permille % 10,
+                    rc.examples.join(", ")
+                );
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> VolumeReport {
+        VolumeReport {
+            netlist_hash: "00ff00ff00ff00ff".into(),
+            devices_total: 5,
+            devices_diagnosed: 3,
+            devices_escaped: 0,
+            devices_failed: 1,
+            devices_skipped: 1,
+            coverage_permille: 600,
+            root_causes: vec![
+                RootCause {
+                    kind: RootCauseKind::Gate {
+                        name: "U7".into(),
+                        cell: "NAND2".into(),
+                    },
+                    devices: 3,
+                    score: 12_000,
+                    share_permille: 1000,
+                    examples: vec!["device-000.log".into(), "device-002.log".into()],
+                },
+                RootCause {
+                    kind: RootCauseKind::Region {
+                        output: 4,
+                        coordinate: "chain 0 cell 2".into(),
+                    },
+                    devices: 2,
+                    score: 3_000,
+                    share_permille: 666,
+                    examples: vec!["device-000.log".into()],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_schema_and_key_order_are_pinned() {
+        let json = sample().to_json();
+        assert_eq!(
+            json,
+            "{\"schema\":\"icd-volume-report.v1\",\
+             \"netlist_hash\":\"00ff00ff00ff00ff\",\
+             \"devices\":{\"total\":5,\"diagnosed\":3,\"escaped\":0,\"failed\":1,\"skipped\":1},\
+             \"coverage_permille\":600,\
+             \"root_causes\":[\
+             {\"rank\":1,\"kind\":\"gate\",\"gate\":\"U7\",\"cell\":\"NAND2\",\
+             \"devices\":3,\"score\":12000,\"share_permille\":1000,\
+             \"examples\":[\"device-000.log\",\"device-002.log\"]},\
+             {\"rank\":2,\"kind\":\"region\",\"output\":4,\"coordinate\":\"chain 0 cell 2\",\
+             \"devices\":2,\"score\":3000,\"share_permille\":666,\
+             \"examples\":[\"device-000.log\"]}\
+             ]}"
+        );
+    }
+
+    #[test]
+    fn json_parses_back() {
+        let json = sample().to_json();
+        let v = icd_obs::json::parse(&json).unwrap();
+        match v {
+            icd_obs::json::Value::Obj(map) => {
+                assert!(map.iter().any(|(k, _)| k == "root_causes"));
+            }
+            other => panic!("expected object, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn text_rendering_mentions_every_candidate() {
+        let text = sample().render_text();
+        assert!(text.contains("gate U7 (NAND2)"));
+        assert!(text.contains("region observed at chain 0 cell 2"));
+        assert!(text.contains("coverage: 60.0%"));
+    }
+
+    #[test]
+    fn permille_conventions() {
+        assert_eq!(permille(0, 0), 1000);
+        assert_eq!(permille(1, 2), 500);
+        assert_eq!(permille(2, 3), 666);
+    }
+}

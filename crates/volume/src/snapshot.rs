@@ -1,0 +1,307 @@
+//! Persistent cross-batch cache snapshots keyed by the netlist's
+//! structural fingerprint.
+//!
+//! A volume run derives one exhaustive truth table per cell type — `2^n`
+//! switch-level solves each. Those tables depend only on the cell
+//! library, which the netlist fingerprint covers (the circuit embeds its
+//! types), so a second batch over the same design can skip the solves
+//! entirely by restoring a snapshot written by the first.
+//!
+//! The format is deliberately line-oriented text, one artifact per line:
+//!
+//! ```text
+//! icd-volume-snapshot v1
+//! netlist 066c9881c41fe856
+//! table INV 1 10
+//! table NAND2 2 1110
+//! ```
+//!
+//! `table <cell> <inputs> <entries>` spells the table's `2^inputs`
+//! entries as `0`/`1`/`U` characters in index order. Snapshots are an
+//! optimization, never a correctness input: any load failure (missing
+//! file, wrong fingerprint, corrupt line) degrades to a cold start.
+
+use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use icd_core::AnalysisCache;
+use icd_logic::{Lv, TruthTable};
+use icd_netlist::ContentHash;
+
+/// First line of every snapshot file.
+pub const SNAPSHOT_HEADER: &str = "icd-volume-snapshot v1";
+
+/// Why a snapshot failed to load.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// The file could not be read.
+    Io(io::Error),
+    /// A line did not parse.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong.
+        message: String,
+    },
+    /// The snapshot was written for a different netlist.
+    WrongNetlist {
+        /// Fingerprint the caller expected.
+        expected: String,
+        /// Fingerprint recorded in the file.
+        found: String,
+    },
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot i/o error: {e}"),
+            SnapshotError::Malformed { line, message } => {
+                write!(f, "snapshot line {line}: {message}")
+            }
+            SnapshotError::WrongNetlist { expected, found } => {
+                write!(f, "snapshot is for netlist {found}, expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl From<io::Error> for SnapshotError {
+    fn from(e: io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+/// Where the snapshot for `hash` lives under `dir`.
+pub fn snapshot_path(dir: &Path, hash: ContentHash) -> PathBuf {
+    dir.join(format!("{hash}.tables"))
+}
+
+fn lv_char(lv: Lv) -> char {
+    match lv {
+        Lv::Zero => '0',
+        Lv::One => '1',
+        Lv::U => 'U',
+    }
+}
+
+fn lv_from_char(c: char) -> Option<Lv> {
+    match c {
+        '0' => Some(Lv::Zero),
+        '1' => Some(Lv::One),
+        'U' => Some(Lv::U),
+        _ => None,
+    }
+}
+
+/// Writes every truth table currently held by `cache` to `path`,
+/// creating parent directories as needed. Returns the number of tables
+/// written.
+///
+/// The write goes through a process-unique temporary file and a rename,
+/// so a concurrent reader never observes a half-written snapshot.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error; the caller treats save failures as
+/// a lost optimization, not a run failure.
+pub fn save(cache: &AnalysisCache, hash: ContentHash, path: &Path) -> io::Result<usize> {
+    let mut text = String::new();
+    text.push_str(SNAPSHOT_HEADER);
+    text.push('\n');
+    text.push_str(&format!("netlist {hash}\n"));
+    let tables = cache.table_snapshot();
+    let mut written = 0usize;
+    for (name, table) in &tables {
+        if name.contains(char::is_whitespace) {
+            // A name with whitespace cannot round-trip the line format;
+            // no standard cell has one, so just leave it out.
+            continue;
+        }
+        text.push_str("table ");
+        text.push_str(name);
+        text.push_str(&format!(" {} ", table.inputs()));
+        for &lv in table.entries() {
+            text.push(lv_char(lv));
+        }
+        text.push('\n');
+        written += 1;
+    }
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+    std::fs::write(&tmp, text)?;
+    std::fs::rename(&tmp, path)?;
+    Ok(written)
+}
+
+/// Loads the snapshot at `path` into `cache`, validating that it was
+/// written for the netlist fingerprinted by `hash`. Returns the number
+/// of tables preloaded.
+///
+/// Preloaded tables count as neither cache hits nor misses; the first
+/// real lookup on each is a hit that skips the `2^n` derivation.
+///
+/// # Errors
+///
+/// Any failure ([`SnapshotError`]) leaves the cache in a usable state —
+/// tables preloaded before a corrupt line stay preloaded, and the caller
+/// simply proceeds cold for the rest.
+pub fn load(cache: &AnalysisCache, hash: ContentHash, path: &Path) -> Result<usize, SnapshotError> {
+    let text = std::fs::read_to_string(path)?;
+    let mut lines = text.lines().enumerate();
+    let malformed = |line: usize, message: String| SnapshotError::Malformed {
+        line: line + 1,
+        message,
+    };
+    match lines.next() {
+        Some((_, first)) if first.trim() == SNAPSHOT_HEADER => {}
+        Some((n, first)) => {
+            return Err(malformed(n, format!("bad header {first:?}")));
+        }
+        None => return Err(malformed(0, "empty snapshot".into())),
+    }
+    match lines.next() {
+        Some((n, line)) => {
+            let found = line
+                .strip_prefix("netlist ")
+                .map(str::trim)
+                .ok_or_else(|| malformed(n, format!("expected netlist line, got {line:?}")))?;
+            if ContentHash::parse(found) != Some(hash) {
+                return Err(SnapshotError::WrongNetlist {
+                    expected: hash.to_string(),
+                    found: found.to_owned(),
+                });
+            }
+        }
+        None => return Err(malformed(1, "missing netlist line".into())),
+    }
+    let mut loaded = 0usize;
+    for (n, line) in lines {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut words = line.split_whitespace();
+        match words.next() {
+            Some("table") => {}
+            _ => return Err(malformed(n, format!("expected table line, got {line:?}"))),
+        }
+        let name = words
+            .next()
+            .ok_or_else(|| malformed(n, "table line missing cell name".into()))?;
+        let inputs: usize = words
+            .next()
+            .and_then(|w| w.parse().ok())
+            .ok_or_else(|| malformed(n, "table line missing input count".into()))?;
+        let entry_text = words
+            .next()
+            .ok_or_else(|| malformed(n, "table line missing entries".into()))?;
+        if words.next().is_some() {
+            return Err(malformed(n, "trailing words on table line".into()));
+        }
+        let entries: Vec<Lv> = entry_text
+            .chars()
+            .map(lv_from_char)
+            .collect::<Option<_>>()
+            .ok_or_else(|| malformed(n, format!("bad entry character in {entry_text:?}")))?;
+        let table = TruthTable::from_entries(inputs, entries)
+            .map_err(|e| malformed(n, format!("bad table: {e}")))?;
+        cache.preload_table(name, std::sync::Arc::new(table));
+        loaded += 1;
+    }
+    Ok(loaded)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("icd-volume-snap-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn hash_of(byte: u8) -> ContentHash {
+        ContentHash::parse(&format!("{:016x}", u64::from(byte))).unwrap()
+    }
+
+    #[test]
+    fn round_trips_tables_through_disk() {
+        let dir = temp_dir("round");
+        let hash = hash_of(7);
+        let warm = AnalysisCache::new();
+        let inv = TruthTable::from_entries(1, vec![Lv::One, Lv::Zero]).unwrap();
+        let nand = TruthTable::from_entries(2, vec![Lv::One, Lv::One, Lv::One, Lv::Zero]).unwrap();
+        warm.preload_table("INV", Arc::new(inv.clone()));
+        warm.preload_table("NAND2", Arc::new(nand.clone()));
+        let path = snapshot_path(&dir, hash);
+        assert_eq!(save(&warm, hash, &path).unwrap(), 2);
+
+        let cold = AnalysisCache::new();
+        assert_eq!(load(&cold, hash, &path).unwrap(), 2);
+        let restored = cold.table_snapshot();
+        assert_eq!(restored.len(), 2);
+        assert_eq!(*restored[0].1, inv);
+        assert_eq!(*restored[1].1, nand);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wrong_netlist_is_rejected() {
+        let dir = temp_dir("wrong");
+        let warm = AnalysisCache::new();
+        warm.preload_table(
+            "INV",
+            Arc::new(TruthTable::from_entries(1, vec![Lv::One, Lv::Zero]).unwrap()),
+        );
+        let path = dir.join("snap.tables");
+        save(&warm, hash_of(1), &path).unwrap();
+        let cold = AnalysisCache::new();
+        assert!(matches!(
+            load(&cold, hash_of(2), &path),
+            Err(SnapshotError::WrongNetlist { .. })
+        ));
+        assert!(cold.table_snapshot().is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_lines_are_reported_with_position() {
+        let dir = temp_dir("corrupt");
+        let path = dir.join("snap.tables");
+        let hash = hash_of(3);
+        std::fs::write(
+            &path,
+            format!("{SNAPSHOT_HEADER}\nnetlist {hash}\ntable INV 1 1X\n"),
+        )
+        .unwrap();
+        let cache = AnalysisCache::new();
+        match load(&cache, hash, &path) {
+            Err(SnapshotError::Malformed { line: 3, .. }) => {}
+            other => panic!("expected malformed line 3, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let dir = temp_dir("missing");
+        let cache = AnalysisCache::new();
+        assert!(matches!(
+            load(&cache, hash_of(4), &dir.join("absent.tables")),
+            Err(SnapshotError::Io(_))
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
