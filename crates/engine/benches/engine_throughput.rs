@@ -42,9 +42,16 @@ struct SweepPoint {
     seconds: f64,
     patterns_per_s: f64,
     suspects_per_s: f64,
-    /// (stage name, calls, total stage seconds summed over all calls),
-    /// from the run's `flow.*`/`batch.*` latency histograms.
-    stages: Vec<(&'static str, u64, f64)>,
+    /// (stage name, calls, cumulative CPU seconds over all calls, max
+    /// single-call seconds), from the run's `flow.*`/`batch.*` latency
+    /// histograms. Stage calls run concurrently across workers, so the
+    /// cumulative figure is CPU attribution, not wall time — at 8
+    /// workers it can exceed the batch's wall seconds several-fold.
+    /// An earlier format wrote it as `"seconds"`, which read as wall
+    /// time and looked like a regression as workers grew; it is now
+    /// `"cpu_seconds"`, with `"max_call_s"` as the scheduling-free
+    /// single-call bound.
+    stages: Vec<(&'static str, u64, f64, f64)>,
 }
 
 fn sweep(ctx: &Arc<ExperimentContext>, batch: &[Datalog]) -> Vec<SweepPoint> {
@@ -66,7 +73,7 @@ fn sweep(ctx: &Arc<ExperimentContext>, batch: &[Datalog]) -> Vec<SweepPoint> {
                 .histograms
                 .iter()
                 .filter(|(name, _)| name.starts_with("flow.") || name.starts_with("batch."))
-                .map(|(name, h)| (*name, h.count, h.sum_us as f64 / 1e6))
+                .map(|(name, h)| (*name, h.count, h.sum_us as f64 / 1e6, h.max_us as f64 / 1e6))
                 .collect();
             SweepPoint {
                 workers,
@@ -103,8 +110,11 @@ fn write_json(points: &[SweepPoint]) {
             let stages: Vec<String> = p
                 .stages
                 .iter()
-                .map(|(name, calls, secs)| {
-                    format!("\"{name}\": {{ \"calls\": {calls}, \"seconds\": {secs:.6} }}")
+                .map(|(name, calls, cpu_secs, max_call_s)| {
+                    format!(
+                        "\"{name}\": {{ \"calls\": {calls}, \"cpu_seconds\": {cpu_secs:.6}, \
+                         \"max_call_s\": {max_call_s:.6} }}"
+                    )
                 })
                 .collect();
             format!(

@@ -91,12 +91,29 @@ impl Error for JobError {
 }
 
 /// One datalog's merged result, at its input position.
-#[derive(Debug)]
 pub struct BatchOutcome {
     /// Index of the datalog in the submitted batch.
     pub index: usize,
     /// The merged staged-flow report, or the whole-datalog failure.
     pub report: Result<FlowReport, JobError>,
+    /// Cumulative worker time spent in this datalog's front and suspect
+    /// jobs (µs). Jobs run concurrently, so this is CPU-style busy time,
+    /// not wall latency — and it is scheduling-dependent, so it must
+    /// never leak into a serialized report (volume reports stay
+    /// byte-identical at any worker count).
+    pub busy_us: u64,
+}
+
+/// `busy_us` is deliberately absent: the `Debug` rendering IS the
+/// determinism contract (tests compare it byte-for-byte across worker
+/// counts), and busy time is scheduling noise.
+impl fmt::Debug for BatchOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BatchOutcome")
+            .field("index", &self.index)
+            .field("report", &self.report)
+            .finish_non_exhaustive()
+    }
 }
 
 /// Engine-level counters of one batch run.
@@ -168,11 +185,13 @@ enum Message {
     Front {
         index: usize,
         output: Result<FrontOutput, JobError>,
+        busy_us: u64,
     },
     Suspect {
         index: usize,
         slot: usize,
         result: Box<Result<GateAnalysis, (FlowStage, FlowError)>>,
+        busy_us: u64,
     },
 }
 
@@ -411,6 +430,7 @@ impl BatchEngine {
             let datalog = datalog.clone();
             let token = token.clone();
             pool.submit(Box::new(move || {
+                let job_t0 = Instant::now();
                 let _span = icd_obs::span_with("batch.front", &[("datalog", index as u64)]);
                 let output = if token.is_cancelled() {
                     Err(JobError::Flow(FlowError::Cancelled))
@@ -420,7 +440,11 @@ impl BatchEngine {
                         Err(p) => Err(JobError::Panicked(panic_message(p))),
                     }
                 };
-                let _ = job_tx.send(Message::Front { index, output });
+                let _ = job_tx.send(Message::Front {
+                    index,
+                    output,
+                    busy_us: job_t0.elapsed().as_micros() as u64,
+                });
             }));
         }
 
@@ -429,6 +453,7 @@ impl BatchEngine {
         let mut pending: Vec<Option<Pending>> = (0..datalogs.len()).map(|_| None).collect();
         let mut remaining = datalogs.len();
         let mut suspect_jobs = 0usize;
+        let mut device_busy_us: Vec<u64> = vec![0; datalogs.len()];
 
         while remaining > 0 {
             let Ok(msg) = rx.recv() else {
@@ -437,88 +462,100 @@ impl BatchEngine {
                 break;
             };
             match msg {
-                Message::Front { index, output } => match output {
-                    Ok(FrontOutput::Done(report)) => {
-                        outcomes[index] = Some(Ok(*report));
-                        remaining -= 1;
-                    }
-                    Ok(FrontOutput::Work {
-                        sanitize,
-                        failing_patterns,
-                        unexplained,
-                        shared,
-                        suspects,
-                    }) => {
-                        pending[index] = Some(Pending {
+                Message::Front {
+                    index,
+                    output,
+                    busy_us,
+                } => {
+                    device_busy_us[index] += busy_us;
+                    match output {
+                        Ok(FrontOutput::Done(report)) => {
+                            outcomes[index] = Some(Ok(*report));
+                            remaining -= 1;
+                        }
+                        Ok(FrontOutput::Work {
                             sanitize,
                             failing_patterns,
                             unexplained,
-                            suspects: suspects.clone(),
-                            slots: (0..suspects.len()).map(|_| None).collect(),
-                            filled: 0,
-                        });
-                        // Largest fanout cones first: the most expensive
-                        // per-suspect resimulations start earliest, so no
-                        // big cone straggles at the tail of the pool.
-                        // Results merge by original slot, so the report is
-                        // independent of submission order (the sort is
-                        // stable, keeping the schedule deterministic too).
-                        let mut order: Vec<usize> = (0..suspects.len()).collect();
-                        order.sort_by_key(|&s| {
-                            std::cmp::Reverse(ctx.circuit.cone_size(suspects[s]))
-                        });
-                        for slot in order {
-                            let gate = suspects[slot];
-                            suspect_jobs += 1;
-                            let ctx = Arc::clone(ctx);
-                            let good = Arc::clone(&good);
-                            let cache = Arc::clone(&cache);
-                            let shared = Arc::clone(&shared);
-                            let job_tx = tx.clone();
-                            let token = token.clone();
-                            pool.submit(Box::new(move || {
-                                let _span = icd_obs::span_with(
-                                    "batch.suspect",
-                                    &[("datalog", index as u64), ("slot", slot as u64)],
-                                );
-                                let result = if token.is_cancelled() {
-                                    Err((FlowStage::Worker, FlowError::Cancelled))
-                                } else {
-                                    catch_unwind(AssertUnwindSafe(|| {
-                                        analyze_suspect(
-                                            &ctx,
-                                            &shared.datalog,
-                                            &shared.inter,
-                                            &good,
-                                            gate,
-                                            Some(&cache),
-                                        )
-                                    }))
-                                    .unwrap_or_else(|p| {
-                                        Err((
-                                            FlowStage::Worker,
-                                            FlowError::Panicked(panic_message(p)),
-                                        ))
-                                    })
-                                };
-                                let _ = job_tx.send(Message::Suspect {
-                                    index,
-                                    slot,
-                                    result: Box::new(result),
-                                });
-                            }));
+                            shared,
+                            suspects,
+                        }) => {
+                            pending[index] = Some(Pending {
+                                sanitize,
+                                failing_patterns,
+                                unexplained,
+                                suspects: suspects.clone(),
+                                slots: (0..suspects.len()).map(|_| None).collect(),
+                                filled: 0,
+                            });
+                            // Largest fanout cones first: the most expensive
+                            // per-suspect resimulations start earliest, so no
+                            // big cone straggles at the tail of the pool.
+                            // Results merge by original slot, so the report is
+                            // independent of submission order (the sort is
+                            // stable, keeping the schedule deterministic too).
+                            let mut order: Vec<usize> = (0..suspects.len()).collect();
+                            order.sort_by_key(|&s| {
+                                std::cmp::Reverse(ctx.circuit.cone_size(suspects[s]))
+                            });
+                            for slot in order {
+                                let gate = suspects[slot];
+                                suspect_jobs += 1;
+                                let ctx = Arc::clone(ctx);
+                                let good = Arc::clone(&good);
+                                let cache = Arc::clone(&cache);
+                                let shared = Arc::clone(&shared);
+                                let job_tx = tx.clone();
+                                let token = token.clone();
+                                pool.submit(Box::new(move || {
+                                    let job_t0 = Instant::now();
+                                    let _span = icd_obs::span_with(
+                                        "batch.suspect",
+                                        &[("datalog", index as u64), ("slot", slot as u64)],
+                                    );
+                                    let result =
+                                        if token.is_cancelled() {
+                                            Err((FlowStage::Worker, FlowError::Cancelled))
+                                        } else {
+                                            catch_unwind(AssertUnwindSafe(|| {
+                                                analyze_suspect(
+                                                    &ctx,
+                                                    &shared.datalog,
+                                                    &shared.inter,
+                                                    &good,
+                                                    gate,
+                                                    Some(&cache),
+                                                )
+                                            }))
+                                            .unwrap_or_else(|p| {
+                                                Err((
+                                                    FlowStage::Worker,
+                                                    FlowError::Panicked(panic_message(p)),
+                                                ))
+                                            })
+                                        };
+                                    let _ = job_tx.send(Message::Suspect {
+                                        index,
+                                        slot,
+                                        result: Box::new(result),
+                                        busy_us: job_t0.elapsed().as_micros() as u64,
+                                    });
+                                }));
+                            }
+                        }
+                        Err(e) => {
+                            outcomes[index] = Some(Err(e));
+                            remaining -= 1;
                         }
                     }
-                    Err(e) => {
-                        outcomes[index] = Some(Err(e));
-                        remaining -= 1;
-                    }
-                },
+                }
                 Message::Suspect {
                     index,
                     slot,
                     result,
+                    busy_us,
                 } => {
+                    device_busy_us[index] += busy_us;
                     let done = if let Some(p) = pending[index].as_mut() {
                         if p.slots[slot].is_none() {
                             p.filled += 1;
@@ -581,6 +618,7 @@ impl BatchEngine {
                 report: outcome.unwrap_or_else(|| {
                     Err(JobError::Panicked("datalog result missing".to_owned()))
                 }),
+                busy_us: device_busy_us[index],
             })
             .collect();
         Ok(BatchReport {

@@ -208,6 +208,22 @@ impl DiagnosisService {
         token: &CancelToken,
         on_event: &mut dyn FnMut(StreamEvent<'_>),
     ) -> Result<FlowReport, ServiceError> {
+        self.diagnose_streamed_traced(datalog, token, None, on_event)
+    }
+
+    /// [`diagnose_streamed`](Self::diagnose_streamed) with an optional
+    /// per-request trace: every front/suspect job *enters* the trace on
+    /// its worker thread, so the request's `service.front` /
+    /// `service.suspect` spans — and the `flow.*` stage spans nested
+    /// inside them — land in the trace's span forest even though they
+    /// execute on pool threads the caller never sees.
+    pub fn diagnose_streamed_traced(
+        &self,
+        datalog: &Datalog,
+        token: &CancelToken,
+        trace: Option<&icd_obs::TraceContext>,
+        on_event: &mut dyn FnMut(StreamEvent<'_>),
+    ) -> Result<FlowReport, ServiceError> {
         if token.is_cancelled() {
             return Err(ServiceError::Job(JobError::Flow(FlowError::Cancelled)));
         }
@@ -221,7 +237,9 @@ impl DiagnosisService {
             let token = token.clone();
             let job_tx = tx.clone();
             let hook = self.job_hook.clone();
+            let trace = trace.cloned();
             let job = Box::new(move || {
+                let _trace = trace.as_ref().map(icd_obs::TraceContext::enter);
                 let _span = icd_obs::stage("service.front");
                 let output = if token.is_cancelled() {
                     Err(JobError::Flow(FlowError::Cancelled))
@@ -298,7 +316,9 @@ impl DiagnosisService {
             let token_job = token.clone();
             let job_tx = tx.clone();
             let hook = self.job_hook.clone();
+            let trace_job = trace.cloned();
             let job = Box::new(move || {
+                let _trace = trace_job.as_ref().map(icd_obs::TraceContext::enter);
                 let _span = icd_obs::stage("service.suspect");
                 let result = if token_job.is_cancelled() {
                     Err((FlowStage::Worker, FlowError::Cancelled))

@@ -3,11 +3,14 @@
 //!
 //! Instrumentation sites call the free functions ([`counter`],
 //! [`gauge_set`], [`observe_us`], [`span`], [`stage`], …). When no
-//! collector is installed they cost **one relaxed atomic load** and
-//! return immediately — the overhead budget of the hot CPT/ranking
-//! paths, enforced by `disabled_span_site_costs_almost_nothing`. When a
-//! [`Collector`] is installed (see [`Collector::install`]) the calls
-//! record into it from any thread.
+//! collector is installed and no trace is entered they cost **two
+//! relaxed atomic loads** and return immediately — the overhead budget
+//! of the hot CPT/ranking paths, enforced by
+//! `disabled_span_site_costs_almost_nothing`. When a [`Collector`] is
+//! installed (see [`Collector::install`]) the calls record into it from
+//! any thread; when the thread has additionally entered a per-request
+//! [`TraceContext`](crate::TraceContext), finished spans are *also*
+//! recorded into that trace.
 //!
 //! The active collector is process-global state: installing from two
 //! threads at once stacks (last install wins until its guard drops,
@@ -35,6 +38,13 @@ static ACTIVE: RwLock<Option<Arc<Inner>>> = RwLock::new(None);
 /// Small dense per-thread ids (worker threads of one process), assigned
 /// on first use.
 static NEXT_THREAD: AtomicU64 = AtomicU64::new(0);
+/// Process-global span id / start-order counters, shared by the
+/// collector and per-request traces so one open span can record into
+/// both with consistent parent linkage. Only *relative* order matters
+/// downstream, so a global counter preserves every canonicalization
+/// guarantee.
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+static NEXT_SEQ: AtomicU64 = AtomicU64::new(0);
 
 thread_local! {
     static THREAD_ID: Cell<Option<u64>> = const { Cell::new(None) };
@@ -91,8 +101,6 @@ struct MetricsStore {
 #[derive(Debug)]
 pub(crate) struct Inner {
     epoch: Instant,
-    next_seq: AtomicU64,
-    next_id: AtomicU64,
     metrics: Mutex<MetricsStore>,
     spans: Mutex<Vec<RawSpan>>,
 }
@@ -182,13 +190,16 @@ pub struct SpanGuard(Option<OpenSpan>);
 
 #[derive(Debug)]
 struct OpenSpan {
-    inner: Arc<Inner>,
+    inner: Option<Arc<Inner>>,
+    trace: Option<Arc<crate::trace::TraceInner>>,
     id: u64,
     parent: Option<u64>,
     name: &'static str,
     attrs: Vec<(&'static str, u64)>,
     seq: u64,
     start: Instant,
+    /// Start offset relative to the *collector's* epoch (the trace sink
+    /// recomputes its own offset from `start`).
     start_us: u64,
     record_histogram: bool,
 }
@@ -198,11 +209,17 @@ fn open_span(
     attrs: &[(&'static str, u64)],
     record_histogram: bool,
 ) -> SpanGuard {
-    let Some(inner) = active() else {
+    // The disabled fast path: two relaxed loads, no further work.
+    if INSTALLS.load(Ordering::Relaxed) == 0 && !crate::trace::any_entered() {
         return SpanGuard(None);
-    };
-    let id = inner.next_id.fetch_add(1, Ordering::Relaxed);
-    let seq = inner.next_seq.fetch_add(1, Ordering::Relaxed);
+    }
+    let inner = active();
+    let trace = crate::trace::current();
+    if inner.is_none() && trace.is_none() {
+        return SpanGuard(None);
+    }
+    let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+    let seq = NEXT_SEQ.fetch_add(1, Ordering::Relaxed);
     let parent = SPAN_STACK.with(|s| {
         let mut s = s.borrow_mut();
         let parent = s.last().copied();
@@ -211,8 +228,12 @@ fn open_span(
     });
     let start = Instant::now();
     SpanGuard(Some(OpenSpan {
-        start_us: start.duration_since(inner.epoch).as_micros() as u64,
+        start_us: inner
+            .as_ref()
+            .map(|i| start.duration_since(i.epoch).as_micros() as u64)
+            .unwrap_or(0),
         inner,
+        trace,
         id,
         parent,
         name,
@@ -240,11 +261,7 @@ impl Drop for SpanGuard {
                 s.truncate(pos);
             }
         });
-        if open.record_histogram {
-            open.inner
-                .observe_us(open.name, duration_us, Stability::Stable);
-        }
-        lock(&open.inner.spans).push(RawSpan {
+        let raw = RawSpan {
             id: open.id,
             parent: open.parent,
             name: open.name,
@@ -253,7 +270,33 @@ impl Drop for SpanGuard {
             seq: open.seq,
             start_us: open.start_us,
             duration_us,
-        });
+        };
+        if let Some(trace) = open.trace {
+            trace.record_span(raw.clone(), open.start);
+        }
+        if let Some(inner) = open.inner {
+            if open.record_histogram {
+                inner.observe_us(open.name, duration_us, Stability::Stable);
+            }
+            lock(&inner.spans).push(raw);
+        }
+    }
+}
+
+/// Builds a finished root-level span record for work measured outside
+/// the guard machinery — e.g. the frame decode that *produces* a
+/// request's trace id, which necessarily completes before the trace
+/// exists. Only the trace sink injects these.
+pub(crate) fn external_raw_span(name: &'static str, duration_us: u64) -> RawSpan {
+    RawSpan {
+        id: NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed),
+        parent: None,
+        name,
+        attrs: Vec::new(),
+        thread: thread_id(),
+        seq: NEXT_SEQ.fetch_add(1, Ordering::Relaxed),
+        start_us: 0,
+        duration_us,
     }
 }
 
@@ -298,8 +341,6 @@ impl Collector {
         Collector {
             inner: Arc::new(Inner {
                 epoch: Instant::now(),
-                next_seq: AtomicU64::new(0),
-                next_id: AtomicU64::new(1),
                 metrics: Mutex::default(),
                 spans: Mutex::default(),
             }),

@@ -1,0 +1,156 @@
+//! A size-rotated JSONL event log: one line per record, appended under
+//! a mutex, rolled to `<path>.1` when the active file would exceed its
+//! budget.
+//!
+//! The server writes one record per completed wire request (trace id,
+//! outcome, timings, span forest); a long-running daemon must bound the
+//! disk it consumes, so the log keeps at most two generations — the
+//! active file and one rotated predecessor — for a worst case of
+//! roughly `2 × max_bytes` on disk.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Mutex, MutexGuard};
+
+/// Default rotation budget: 64 MiB per generation.
+pub const DEFAULT_MAX_BYTES: u64 = 64 * 1024 * 1024;
+
+#[derive(Debug)]
+struct EventLogInner {
+    file: File,
+    written: u64,
+}
+
+/// A shared, size-rotated append-only JSONL file.
+#[derive(Debug)]
+pub struct EventLog {
+    path: PathBuf,
+    max_bytes: u64,
+    inner: Mutex<EventLogInner>,
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+impl EventLog {
+    /// Opens (appending) or creates the log at `path`, rotating once a
+    /// generation exceeds `max_bytes` (clamped to at least 4 KiB so a
+    /// tiny budget cannot rotate on every record).
+    pub fn open(path: impl Into<PathBuf>, max_bytes: u64) -> io::Result<EventLog> {
+        let path = path.into();
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        let written = file.metadata()?.len();
+        Ok(EventLog {
+            path,
+            max_bytes: max_bytes.max(4096),
+            inner: Mutex::new(EventLogInner { file, written }),
+        })
+    }
+
+    /// The path of the active generation.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    fn rotated_path(&self) -> PathBuf {
+        let mut name = self.path.as_os_str().to_owned();
+        name.push(".1");
+        PathBuf::from(name)
+    }
+
+    /// Appends one record (a single line, no trailing newline needed —
+    /// one is added; embedded newlines would corrupt the JSONL framing
+    /// and are replaced with spaces). Rotates first when the record
+    /// would push the active generation past the budget.
+    pub fn write_line(&self, line: &str) -> io::Result<()> {
+        let clean;
+        let line = if line.contains('\n') {
+            clean = line.replace('\n', " ");
+            clean.as_str()
+        } else {
+            line
+        };
+        let mut inner = lock(&self.inner);
+        let record_len = line.len() as u64 + 1;
+        if inner.written > 0 && inner.written + record_len > self.max_bytes {
+            inner.file.flush()?;
+            std::fs::rename(&self.path, self.rotated_path())?;
+            inner.file = OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&self.path)?;
+            inner.written = 0;
+        }
+        inner.file.write_all(line.as_bytes())?;
+        inner.file.write_all(b"\n")?;
+        inner.file.flush()?;
+        inner.written += record_len;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("icd-obs-eventlog-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn appends_lines_and_survives_reopen() {
+        let dir = temp_dir("append");
+        let path = dir.join("events.jsonl");
+        {
+            let log = EventLog::open(&path, DEFAULT_MAX_BYTES).unwrap();
+            log.write_line("{\"a\":1}").unwrap();
+            log.write_line("{\"b\":2}").unwrap();
+        }
+        let log = EventLog::open(&path, DEFAULT_MAX_BYTES).unwrap();
+        log.write_line("{\"c\":3}").unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text, "{\"a\":1}\n{\"b\":2}\n{\"c\":3}\n");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rotates_to_dot_one_when_over_budget() {
+        let dir = temp_dir("rotate");
+        let path = dir.join("events.jsonl");
+        let log = EventLog::open(&path, 4096).unwrap();
+        let record = format!("{{\"pad\":\"{}\"}}", "x".repeat(1000));
+        for _ in 0..8 {
+            log.write_line(&record).unwrap();
+        }
+        let rotated = std::fs::read_to_string(log.rotated_path()).unwrap();
+        let active = std::fs::read_to_string(&path).unwrap();
+        assert!(!rotated.is_empty(), "rotation must have happened");
+        // No record is lost or split across the boundary.
+        let total = rotated.lines().count() + active.lines().count();
+        assert_eq!(total, 8);
+        for line in rotated.lines().chain(active.lines()) {
+            assert_eq!(line.len(), record.len());
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn embedded_newlines_cannot_break_framing() {
+        let dir = temp_dir("newline");
+        let path = dir.join("events.jsonl");
+        let log = EventLog::open(&path, DEFAULT_MAX_BYTES).unwrap();
+        log.write_line("bad\nrecord").unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text, "bad record\n");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -16,12 +16,20 @@
 //!   [`Stability`] class so [`MetricsSnapshot::redacted`] can strip the
 //!   scheduling-dependent parts for byte-identical comparison.
 //! * **A process-global collector** — instrumentation sites are free
-//!   functions costing **one relaxed atomic load** when no [`Collector`]
-//!   is installed, so the hot CPT/ranking paths can stay instrumented
-//!   always.
+//!   functions costing **two relaxed atomic loads** when no
+//!   [`Collector`] is installed and no trace is entered, so the hot
+//!   CPT/ranking paths can stay instrumented always.
+//! * **Per-request traces** — a [`TraceContext`] entered on every
+//!   thread serving one wire request records that request's span forest
+//!   and point events ([`trace_event`]) independently of the
+//!   process-global stream, for structured per-request logging.
+//! * **Rolling windows** — [`WindowedHistogram`] keeps a ring of time
+//!   slices so a live endpoint can report p50/p95/p99
+//!   ([`HistogramSnapshot::percentile_us`]) over recent traffic.
 //! * **Export** — [`MetricsSnapshot::to_json`], a human `Display`
-//!   summary table, span-tree JSON with a redaction mode, and a minimal
-//!   [`json`] parser for offline validation tooling.
+//!   summary table, span-tree JSON with a redaction mode, a rotating
+//!   JSONL [`EventLog`], and a minimal [`json`] parser for offline
+//!   validation tooling.
 //!
 //! ```
 //! use icd_obs::Collector;
@@ -44,18 +52,24 @@
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::panic))]
 
 mod collector;
+mod eventlog;
 pub mod json;
 mod metrics;
 mod span;
+mod trace;
+mod window;
 
 pub use collector::{
     counter, enabled, gauge_set, observe_us, observe_us_unstable, span, span_with, stage,
     Collector, InstallGuard, LocalInstallGuard, SpanGuard,
 };
+pub use eventlog::{EventLog, DEFAULT_MAX_BYTES};
 pub use metrics::{
     bucket_index, bucket_lower_bound_us, HistogramSnapshot, MetricsSnapshot, Stability, BUCKETS,
 };
 pub use span::{forest_json, SpanNode};
+pub use trace::{mint_trace_id, trace_event, TraceContext, TraceEvent, TraceGuard};
+pub use window::WindowedHistogram;
 
 #[cfg(test)]
 mod tests {
@@ -158,6 +172,43 @@ mod tests {
         assert_eq!(local.snapshot().counters["t.local"].0, 1);
         assert_eq!(global.snapshot().counters["t.local"].0, 10);
         assert!(!enabled());
+    }
+
+    #[test]
+    fn entered_traces_capture_spans_alongside_the_collector() {
+        let _serial = serial();
+        let collector = Collector::new();
+        let trace = TraceContext::new(0xabc);
+        {
+            let _active = collector.install();
+            let _entered = trace.enter();
+            let _root = span("t.request");
+            drop(stage("t.stage"));
+        }
+        let in_trace = trace.span_forest();
+        assert_eq!(in_trace.len(), 1);
+        assert_eq!(in_trace[0].name, "t.request");
+        assert_eq!(in_trace[0].children[0].name, "t.stage");
+        let in_collector = collector.span_forest();
+        assert_eq!(in_collector.len(), 1);
+        assert_eq!(in_collector[0].children[0].name, "t.stage");
+        // Stage histograms stay a collector concern.
+        assert_eq!(collector.snapshot().histograms["t.stage"].count, 1);
+    }
+
+    #[test]
+    fn traces_record_spans_even_without_a_collector() {
+        let _serial = serial();
+        assert!(!enabled());
+        let trace = TraceContext::new(1);
+        {
+            let _entered = trace.enter();
+            drop(span("t.orphan"));
+        }
+        drop(span("t.after"));
+        let forest = trace.span_forest();
+        assert_eq!(forest.len(), 1);
+        assert_eq!(forest[0].name, "t.orphan");
     }
 
     #[test]

@@ -77,27 +77,48 @@ pub struct HistogramSnapshot {
     pub count: u64,
     /// Sum of all recorded values (µs).
     pub sum_us: u64,
+    /// Largest single recorded value (µs); always [`Stability::Timing`],
+    /// zeroed by redaction like the rest of the distribution.
+    pub max_us: u64,
     /// Per-bucket sample counts (see [`bucket_lower_bound_us`]).
     pub buckets: [u64; BUCKETS],
     /// Whether the *count* is scheduling-independent. The value
-    /// distribution (sum, buckets) is always [`Stability::Timing`].
+    /// distribution (sum, max, buckets) is always [`Stability::Timing`].
     pub count_stability: Stability,
 }
 
 impl HistogramSnapshot {
-    pub(crate) fn new(count_stability: Stability) -> Self {
+    /// A fresh, empty histogram whose sample *count* has the given
+    /// stability class.
+    pub fn new(count_stability: Stability) -> Self {
         HistogramSnapshot {
             count: 0,
             sum_us: 0,
+            max_us: 0,
             buckets: [0; BUCKETS],
             count_stability,
         }
     }
 
-    pub(crate) fn record(&mut self, us: u64) {
+    /// Records one sample (µs). The sum saturates rather than wrapping:
+    /// a long-lived daemon must not be able to panic a histogram.
+    pub fn record(&mut self, us: u64) {
         self.count += 1;
-        self.sum_us += us;
+        self.sum_us = self.sum_us.saturating_add(us);
+        self.max_us = self.max_us.max(us);
         self.buckets[bucket_index(us)] += 1;
+    }
+
+    /// Folds another histogram into this one (bucket-wise sum, max of
+    /// maxes). Used by windowed aggregation to merge time slices.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        self.count += other.count;
+        self.sum_us = self.sum_us.saturating_add(other.sum_us);
+        self.max_us = self.max_us.max(other.max_us);
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count_stability = self.count_stability.merge(other.count_stability);
     }
 
     /// Mean sample value in microseconds (0 when empty).
@@ -107,6 +128,47 @@ impl HistogramSnapshot {
         } else {
             self.sum_us as f64 / self.count as f64
         }
+    }
+
+    /// Estimates the `q`-quantile (`0.0 < q <= 1.0`) in microseconds
+    /// from the log₂ buckets, `None` when the histogram is empty.
+    ///
+    /// The rank-`r` sample (`r = ceil(q·count)`, clamped to
+    /// `[1, count]`) lives in some bucket `[lower, upper)`; the estimate
+    /// interpolates linearly between `lower` and `upper − 1` by the
+    /// sample's position inside that bucket, so it always falls inside
+    /// the value range the bucket can actually hold (error strictly less
+    /// than one bucket width). The overflow bucket has no upper bound
+    /// and clamps to its lower bound; a recorded [`max_us`](Self::
+    /// max_us) additionally caps every estimate. Estimates are monotone
+    /// in `q` by construction.
+    pub fn percentile_us(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (i, &in_bucket) in self.buckets.iter().enumerate() {
+            if in_bucket == 0 || cum + in_bucket < rank {
+                cum += in_bucket;
+                continue;
+            }
+            let lower = bucket_lower_bound_us(i);
+            let est = if i + 1 >= BUCKETS {
+                // Overflow bucket: unbounded above, clamp to the floor.
+                lower
+            } else if in_bucket == 1 {
+                lower
+            } else {
+                let upper = bucket_lower_bound_us(i + 1);
+                let pos = rank - cum; // 1..=in_bucket
+                lower + (upper - 1 - lower) * (pos - 1) / (in_bucket - 1)
+            };
+            return Some(est.min(self.max_us));
+        }
+        // Unreachable when buckets sum to count; be conservative for
+        // hand-built histograms that violate the invariant.
+        None
     }
 }
 
@@ -206,10 +268,11 @@ impl MetricsSnapshot {
             let buckets: Vec<String> = h.buckets.iter().map(|b| b.to_string()).collect();
             out.push_str(&format!(
                 ": {{ \"count\": {}, \"count_stability\": \"{}\", \"sum_us\": {}, \
-                 \"buckets\": [{}] }}",
+                 \"max_us\": {}, \"buckets\": [{}] }}",
                 h.count,
                 h.count_stability.as_str(),
                 h.sum_us,
+                h.max_us,
                 buckets.join(", ")
             ));
         }
@@ -306,6 +369,56 @@ mod tests {
     }
 
     #[test]
+    fn percentiles_interpolate_within_bucket_bounds() {
+        let mut h = HistogramSnapshot::new(Stability::Timing);
+        assert_eq!(h.percentile_us(0.5), None);
+        h.record(100);
+        // A single sample: every quantile is that sample's bucket floor,
+        // capped by the sample itself.
+        assert_eq!(h.percentile_us(0.5), Some(64));
+        assert_eq!(h.percentile_us(0.99), Some(64));
+        for us in [0, 10, 1000, 100_000] {
+            h.record(us);
+        }
+        let p50 = h.percentile_us(0.50).unwrap();
+        let p95 = h.percentile_us(0.95).unwrap();
+        let p99 = h.percentile_us(0.99).unwrap();
+        assert!(p50 <= p95 && p95 <= p99, "{p50} {p95} {p99}");
+        // p99 of 5 samples is the rank-5 sample (100_000), whose bucket
+        // is [65536, 131072); the estimate stays inside it.
+        assert!((65_536..131_072).contains(&p99), "{p99}");
+        // All samples in the overflow bucket clamp to its floor.
+        let mut top = HistogramSnapshot::new(Stability::Timing);
+        for _ in 0..3 {
+            top.record(u64::MAX / 2);
+        }
+        assert_eq!(
+            top.percentile_us(0.99),
+            Some(bucket_lower_bound_us(BUCKETS - 1))
+        );
+        // All-zero samples report zero, not the bucket's upper edge.
+        let mut zeros = HistogramSnapshot::new(Stability::Timing);
+        for _ in 0..8 {
+            zeros.record(0);
+        }
+        assert_eq!(zeros.percentile_us(0.99), Some(0));
+    }
+
+    #[test]
+    fn merge_folds_counts_sums_and_maxes() {
+        let mut a = HistogramSnapshot::new(Stability::Stable);
+        a.record(10);
+        let mut b = HistogramSnapshot::new(Stability::Timing);
+        b.record(5000);
+        a.merge(&b);
+        assert_eq!(a.count, 2);
+        assert_eq!(a.sum_us, 5010);
+        assert_eq!(a.max_us, 5000);
+        assert_eq!(a.buckets.iter().sum::<u64>(), 2);
+        assert_eq!(a.count_stability, Stability::Timing);
+    }
+
+    #[test]
     fn redaction_zeroes_timing_values_but_keeps_keys() {
         let mut snap = MetricsSnapshot::default();
         snap.counters.insert("a.stable", (7, Stability::Stable));
@@ -323,7 +436,7 @@ mod tests {
         assert_eq!(r.counters["b.timing"], (0, Stability::Timing));
         assert_eq!(r.gauges["g"], (0, Stability::Timing));
         let h = &r.histograms["h.stable_count"];
-        assert_eq!((h.count, h.sum_us), (1, 0));
+        assert_eq!((h.count, h.sum_us, h.max_us), (1, 0, 0));
         assert_eq!(h.buckets, [0; BUCKETS]);
         assert_eq!(r.histograms["h.timing_count"].count, 0);
         // Same key set as the original.

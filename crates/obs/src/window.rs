@@ -1,0 +1,161 @@
+//! Rolling-window latency histograms: a ring of time slices that is
+//! merged into one [`HistogramSnapshot`] covering roughly the last
+//! `window` of wall time.
+//!
+//! The server's live Stats endpoint needs percentiles over *recent*
+//! traffic, not process lifetime, and must snapshot without pausing
+//! service. A [`WindowedHistogram`] keeps `slices` fixed-duration
+//! sub-histograms in a ring indexed by a slice epoch (`now / slice`);
+//! recording into the current slice lazily evicts whatever stale slice
+//! the ring position held, and a snapshot merges only the slices still
+//! inside the window. Both operations are O(slices · BUCKETS) worst
+//! case with no allocation after construction, so a brief mutex around
+//! the whole structure is cheap enough for the request path.
+//!
+//! Time is passed in explicitly (microseconds since an arbitrary epoch,
+//! e.g. server start) so tests can drive the clock deterministically.
+
+use std::time::Duration;
+
+use crate::metrics::{HistogramSnapshot, Stability};
+
+/// One ring slot: the slice epoch it currently holds data for, plus the
+/// samples recorded during that slice.
+#[derive(Debug, Clone)]
+struct Slice {
+    /// `now_us / slice_us` at record time; `u64::MAX` = never written.
+    epoch: u64,
+    hist: HistogramSnapshot,
+}
+
+/// A latency histogram over a rolling wall-clock window.
+#[derive(Debug, Clone)]
+pub struct WindowedHistogram {
+    slice_us: u64,
+    slices: Vec<Slice>,
+    /// Lifetime totals, never evicted — the coherence anchor for
+    /// "requests_total equals the sum of outcome counters".
+    lifetime: HistogramSnapshot,
+}
+
+impl WindowedHistogram {
+    /// A window of `window` wall time split into `slices` ring slots.
+    /// `slices` must be at least 1; a zero-length window is clamped to
+    /// one microsecond per slice.
+    pub fn new(window: Duration, slices: usize) -> Self {
+        let slices = slices.max(1);
+        let slice_us = ((window.as_micros() as u64) / slices as u64).max(1);
+        WindowedHistogram {
+            slice_us,
+            slices: vec![
+                Slice {
+                    epoch: u64::MAX,
+                    hist: HistogramSnapshot::new(Stability::Timing),
+                };
+                slices
+            ],
+            lifetime: HistogramSnapshot::new(Stability::Timing),
+        }
+    }
+
+    /// Records one sample (µs) observed at `now_us` (µs since the
+    /// caller's epoch).
+    pub fn record_at(&mut self, now_us: u64, value_us: u64) {
+        let epoch = now_us / self.slice_us;
+        let idx = (epoch % self.slices.len() as u64) as usize;
+        let slot = &mut self.slices[idx];
+        if slot.epoch != epoch {
+            slot.epoch = epoch;
+            slot.hist = HistogramSnapshot::new(Stability::Timing);
+        }
+        slot.hist.record(value_us);
+        self.lifetime.record(value_us);
+    }
+
+    /// The merged histogram of every slice still inside the window at
+    /// `now_us`. A slice is live when its epoch is within `slices - 1`
+    /// of the current one, so the snapshot covers between
+    /// `window - slice` and `window` of wall time.
+    pub fn snapshot_at(&self, now_us: u64) -> HistogramSnapshot {
+        let epoch = now_us / self.slice_us;
+        let live_from = epoch.saturating_sub(self.slices.len() as u64 - 1);
+        let mut merged = HistogramSnapshot::new(Stability::Timing);
+        for slot in &self.slices {
+            if slot.epoch != u64::MAX && slot.epoch >= live_from && slot.epoch <= epoch {
+                merged.merge(&slot.hist);
+            }
+        }
+        merged
+    }
+
+    /// Lifetime (never-evicted) totals across every sample ever
+    /// recorded.
+    pub fn lifetime(&self) -> &HistogramSnapshot {
+        &self.lifetime
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MS: u64 = 1_000;
+
+    fn window() -> WindowedHistogram {
+        // 10 ms window, 5 slices of 2 ms.
+        WindowedHistogram::new(Duration::from_millis(10), 5)
+    }
+
+    #[test]
+    fn recent_samples_are_visible_and_old_ones_expire() {
+        let mut w = window();
+        w.record_at(0, 100);
+        w.record_at(MS, 200);
+        let snap = w.snapshot_at(MS);
+        assert_eq!(snap.count, 2);
+        assert_eq!(snap.sum_us, 300);
+        // 9 ms later the first slice (epoch 0) is still inside the
+        // 5-slice window at epoch 4…
+        assert_eq!(w.snapshot_at(9 * MS).count, 2);
+        // …but at epoch 5 (10 ms) it has rolled out.
+        assert_eq!(w.snapshot_at(10 * MS).count, 0);
+    }
+
+    #[test]
+    fn ring_slots_are_lazily_reused() {
+        let mut w = window();
+        w.record_at(0, 1);
+        // Same ring slot 5 slices later: the stale slice is evicted on
+        // write, not read.
+        w.record_at(10 * MS, 7);
+        let snap = w.snapshot_at(10 * MS);
+        assert_eq!(snap.count, 1);
+        assert_eq!(snap.sum_us, 7);
+    }
+
+    #[test]
+    fn lifetime_totals_never_expire() {
+        let mut w = window();
+        w.record_at(0, 5);
+        w.record_at(100 * MS, 6);
+        assert_eq!(w.lifetime().count, 2);
+        assert_eq!(w.lifetime().sum_us, 11);
+        assert_eq!(w.lifetime().max_us, 6);
+        assert_eq!(w.snapshot_at(100 * MS).count, 1);
+    }
+
+    #[test]
+    fn percentiles_come_from_the_window_not_the_lifetime() {
+        let mut w = window();
+        for _ in 0..100 {
+            w.record_at(0, 10_000);
+        }
+        // The slow burst expires; only the fast recent traffic counts.
+        for i in 0..10 {
+            w.record_at(20 * MS + i, 100);
+        }
+        let snap = w.snapshot_at(20 * MS);
+        let p99 = snap.percentile_us(0.99).unwrap();
+        assert!(p99 < 1_000, "p99 {p99} should reflect recent traffic");
+    }
+}

@@ -1,0 +1,135 @@
+//! Property tests for log₂-bucket percentile estimation — the math
+//! behind the daemon's live p50/p95/p99 stats.
+//!
+//! The contract under test ([`HistogramSnapshot::percentile_us`]):
+//!
+//! * estimates are **monotone** in `q`;
+//! * every estimate is **bounded** by the recorded max and sits inside
+//!   the bucket of the true nearest-rank sample, so the absolute error
+//!   is strictly less than one bucket width;
+//! * the empty histogram yields `None`, a single sample pins every
+//!   quantile, and the unbounded top bucket clamps to its floor.
+
+#![allow(clippy::unwrap_used, clippy::panic)] // test code
+
+use icd_obs::{bucket_index, bucket_lower_bound_us, HistogramSnapshot, Stability, BUCKETS};
+use proptest::prelude::*;
+
+/// Samples spanning every magnitude: a uniform u64 right-shifted by a
+/// uniform amount lands in all 22 buckets with meaningful probability
+/// (plain uniform u64 would pile everything into the overflow bucket).
+fn arb_samples(max_len: usize) -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(
+        (any::<u64>(), 0usize..64).prop_map(|(v, shift)| v >> shift),
+        1..=max_len,
+    )
+}
+
+fn histogram_of(samples: &[u64]) -> HistogramSnapshot {
+    let mut h = HistogramSnapshot::new(Stability::Timing);
+    for &s in samples {
+        h.record(s);
+    }
+    h
+}
+
+/// The exact nearest-rank quantile the estimate approximates.
+fn true_nearest_rank(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+proptest! {
+    #[test]
+    fn percentiles_are_monotone_in_q(samples in arb_samples(200)) {
+        let h = histogram_of(&samples);
+        let qs = [0.01, 0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99, 1.0];
+        let mut prev = 0u64;
+        for q in qs {
+            let est = h.percentile_us(q).unwrap();
+            prop_assert!(
+                est >= prev,
+                "percentile_us({q}) = {est} dropped below {prev}"
+            );
+            prop_assert!(est <= h.max_us, "estimate exceeds the recorded max");
+            prev = est;
+        }
+    }
+
+    #[test]
+    fn estimates_land_in_the_true_sample_bucket(
+        samples in arb_samples(100),
+        q_permille in 1u32..=1000,
+    ) {
+        let q = f64::from(q_permille) / 1000.0;
+        let h = histogram_of(&samples);
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        let truth = true_nearest_rank(&sorted, q);
+        let est = h.percentile_us(q).unwrap();
+        // Same log₂ bucket as the true nearest-rank sample: the lower
+        // bound is hard; the upper bound holds except where the global
+        // max (which caps every estimate) lives in the same bucket.
+        let bucket = bucket_index(truth);
+        prop_assert!(
+            est >= bucket_lower_bound_us(bucket),
+            "estimate {est} fell below its bucket floor for truth {truth}"
+        );
+        if bucket + 1 < BUCKETS {
+            prop_assert!(
+                est < bucket_lower_bound_us(bucket + 1),
+                "estimate {est} escaped the bucket of truth {truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn merged_histograms_estimate_like_the_union(
+        a in arb_samples(60),
+        b in arb_samples(60),
+    ) {
+        // Windowed stats merge per-slice histograms; merging then
+        // estimating must equal recording the union directly.
+        let mut merged = histogram_of(&a);
+        merged.merge(&histogram_of(&b));
+        let union: Vec<u64> = a.iter().chain(b.iter()).copied().collect();
+        let direct = histogram_of(&union);
+        for q in [0.50, 0.95, 0.99] {
+            prop_assert_eq!(merged.percentile_us(q), direct.percentile_us(q));
+        }
+    }
+}
+
+#[test]
+fn empty_histogram_has_no_percentiles() {
+    let h = HistogramSnapshot::new(Stability::Timing);
+    for q in [0.5, 0.95, 0.99, 1.0] {
+        assert_eq!(h.percentile_us(q), None);
+    }
+}
+
+#[test]
+fn a_single_sample_pins_every_quantile() {
+    for sample in [0u64, 1, 7, 1024, 123_456_789] {
+        let mut h = HistogramSnapshot::new(Stability::Timing);
+        h.record(sample);
+        let floor = bucket_lower_bound_us(bucket_index(sample));
+        for q in [0.01, 0.5, 0.99, 1.0] {
+            let est = h.percentile_us(q).unwrap();
+            assert_eq!(est, floor.min(sample), "sample {sample}, q {q}");
+            assert!(est <= sample);
+        }
+    }
+}
+
+#[test]
+fn all_samples_in_the_top_bucket_clamp_to_its_floor() {
+    let mut h = HistogramSnapshot::new(Stability::Timing);
+    let floor = bucket_lower_bound_us(BUCKETS - 1);
+    for v in [floor, floor * 3, u64::MAX] {
+        h.record(v);
+    }
+    for q in [0.5, 0.95, 0.99] {
+        assert_eq!(h.percentile_us(q), Some(floor));
+    }
+}

@@ -1,0 +1,303 @@
+//! Bench-to-baseline comparison: the perf-regression gate behind
+//! `icdiag benchdiff`.
+//!
+//! The repo commits one JSON baseline per benchmark (`BENCH_engine.json`,
+//! `BENCH_packed.json`, `BENCH_eventsim.json`). A fresh bench run emits
+//! the same shape; this module flattens both files to dot-path numeric
+//! metrics, classifies each metric's direction, and flags regressions
+//! past a tolerance:
+//!
+//! * **higher is better** (gated): `*_per_s` throughputs, `speedup`,
+//!   `gate_eval_reduction` — a new value below `old × (1 − tolerance)`
+//!   regresses;
+//! * **lower is better** (gated): top-level `seconds` / `*_seconds`
+//!   wall times — a new value above `old × (1 + tolerance)` regresses;
+//! * **informational** (never gated): everything else, including
+//!   per-stage timings under `stages.` (cumulative CPU seconds are
+//!   scheduling-dependent and far too noisy to gate) and metrics present
+//!   in only one file.
+//!
+//! The verdict is machine-readable JSON; `icdiag benchdiff` exits 4 on
+//! any regression so CI can gate on it.
+
+use icd_obs::json::{self, Value};
+
+/// Which way a metric is supposed to move.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Throughput-class: smaller new values regress.
+    HigherIsBetter,
+    /// Wall-time-class: larger new values regress.
+    LowerIsBetter,
+    /// Compared and reported but never gated.
+    Informational,
+}
+
+impl Direction {
+    fn label(self) -> &'static str {
+        match self {
+            Direction::HigherIsBetter => "higher_is_better",
+            Direction::LowerIsBetter => "lower_is_better",
+            Direction::Informational => "informational",
+        }
+    }
+}
+
+/// One compared metric.
+#[derive(Debug, Clone)]
+pub struct MetricDelta {
+    /// Dot-path into the bench JSON, e.g. `results.0.suspects_per_s`.
+    pub name: String,
+    /// Baseline value.
+    pub old: f64,
+    /// Fresh value.
+    pub new: f64,
+    /// Gating direction.
+    pub direction: Direction,
+    /// Tolerance applied (fraction, e.g. 0.2 = 20%).
+    pub tolerance: f64,
+    /// Whether this metric regressed past its tolerance.
+    pub regressed: bool,
+}
+
+/// The full comparison of one bench file against its baseline.
+#[derive(Debug)]
+pub struct BenchDiff {
+    /// The `bench` name both files agree on.
+    pub bench: String,
+    /// Every metric present in both files, in path order.
+    pub metrics: Vec<MetricDelta>,
+    /// Metric paths present only in the baseline.
+    pub only_old: Vec<String>,
+    /// Metric paths present only in the fresh run.
+    pub only_new: Vec<String>,
+}
+
+impl BenchDiff {
+    /// How many gated metrics regressed.
+    pub fn regressions(&self) -> usize {
+        self.metrics.iter().filter(|m| m.regressed).count()
+    }
+
+    /// The machine-readable verdict (`"verdict": "pass" | "regress"`).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(2048);
+        out.push_str("{\n");
+        out.push_str(&format!(
+            "  \"bench\": \"{}\",\n  \"verdict\": \"{}\",\n  \"compared\": {},\n  \"regressions\": {},\n",
+            self.bench,
+            if self.regressions() == 0 { "pass" } else { "regress" },
+            self.metrics.len(),
+            self.regressions(),
+        ));
+        out.push_str("  \"metrics\": [\n");
+        for (i, m) in self.metrics.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{ \"name\": \"{}\", \"old\": {}, \"new\": {}, \"direction\": \"{}\", \"tolerance\": {}, \"status\": \"{}\" }}{}\n",
+                m.name,
+                m.old,
+                m.new,
+                m.direction.label(),
+                m.tolerance,
+                if m.regressed { "regressed" } else { "ok" },
+                if i + 1 < self.metrics.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("  ],\n");
+        for (key, paths) in [("only_old", &self.only_old), ("only_new", &self.only_new)] {
+            out.push_str(&format!("  \"{key}\": ["));
+            for (i, p) in paths.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!("\"{p}\""));
+            }
+            out.push(']');
+            out.push_str(if key == "only_old" { ",\n" } else { "\n" });
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+fn flatten(value: &Value, prefix: &str, out: &mut Vec<(String, f64)>) {
+    match value {
+        Value::Num(n) => out.push((prefix.to_owned(), *n)),
+        Value::Obj(map) => {
+            for (k, v) in map {
+                let path = if prefix.is_empty() {
+                    k.clone()
+                } else {
+                    format!("{prefix}.{k}")
+                };
+                flatten(v, &path, out);
+            }
+        }
+        Value::Arr(items) => {
+            for (i, v) in items.iter().enumerate() {
+                flatten(v, &format!("{prefix}.{i}"), out);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Classifies a metric path. Only the final path segment decides the
+/// direction; anything under a `stages.` subtree is informational
+/// regardless (per-stage CPU attribution is scheduling noise).
+fn classify(path: &str) -> Direction {
+    if path.contains("stages.") {
+        return Direction::Informational;
+    }
+    let leaf = path.rsplit('.').next().unwrap_or(path);
+    if leaf.ends_with("_per_s") || leaf == "speedup" || leaf == "gate_eval_reduction" {
+        Direction::HigherIsBetter
+    } else if leaf == "seconds" || leaf.ends_with("_seconds") {
+        Direction::LowerIsBetter
+    } else {
+        Direction::Informational
+    }
+}
+
+/// Compares a fresh bench JSON against its committed baseline.
+///
+/// # Errors
+///
+/// A human-readable message when either file fails to parse, the
+/// `bench` names disagree, or no metric overlaps.
+pub fn compare(old_json: &str, new_json: &str, tolerance: f64) -> Result<BenchDiff, String> {
+    let old = json::parse(old_json).map_err(|e| format!("baseline: {e}"))?;
+    let new = json::parse(new_json).map_err(|e| format!("fresh run: {e}"))?;
+    let bench_of = |v: &Value| -> Option<String> {
+        v.get("bench").and_then(|b| b.as_str()).map(str::to_owned)
+    };
+    let old_bench = bench_of(&old).ok_or("baseline has no \"bench\" name")?;
+    let new_bench = bench_of(&new).ok_or("fresh run has no \"bench\" name")?;
+    if old_bench != new_bench {
+        return Err(format!(
+            "bench mismatch: baseline is \"{old_bench}\", fresh run is \"{new_bench}\""
+        ));
+    }
+    let mut old_metrics = Vec::new();
+    let mut new_metrics = Vec::new();
+    flatten(&old, "", &mut old_metrics);
+    flatten(&new, "", &mut new_metrics);
+    let new_map: std::collections::BTreeMap<&str, f64> =
+        new_metrics.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+    let old_keys: std::collections::BTreeSet<&str> =
+        old_metrics.iter().map(|(k, _)| k.as_str()).collect();
+
+    let mut metrics = Vec::new();
+    let mut only_old = Vec::new();
+    for (name, old_value) in &old_metrics {
+        let Some(&new_value) = new_map.get(name.as_str()) else {
+            only_old.push(name.clone());
+            continue;
+        };
+        let direction = classify(name);
+        let regressed = match direction {
+            Direction::HigherIsBetter => new_value < old_value * (1.0 - tolerance),
+            Direction::LowerIsBetter => new_value > old_value * (1.0 + tolerance),
+            Direction::Informational => false,
+        };
+        metrics.push(MetricDelta {
+            name: name.clone(),
+            old: *old_value,
+            new: new_value,
+            direction,
+            tolerance,
+            regressed,
+        });
+    }
+    let only_new: Vec<String> = new_metrics
+        .iter()
+        .filter(|(k, _)| !old_keys.contains(k.as_str()))
+        .map(|(k, _)| k.clone())
+        .collect();
+    if metrics.is_empty() {
+        return Err("no metric overlaps between baseline and fresh run".to_owned());
+    }
+    Ok(BenchDiff {
+        bench: old_bench,
+        metrics,
+        only_old,
+        only_new,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BASE: &str = r#"{ "bench": "engine_throughput", "host_cores": 1,
+        "results": [ { "workers": 1, "seconds": 0.10, "suspects_per_s": 300.0, "speedup": 1.0,
+            "stages": { "flow.intercell": { "calls": 8, "cpu_seconds": 0.08 } } } ] }"#;
+
+    fn with_suspects(per_s: f64) -> String {
+        BASE.replace("300.0", &per_s.to_string())
+    }
+
+    #[test]
+    fn identical_runs_pass() {
+        let diff = compare(BASE, BASE, 0.20).expect("compares");
+        assert_eq!(diff.regressions(), 0);
+        assert!(diff.to_json().contains("\"verdict\": \"pass\""));
+        // Stage timings are compared but never gated.
+        let stage = diff
+            .metrics
+            .iter()
+            .find(|m| m.name.contains("stages."))
+            .expect("stage metric present");
+        assert_eq!(stage.direction, Direction::Informational);
+    }
+
+    #[test]
+    fn a_20_percent_throughput_drop_regresses() {
+        let fresh = with_suspects(300.0 * 0.79);
+        let diff = compare(BASE, &fresh, 0.20).expect("compares");
+        assert_eq!(diff.regressions(), 1);
+        let json = diff.to_json();
+        assert!(json.contains("\"verdict\": \"regress\""));
+        assert!(json.contains("suspects_per_s"));
+        // Just inside tolerance: passes.
+        let ok = with_suspects(300.0 * 0.81);
+        assert_eq!(compare(BASE, &ok, 0.20).expect("compares").regressions(), 0);
+    }
+
+    #[test]
+    fn wall_time_increases_regress_but_stage_noise_does_not() {
+        let slower = BASE.replace("\"seconds\": 0.10", "\"seconds\": 0.15");
+        let diff = compare(BASE, &slower, 0.20).expect("compares");
+        assert_eq!(diff.regressions(), 1);
+        let noisy_stage = BASE.replace("0.08", "0.80");
+        assert_eq!(
+            compare(BASE, &noisy_stage, 0.20)
+                .expect("compares")
+                .regressions(),
+            0,
+            "stage timings are informational"
+        );
+    }
+
+    #[test]
+    fn mismatched_or_malformed_inputs_error() {
+        assert!(compare("not json", BASE, 0.2).is_err());
+        assert!(compare(BASE, "not json", 0.2).is_err());
+        let other = BASE.replace("engine_throughput", "packed_throughput");
+        assert!(compare(BASE, &other, 0.2).is_err());
+    }
+
+    #[test]
+    fn one_sided_metrics_are_listed_not_gated() {
+        let extra = BASE.replace(
+            "\"speedup\": 1.0,",
+            "\"speedup\": 1.0, \"new_metric\": 5.0,",
+        );
+        let diff = compare(BASE, &extra, 0.2).expect("compares");
+        assert_eq!(diff.regressions(), 0);
+        assert_eq!(diff.only_new, vec!["results.0.new_metric".to_owned()]);
+        let verdict = diff.to_json();
+        let parsed = icd_obs::json::parse(&verdict).expect("verdict is valid JSON");
+        assert!(parsed.get("only_new").is_some());
+    }
+}

@@ -7,9 +7,12 @@
 //!                     [--check-planted] [--quiet] [--metrics-out FILE]
 //! icdiag serve <dir> [--addr HOST:PORT] [--workers N] [--queue N] [--deadline-ms N]
 //!                    [--idle-ms N] [--drain-ms N] [--chaos-panic-rate F] [--chaos-seed S]
-//!                    [--metrics-out FILE]
-//! icdiag submit <addr> <file.log> [--deadline-ms N] [--timeout-ms N]
+//!                    [--metrics-out FILE] [--event-log FILE] [--slow-ms N]
+//! icdiag submit <addr> <file.log> [--deadline-ms N] [--timeout-ms N] [--trace-id HEX]
 //! icdiag submit-volume <addr> <dir> [--deadline-ms N] [--timeout-ms N]
+//! icdiag stats <addr>
+//! icdiag top <addr> [--interval-ms N] [--count N]
+//! icdiag benchdiff <baseline.json> <fresh.json> [--tolerance F]
 //! icdiag shutdown <addr>
 //! icdiag check-metrics <file>
 //! ```
@@ -44,7 +47,21 @@
 //! `serve` hosts the same directory's context as a streaming TCP daemon
 //! (see `icd-server`); `submit` sends one datalog to a daemon and prints
 //! the identical summary line `run` would; `shutdown` asks a daemon to
-//! drain and exit.
+//! drain and exit. With `--event-log` the daemon appends one JSONL
+//! record per completed request (trace id, outcome, span forest) to a
+//! size-rotated file; `--slow-ms` sets the latency above which a
+//! request is flagged slow (default 1000). `submit --trace-id` pins the
+//! request's trace id so the record can be grepped out of the log.
+//!
+//! `stats` fetches a live daemon's telemetry snapshot (the `Stats`
+//! frame) as JSON: outcome-partitioned request counters and rolling
+//! 60 s p50/p95/p99 latency percentiles per request type — served
+//! without pausing the daemon, even mid-drain. `top` polls the same
+//! snapshot as a one-line-per-tick dashboard.
+//!
+//! `benchdiff` compares a fresh bench JSON against a committed baseline
+//! (see `icd_server::benchdiff`) and exits 4 when a gated throughput or
+//! wall-time metric regressed past tolerance — the CI perf gate.
 //!
 //! `check-metrics` validates a `--metrics-out` file offline (the CI
 //! smoke check; no `jq` in the build environment).
@@ -52,7 +69,8 @@
 //! Exit codes: `0` clean diagnosis; `1` operational error; `2` usage
 //! error; `3` degraded diagnosis (some datalog failed outright, some
 //! suspect was skipped for a reason other than missing local failures,
-//! a submitted request came back degraded, or a serve drain was forced).
+//! a submitted request came back degraded, or a serve drain was
+//! forced); `4` benchdiff found a perf regression.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -82,9 +100,12 @@ fn usage() -> ExitCode {
          [--check-planted] [--quiet] [--metrics-out FILE]\n  \
          icdiag serve <dir> [--addr HOST:PORT] [--workers N] [--queue N] [--deadline-ms N]\n                     \
          [--idle-ms N] [--drain-ms N] [--chaos-panic-rate F] [--chaos-seed S]\n                     \
-         [--metrics-out FILE]\n  \
-         icdiag submit <addr> <file.log> [--deadline-ms N] [--timeout-ms N]\n  \
+         [--metrics-out FILE] [--event-log FILE] [--slow-ms N]\n  \
+         icdiag submit <addr> <file.log> [--deadline-ms N] [--timeout-ms N] [--trace-id HEX]\n  \
          icdiag submit-volume <addr> <dir> [--deadline-ms N] [--timeout-ms N]\n  \
+         icdiag stats <addr>\n  \
+         icdiag top <addr> [--interval-ms N] [--count N]\n  \
+         icdiag benchdiff <baseline.json> <fresh.json> [--tolerance F]\n  \
          icdiag shutdown <addr>\n  \
          icdiag check-metrics <file>\n\
          \n\
@@ -95,7 +116,8 @@ fn usage() -> ExitCode {
          3  degraded diagnosis: a datalog failed (panic or flow error), a suspect\n     \
          was skipped for a reason other than missing local failing patterns,\n     \
          part of a volume population was skipped or failed, a submitted request\n     \
-         was answered degraded, or a serve drain was forced"
+         was answered degraded, or a serve drain was forced\n  \
+         4  benchdiff: a gated metric regressed past its tolerance"
     );
     ExitCode::from(2)
 }
@@ -112,6 +134,9 @@ fn main() -> ExitCode {
         "serve" => cmd_serve(&args[1..]),
         "submit" => cmd_submit(&args[1..]),
         "submit-volume" => cmd_submit_volume(&args[1..]),
+        "stats" => cmd_stats(&args[1..]),
+        "top" => cmd_top(&args[1..]),
+        "benchdiff" => cmd_benchdiff(&args[1..]),
         "shutdown" => cmd_shutdown(&args[1..]),
         "check-metrics" => cmd_check_metrics(&args[1..]),
         _ => usage(),
@@ -162,6 +187,21 @@ fn flag<T: std::str::FromStr>(
             .parse()
             .map_err(|_| format!("--{name}: cannot parse {v:?}")),
     }
+}
+
+/// Parses a 64-bit trace id from hex (optionally `0x`-prefixed).
+/// Zero is rejected: it means "no trace id" on the wire.
+fn parse_trace_id(text: &str) -> Result<u64, String> {
+    let digits = text
+        .strip_prefix("0x")
+        .or_else(|| text.strip_prefix("0X"))
+        .unwrap_or(text);
+    let id = u64::from_str_radix(digits, 16)
+        .map_err(|_| format!("--trace-id: {text:?} is not a 64-bit hex id"))?;
+    if id == 0 {
+        return Err("--trace-id: zero means \"no trace id\" on the wire".to_owned());
+    }
+    Ok(id)
 }
 
 fn cmd_gen(args: &[String]) -> ExitCode {
@@ -527,6 +567,28 @@ fn read_planted_gate(dir: &Path) -> Result<String, String> {
         })
 }
 
+/// A device name with its diagnosis busy time in microseconds.
+type NamedUs<'a> = (&'a str, u64);
+
+/// Per-device busy-time percentiles for the volume summary line:
+/// `(slowest, p50, p95)` as `(name, busy_us)` pairs; `None` for an
+/// empty batch. Nearest-rank percentiles over the sorted busy times,
+/// ties broken by name so the line is deterministic.
+fn device_latency_summary(
+    latencies: &[(String, u64)],
+) -> Option<(NamedUs<'_>, NamedUs<'_>, NamedUs<'_>)> {
+    let mut sorted: Vec<&(String, u64)> = latencies.iter().collect();
+    sorted.sort_by(|a, b| a.1.cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+    let slowest = sorted.last()?;
+    let rank = |q: f64| {
+        let n = sorted.len();
+        let r = ((q * n as f64).ceil() as usize).clamp(1, n);
+        let (name, us) = sorted[r - 1];
+        (name.as_str(), *us)
+    };
+    Some(((slowest.0.as_str(), slowest.1), rank(0.50), rank(0.95)))
+}
+
 fn volume(args: &[String]) -> Result<ExitCode, String> {
     let (dir, flags) = parse_flags(args, &["check-planted", "quiet"])?;
     let workers: usize = flag(&flags, "workers", 0)?;
@@ -570,6 +632,17 @@ fn volume(args: &[String]) -> Result<ExitCode, String> {
             "cache: {} tables restored, {} persisted, {} derived this run",
             stats.snapshot_tables_loaded, stats.snapshot_tables_saved, stats.table_misses
         );
+        // Operator-facing only: busy time is scheduling-dependent and
+        // never enters the serialized report.
+        if let Some((slowest, p50, p95)) = device_latency_summary(&outcome.device_latency) {
+            println!(
+                "device latency: p50 {:.1} ms, p95 {:.1} ms, slowest {} ({:.1} ms)",
+                p50.1 as f64 / 1_000.0,
+                p95.1 as f64 / 1_000.0,
+                slowest.0,
+                slowest.1 as f64 / 1_000.0,
+            );
+        }
     }
     if let Some(path) = json_out {
         std::fs::write(&path, outcome.report.to_json())
@@ -625,10 +698,20 @@ fn serve(args: &[String]) -> Result<ExitCode, String> {
     let drain_ms: u64 = flag(&flags, "drain-ms", 10_000)?;
     let chaos_rate: f64 = flag(&flags, "chaos-panic-rate", 0.0)?;
     let chaos_seed: u64 = flag(&flags, "chaos-seed", 0xc4a05)?;
+    let slow_ms: u64 = flag(&flags, "slow-ms", 1_000)?;
     let metrics_out = flags
         .iter()
         .find(|(n, _)| n == "metrics-out")
         .map(|(_, v)| PathBuf::from(v));
+    let event_log = flags
+        .iter()
+        .find(|(n, _)| n == "event-log")
+        .map(|(_, v)| {
+            icd_obs::EventLog::open(v.as_str(), icd_obs::DEFAULT_MAX_BYTES)
+                .map(Arc::new)
+                .map_err(|e| format!("opening event log {v}: {e}"))
+        })
+        .transpose()?;
 
     let ctx = load_context(&dir)?;
     let engine_defaults = if workers > 0 {
@@ -646,6 +729,8 @@ fn serve(args: &[String]) -> Result<ExitCode, String> {
             rate: chaos_rate,
             seed: chaos_seed,
         }),
+        event_log,
+        slow_threshold: Duration::from_millis(slow_ms),
         ..ServerConfig::default()
     };
 
@@ -682,23 +767,34 @@ fn cmd_submit(args: &[String]) -> ExitCode {
 fn submit(args: &[String]) -> Result<ExitCode, String> {
     let [addr, file, rest @ ..] = args else {
         return Err(
-            "usage: icdiag submit <addr> <file.log> [--deadline-ms N] [--timeout-ms N]".to_owned(),
+            "usage: icdiag submit <addr> <file.log> [--deadline-ms N] [--timeout-ms N] \
+             [--trace-id HEX]"
+                .to_owned(),
         );
     };
     let flags = parse_flag_pairs(rest, &[])?;
     let deadline_ms: u32 = flag(&flags, "deadline-ms", 0)?;
     let timeout_ms: u64 = flag(&flags, "timeout-ms", 60_000)?;
+    let trace_id = flags
+        .iter()
+        .find(|(n, _)| n == "trace-id")
+        .map(|(_, v)| parse_trace_id(v))
+        .transpose()?;
 
     let text = std::fs::read_to_string(file).map_err(|e| format!("reading {file}: {e}"))?;
     let mut client = Client::connect(addr.as_str(), Duration::from_millis(timeout_ms))
         .map_err(|e| format!("connecting {addr}: {e}"))?;
     let response = client
-        .submit(&text, deadline_ms)
+        .submit_traced(&text, deadline_ms, trace_id)
         .map_err(|e| format!("submitting {file}: {e}"))?;
     let name = Path::new(file)
         .file_name()
         .map(|n| n.to_string_lossy().into_owned())
         .unwrap_or_else(|| file.clone());
+    if let Some(id) = trace_id {
+        // The grep key for the daemon's --event-log record.
+        println!("{name}: trace_id {id:#018x}");
+    }
     println!("{name}: {}", response.summary);
     Ok(match response.status {
         ResponseStatus::Ok => ExitCode::SUCCESS,
@@ -761,6 +857,147 @@ fn submit_volume(args: &[String]) -> Result<ExitCode, String> {
     Ok(match response.status {
         ResponseStatus::Ok => ExitCode::SUCCESS,
         ResponseStatus::Degraded => ExitCode::from(3),
+    })
+}
+
+fn cmd_stats(args: &[String]) -> ExitCode {
+    match stats(args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("icdiag stats: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn stats(args: &[String]) -> Result<(), String> {
+    let Some(addr) = args.first() else {
+        return Err("usage: icdiag stats <addr>".to_owned());
+    };
+    let mut client = Client::connect(addr.as_str(), Duration::from_secs(10))
+        .map_err(|e| format!("connecting {addr}: {e}"))?;
+    let snapshot = client
+        .stats()
+        .map_err(|e| format!("fetching stats from {addr}: {e}"))?;
+    // The StatsReport payload is already the canonical JSON snapshot.
+    print!("{snapshot}");
+    Ok(())
+}
+
+fn cmd_top(args: &[String]) -> ExitCode {
+    match top(args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("icdiag top: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// A dashboard line per poll: totals, queue/in-flight gauges, and the
+/// windowed request percentiles. `--count 0` polls until the daemon
+/// goes away.
+fn top(args: &[String]) -> Result<(), String> {
+    let [addr, rest @ ..] = args else {
+        return Err("usage: icdiag top <addr> [--interval-ms N] [--count N]".to_owned());
+    };
+    let flags = parse_flag_pairs(rest, &[])?;
+    let interval_ms: u64 = flag(&flags, "interval-ms", 1_000)?;
+    let count: u64 = flag(&flags, "count", 0)?;
+
+    let mut client = Client::connect(addr.as_str(), Duration::from_secs(10))
+        .map_err(|e| format!("connecting {addr}: {e}"))?;
+    println!(
+        "{:>8} {:>6} {:>6} {:>6} {:>6} {:>5} {:>5} {:>9} {:>9} {:>9}",
+        "total", "clean", "degr", "fail", "rej", "queue", "infl", "p50_ms", "p95_ms", "p99_ms"
+    );
+    let mut polls = 0u64;
+    loop {
+        let snapshot = client
+            .stats()
+            .map_err(|e| format!("fetching stats from {addr}: {e}"))?;
+        let v = icd_obs::json::parse(&snapshot)
+            .map_err(|e| format!("stats snapshot: invalid JSON: {e}"))?;
+        let num = |path: &[&str]| -> u64 {
+            let mut cur = &v;
+            for key in path {
+                match cur.get(key) {
+                    Some(next) => cur = next,
+                    None => return 0,
+                }
+            }
+            cur.as_u64().unwrap_or(0)
+        };
+        let pct_ms = |name: &str| -> String {
+            let window = v
+                .get("latency")
+                .and_then(|l| l.get("request"))
+                .and_then(|r| r.get("window"));
+            match window.and_then(|w| w.get(name)).and_then(Value::as_u64) {
+                Some(us) => format!("{:.1}", us as f64 / 1_000.0),
+                None => "-".to_owned(),
+            }
+        };
+        println!(
+            "{:>8} {:>6} {:>6} {:>6} {:>6} {:>5} {:>5} {:>9} {:>9} {:>9}{}",
+            num(&["requests", "total"]),
+            num(&["requests", "clean"]),
+            num(&["requests", "degraded"]),
+            num(&["requests", "failed"]),
+            num(&["requests", "rejected"]),
+            num(&["server", "queue_depth"]),
+            num(&["server", "in_flight"]),
+            pct_ms("p50_us"),
+            pct_ms("p95_us"),
+            pct_ms("p99_us"),
+            if v.get("server")
+                .and_then(|s| s.get("draining"))
+                .and_then(Value::as_bool)
+                == Some(true)
+            {
+                "  [draining]"
+            } else {
+                ""
+            },
+        );
+        polls += 1;
+        if count > 0 && polls >= count {
+            return Ok(());
+        }
+        std::thread::sleep(Duration::from_millis(interval_ms));
+    }
+}
+
+fn cmd_benchdiff(args: &[String]) -> ExitCode {
+    match benchdiff(args) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("icdiag benchdiff: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn benchdiff(args: &[String]) -> Result<ExitCode, String> {
+    let [baseline, fresh, rest @ ..] = args else {
+        return Err(
+            "usage: icdiag benchdiff <baseline.json> <fresh.json> [--tolerance F]".to_owned(),
+        );
+    };
+    let flags = parse_flag_pairs(rest, &[])?;
+    let tolerance: f64 = flag(&flags, "tolerance", 0.20)?;
+    if !(0.0..1.0).contains(&tolerance) {
+        return Err(format!("--tolerance: {tolerance} must be in [0, 1)"));
+    }
+    let old_json =
+        std::fs::read_to_string(baseline).map_err(|e| format!("reading {baseline}: {e}"))?;
+    let new_json = std::fs::read_to_string(fresh).map_err(|e| format!("reading {fresh}: {e}"))?;
+    let diff = icd_server::benchdiff::compare(&old_json, &new_json, tolerance)?;
+    print!("{}", diff.to_json());
+    Ok(if diff.regressions() == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(4)
     })
 }
 

@@ -124,6 +124,7 @@ impl ChaosClient {
         let request = Frame {
             frame_type: FrameType::Request,
             request_id: self.rng.next_u64(),
+            trace_id: None,
             payload: frame::request_payload(0, datalog_text),
         };
         let mut bytes = frame::encode(&request);

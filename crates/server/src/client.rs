@@ -144,10 +144,27 @@ impl Client {
         datalog_text: &str,
         deadline_ms: u32,
     ) -> Result<Response, ClientError> {
+        self.submit_traced(datalog_text, deadline_ms, None)
+    }
+
+    /// [`Client::submit`] carrying an explicit trace id on the request
+    /// frame ([`frame::FLAG_TRACE_ID`]); the server adopts it for the
+    /// request's event-log record instead of minting its own.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, server `Error` frames, or an early close.
+    pub fn submit_traced(
+        &mut self,
+        datalog_text: &str,
+        deadline_ms: u32,
+        trace_id: Option<u64>,
+    ) -> Result<Response, ClientError> {
         let id = self.next_id();
         self.send(&Frame {
             frame_type: FrameType::Request,
             request_id: id,
+            trace_id,
             payload: frame::request_payload(deadline_ms, datalog_text),
         })?;
         let mut suspects = Vec::new();
@@ -214,6 +231,7 @@ impl Client {
         self.send(&Frame {
             frame_type: FrameType::Volume,
             request_id: id,
+            trace_id: None,
             payload: frame::volume_request_payload(deadline_ms, devices),
         })?;
         let mut suspects = Vec::new();
@@ -256,6 +274,30 @@ impl Client {
                     return Err(ClientError::UnexpectedResponse(format!("{other:?}")));
                 }
             }
+        }
+    }
+
+    /// Snapshots the daemon's live stats: rolling-window counters,
+    /// latency percentiles, queue depth, drain state, uptime. Returns
+    /// the raw JSON (byte-stable field names; parse with
+    /// [`icd_obs::json`] if structure is needed).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or a non-`StatsReport` answer.
+    pub fn stats(&mut self) -> Result<String, ClientError> {
+        let id = self.next_id();
+        self.send(&Frame::bare(FrameType::Stats, id))?;
+        match self.recv()? {
+            Some(f) if f.frame_type == FrameType::StatsReport && f.request_id == id => {
+                Ok(String::from_utf8_lossy(&f.payload).into_owned())
+            }
+            Some(f) if f.frame_type == FrameType::Goodbye => Err(ClientError::Closed),
+            Some(f) => Err(ClientError::UnexpectedResponse(format!(
+                "{:?}",
+                f.frame_type
+            ))),
+            None => Err(ClientError::Closed),
         }
     }
 

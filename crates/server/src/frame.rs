@@ -7,12 +7,21 @@
 //! 0       4     magic        b"ICDS"
 //! 4       1     version      0x01
 //! 5       1     frame type   (see [`FrameType`])
-//! 6       2     reserved     must be zero (u16 LE)
+//! 6       2     flags        (u16 LE; unknown bits are rejected)
 //! 8       8     request id   (u64 LE, client-chosen, echoed in responses)
 //! 16      4     payload len  (u32 LE, <= negotiated max)
 //! 20      4     crc32        IEEE crc32 of the payload bytes (u32 LE)
 //! 24      len   payload
 //! ```
+//!
+//! The flags field was the always-zero reserved field through protocol
+//! version 1's first deployments; a zero flags word is byte-identical
+//! to the old encoding, so old and new builds interoperate as long as
+//! no flag is used. One flag is defined: [`FLAG_TRACE_ID`] declares
+//! that the payload starts with an 8-byte LE trace id (stripped on
+//! decode into [`Frame::trace_id`], echoed by the server on every
+//! response to the request). The payload length and crc32 cover the
+//! prefix.
 //!
 //! Malformed input never panics the daemon — every way a frame can be
 //! wrong is a typed [`ProtocolError`], split into two severities:
@@ -37,6 +46,10 @@ pub const VERSION: u8 = 1;
 pub const HEADER_LEN: usize = 24;
 /// Default cap on payload size; larger claims are rejected unread.
 pub const DEFAULT_MAX_PAYLOAD: u32 = 1 << 20;
+/// Header flag: the payload starts with an 8-byte LE trace id.
+pub const FLAG_TRACE_ID: u16 = 0x0001;
+/// Every flag bit this build understands; anything else is rejected.
+pub const KNOWN_FLAGS: u16 = FLAG_TRACE_ID;
 
 /// What a frame carries. Client-to-server types sit below 0x80,
 /// server-to-client types at or above it.
@@ -58,6 +71,12 @@ pub enum FrameType {
     /// by the canonical volume-report JSON (byte-identical to
     /// `icdiag volume --json-out` over the same corpus).
     Volume = 0x04,
+    /// Client: snapshot the daemon's live stats (rolling-window
+    /// counters, latency percentiles, queue depth, drain state); empty
+    /// payload. Answered with [`FrameType::StatsReport`]. Served even
+    /// while draining — an operator watching a drain is the moment
+    /// stats matter most.
+    Stats = 0x05,
     /// Server: the front stage resolved; payload is ASCII gate indices,
     /// space-separated, in report slot order.
     Suspects = 0x81,
@@ -75,6 +94,9 @@ pub enum FrameType {
     /// Server: orderly close (drain reached this connection or the
     /// client's shutdown was accepted); empty payload.
     Goodbye = 0x86,
+    /// Server: answer to [`FrameType::Stats`]; payload is the live
+    /// stats snapshot as JSON with byte-stable field names.
+    StatsReport = 0x87,
 }
 
 impl FrameType {
@@ -85,12 +107,14 @@ impl FrameType {
             0x02 => FrameType::Ping,
             0x03 => FrameType::Shutdown,
             0x04 => FrameType::Volume,
+            0x05 => FrameType::Stats,
             0x81 => FrameType::Suspects,
             0x82 => FrameType::Progress,
             0x83 => FrameType::Report,
             0x84 => FrameType::Error,
             0x85 => FrameType::Pong,
             0x86 => FrameType::Goodbye,
+            0x87 => FrameType::StatsReport,
             _ => return None,
         })
     }
@@ -168,10 +192,19 @@ pub enum ProtocolError {
         /// The version actually read.
         got: u8,
     },
-    /// Reserved header bytes were not zero.
-    ReservedNonZero {
-        /// The value actually read.
+    /// The flags field carried bits this build does not understand
+    /// (the pre-flags protocol required the field to be zero, so old
+    /// peers are a strict subset of this check).
+    UnknownFlags {
+        /// The flags word actually read.
         got: u16,
+    },
+    /// The header declared [`FLAG_TRACE_ID`] but the payload is too
+    /// short to hold the 8-byte prefix (frame-bounded: the payload was
+    /// fully consumed).
+    MissingTraceId {
+        /// Payload bytes actually present.
+        got: usize,
     },
     /// Frame type byte outside the known set (frame-bounded: the
     /// payload length was still trusted and consumed).
@@ -212,7 +245,9 @@ impl ProtocolError {
     pub fn is_frame_bounded(&self) -> bool {
         matches!(
             self,
-            ProtocolError::UnknownFrameType { .. } | ProtocolError::BadChecksum { .. }
+            ProtocolError::UnknownFrameType { .. }
+                | ProtocolError::BadChecksum { .. }
+                | ProtocolError::MissingTraceId { .. }
         )
     }
 }
@@ -229,8 +264,17 @@ impl fmt::Display for ProtocolError {
                     "unsupported protocol version {got} (this build speaks {VERSION})"
                 )
             }
-            ProtocolError::ReservedNonZero { got } => {
-                write!(f, "reserved header bytes must be zero (got {got:#06x})")
+            ProtocolError::UnknownFlags { got } => {
+                write!(
+                    f,
+                    "unknown header flag bits {got:#06x} (this build understands {KNOWN_FLAGS:#06x})"
+                )
+            }
+            ProtocolError::MissingTraceId { got } => {
+                write!(
+                    f,
+                    "trace-id flag set but payload holds only {got} bytes (need 8)"
+                )
             }
             ProtocolError::UnknownFrameType { got } => {
                 write!(f, "unknown frame type {got:#04x}")
@@ -302,7 +346,13 @@ pub struct Frame {
     pub frame_type: FrameType,
     /// Client-chosen id echoed in every response to the request.
     pub request_id: u64,
-    /// The payload bytes (already crc-verified on decode).
+    /// The request's trace id, when the frame carried
+    /// [`FLAG_TRACE_ID`]. On the wire it travels as an 8-byte LE
+    /// payload prefix; [`Frame::payload`] holds the bytes *after* the
+    /// prefix.
+    pub trace_id: Option<u64>,
+    /// The payload bytes (already crc-verified and trace-id-stripped on
+    /// decode).
     pub payload: Vec<u8>,
 }
 
@@ -312,8 +362,16 @@ impl Frame {
         Frame {
             frame_type,
             request_id,
+            trace_id: None,
             payload: Vec::new(),
         }
+    }
+
+    /// The same frame carrying a trace id (chainable constructor aid).
+    #[must_use]
+    pub fn with_trace_id(mut self, trace_id: Option<u64>) -> Frame {
+        self.trace_id = trace_id;
+        self
     }
 }
 
@@ -346,16 +404,35 @@ pub fn crc32(bytes: &[u8]) -> u32 {
     c ^ 0xffff_ffff
 }
 
-/// Encodes a frame to its wire bytes.
+/// Encodes a frame to its wire bytes. A frame without a trace id is
+/// byte-identical to the pre-flags encoding (flags word zero).
 pub fn encode(frame: &Frame) -> Vec<u8> {
-    let mut out = Vec::with_capacity(HEADER_LEN + frame.payload.len());
+    let prefix_len = if frame.trace_id.is_some() { 8 } else { 0 };
+    let wire_len = prefix_len + frame.payload.len();
+    let mut out = Vec::with_capacity(HEADER_LEN + wire_len);
     out.extend_from_slice(&MAGIC);
     out.push(VERSION);
     out.push(frame.frame_type as u8);
-    out.extend_from_slice(&0u16.to_le_bytes());
+    let flags = if frame.trace_id.is_some() {
+        FLAG_TRACE_ID
+    } else {
+        0
+    };
+    out.extend_from_slice(&flags.to_le_bytes());
     out.extend_from_slice(&frame.request_id.to_le_bytes());
-    out.extend_from_slice(&(frame.payload.len() as u32).to_le_bytes());
-    out.extend_from_slice(&crc32(&frame.payload).to_le_bytes());
+    out.extend_from_slice(&(wire_len as u32).to_le_bytes());
+    let crc = {
+        let mut wire_payload = Vec::with_capacity(wire_len);
+        if let Some(id) = frame.trace_id {
+            wire_payload.extend_from_slice(&id.to_le_bytes());
+        }
+        wire_payload.extend_from_slice(&frame.payload);
+        crc32(&wire_payload)
+    };
+    out.extend_from_slice(&crc.to_le_bytes());
+    if let Some(id) = frame.trace_id {
+        out.extend_from_slice(&id.to_le_bytes());
+    }
     out.extend_from_slice(&frame.payload);
     out
 }
@@ -376,16 +453,19 @@ pub struct Header {
     /// Raw frame-type byte; validated against [`FrameType`] only after
     /// the payload is consumed, so an unknown type stays frame-bounded.
     pub type_byte: u8,
+    /// Header flags (only [`KNOWN_FLAGS`] bits, enforced on parse).
+    pub flags: u16,
     /// Client-chosen request id.
     pub request_id: u64,
-    /// Payload length (already bounded by `max_payload`).
+    /// Payload length including any trace-id prefix (already bounded by
+    /// `max_payload`).
     pub payload_len: u32,
     /// Declared payload crc32.
     pub crc: u32,
 }
 
-/// Parses and validates the fixed-size header. Magic, version, reserved
-/// bytes and the length bound are checked here; the frame type and crc
+/// Parses and validates the fixed-size header. Magic, version, flag
+/// bits and the length bound are checked here; the frame type and crc
 /// are checked by [`finish_frame`] once the payload is in hand.
 ///
 /// # Errors
@@ -400,9 +480,9 @@ pub fn parse_header(bytes: &[u8; HEADER_LEN], max_payload: u32) -> Result<Header
     if bytes[4] != VERSION {
         return Err(ProtocolError::BadVersion { got: bytes[4] });
     }
-    let reserved = u16::from_le_bytes([bytes[6], bytes[7]]);
-    if reserved != 0 {
-        return Err(ProtocolError::ReservedNonZero { got: reserved });
+    let flags = u16::from_le_bytes([bytes[6], bytes[7]]);
+    if flags & !KNOWN_FLAGS != 0 {
+        return Err(ProtocolError::UnknownFlags { got: flags });
     }
     let mut id = [0u8; 8];
     id.copy_from_slice(&bytes[8..16]);
@@ -419,19 +499,22 @@ pub fn parse_header(bytes: &[u8; HEADER_LEN], max_payload: u32) -> Result<Header
     crc.copy_from_slice(&bytes[20..24]);
     Ok(Header {
         type_byte: bytes[5],
+        flags,
         request_id: u64::from_le_bytes(id),
         payload_len,
         crc: u32::from_le_bytes(crc),
     })
 }
 
-/// Validates frame type and payload crc once the payload is read.
+/// Validates frame type and payload crc once the payload is read, and
+/// strips the trace-id prefix when the header declared one.
 ///
 /// # Errors
 ///
-/// A frame-bounded [`ProtocolError`] (unknown type or crc mismatch) —
-/// the stream is still in sync either way.
-pub fn finish_frame(header: &Header, payload: Vec<u8>) -> Result<Frame, ProtocolError> {
+/// A frame-bounded [`ProtocolError`] (unknown type, crc mismatch, or a
+/// trace-id flag without room for the prefix) — the stream is still in
+/// sync either way.
+pub fn finish_frame(header: &Header, mut payload: Vec<u8>) -> Result<Frame, ProtocolError> {
     let got = crc32(&payload);
     if got != header.crc {
         return Err(ProtocolError::BadChecksum {
@@ -443,9 +526,21 @@ pub fn finish_frame(header: &Header, payload: Vec<u8>) -> Result<Frame, Protocol
         FrameType::from_u8(header.type_byte).ok_or(ProtocolError::UnknownFrameType {
             got: header.type_byte,
         })?;
+    let trace_id = if header.flags & FLAG_TRACE_ID != 0 {
+        if payload.len() < 8 {
+            return Err(ProtocolError::MissingTraceId { got: payload.len() });
+        }
+        let mut id = [0u8; 8];
+        id.copy_from_slice(&payload[..8]);
+        payload.drain(..8);
+        Some(u64::from_le_bytes(id))
+    } else {
+        None
+    };
     Ok(Frame {
         frame_type,
         request_id: header.request_id,
+        trace_id,
         payload,
     })
 }
@@ -585,8 +680,54 @@ mod tests {
         Frame {
             frame_type: FrameType::Request,
             request_id: 0xdead_beef_cafe_f00d,
+            trace_id: None,
             payload: request_payload(1500, "datalog d0\npatterns 4\nfail 1 2\n"),
         }
+    }
+
+    #[test]
+    fn trace_id_rides_a_payload_prefix_and_round_trips() {
+        let frame = sample().with_trace_id(Some(0x1122_3344_5566_7788));
+        let bytes = encode(&frame);
+        // The flags word announces the prefix and the length covers it.
+        assert_eq!(u16::from_le_bytes([bytes[6], bytes[7]]), FLAG_TRACE_ID);
+        let wire_len = u32::from_le_bytes([bytes[16], bytes[17], bytes[18], bytes[19]]);
+        assert_eq!(wire_len as usize, 8 + frame.payload.len());
+        let mut cursor = &bytes[..];
+        let decoded = read_frame(&mut cursor, DEFAULT_MAX_PAYLOAD)
+            .expect("decodes")
+            .expect("not EOF");
+        assert_eq!(decoded, frame);
+        // The prefix is stripped: the logical payload is untouched.
+        let (deadline, text) = parse_request_payload(&decoded.payload).expect("request payload");
+        assert_eq!(deadline, 1500);
+        assert!(text.starts_with("datalog d0"));
+    }
+
+    #[test]
+    fn zero_flags_encoding_is_byte_identical_to_the_pre_flags_wire() {
+        // A frame without a trace id must produce exactly the bytes an
+        // old (reserved-field) peer would: zero at offsets 6..8 and no
+        // payload prefix.
+        let bytes = encode(&sample());
+        assert_eq!(&bytes[6..8], &[0, 0]);
+        assert_eq!(bytes.len(), HEADER_LEN + sample().payload.len());
+    }
+
+    #[test]
+    fn trace_flag_without_room_for_the_prefix_is_frame_bounded() {
+        let mut frame = Frame::bare(FrameType::Ping, 1);
+        frame.payload = vec![1, 2, 3]; // < 8 bytes
+        let mut bytes = encode(&frame);
+        bytes[6] = (FLAG_TRACE_ID & 0xff) as u8; // claim a prefix anyway
+        let mut cursor = &bytes[..];
+        let err = read_frame(&mut cursor, DEFAULT_MAX_PAYLOAD).expect_err("short prefix");
+        let FrameError::Protocol(p) = err else {
+            panic!("expected protocol error")
+        };
+        assert!(matches!(p, ProtocolError::MissingTraceId { got: 3 }));
+        assert!(p.is_frame_bounded());
+        assert!(cursor.is_empty(), "payload consumed, stream in sync");
     }
 
     #[test]
@@ -738,15 +879,16 @@ mod tests {
     }
 
     #[test]
-    fn reserved_bytes_must_be_zero() {
+    fn unknown_flag_bits_are_rejected() {
         let mut bytes = encode(&sample());
-        bytes[6] = 1;
+        bytes[7] = 0x80; // flag bit 15: undefined
         let mut cursor = &bytes[..];
-        let err = read_frame(&mut cursor, DEFAULT_MAX_PAYLOAD).expect_err("reserved set");
-        assert!(matches!(
-            err,
-            FrameError::Protocol(ProtocolError::ReservedNonZero { got: 1 })
-        ));
+        let err = read_frame(&mut cursor, DEFAULT_MAX_PAYLOAD).expect_err("unknown flags");
+        let FrameError::Protocol(p) = err else {
+            panic!("expected protocol error")
+        };
+        assert!(matches!(p, ProtocolError::UnknownFlags { got: 0x8000 }));
+        assert!(!p.is_frame_bounded());
     }
 
     #[test]
@@ -754,7 +896,8 @@ mod tests {
         let errs = [
             ProtocolError::BadMagic { got: [0, 1, 2, 3] },
             ProtocolError::BadVersion { got: 7 },
-            ProtocolError::ReservedNonZero { got: 0xbeef },
+            ProtocolError::UnknownFlags { got: 0xbeef },
+            ProtocolError::MissingTraceId { got: 3 },
             ProtocolError::UnknownFrameType { got: 0x44 },
             ProtocolError::Oversized { len: 10, max: 5 },
             ProtocolError::BadChecksum {
@@ -794,12 +937,14 @@ mod tests {
             FrameType::Ping,
             FrameType::Shutdown,
             FrameType::Volume,
+            FrameType::Stats,
             FrameType::Suspects,
             FrameType::Progress,
             FrameType::Report,
             FrameType::Error,
             FrameType::Pong,
             FrameType::Goodbye,
+            FrameType::StatsReport,
         ] {
             assert_eq!(FrameType::from_u8(t as u8), Some(t));
         }

@@ -24,20 +24,29 @@
 //! * **chaos harness** ([`chaos`]) — seeded injection of worker panics,
 //!   frame corruption, mid-frame disconnects, slow-loris writes and
 //!   stalled sockets, so a soak test can prove the daemon never crashes
-//!   and clean responses stay byte-identical to `icdiag run`.
+//!   and clean responses stay byte-identical to `icdiag run`;
+//! * **live telemetry** ([`stats`], the `Stats` wire frame) — per-request
+//!   trace ids threaded from frame decode through the engine's flow
+//!   stages into a rotating JSONL event log, rolling-window latency
+//!   percentiles snapshotted without pausing service, and a
+//!   bench-baseline regression gate ([`benchdiff`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::panic))]
 
+pub mod benchdiff;
 pub mod chaos;
 pub mod client;
 pub mod frame;
 pub mod retry;
 pub mod server;
+pub mod stats;
 
+pub use benchdiff::{BenchDiff, Direction, MetricDelta};
 pub use chaos::{ChaosClient, ChaosPanics, ClientFault};
 pub use client::{Client, ClientError, Response};
 pub use frame::{ErrorCode, Frame, FrameType, ProtocolError, ResponseStatus};
 pub use retry::BackoffConfig;
 pub use server::{DrainOutcome, Server, ServerConfig, ServerHandle};
+pub use stats::{LiveStats, RequestKind, RequestOutcome};

@@ -38,12 +38,14 @@ use icd_engine::{
     JobError, ServiceError, StreamEvent,
 };
 use icd_faultsim::NoiseRng;
+use icd_obs::{EventLog, TraceContext};
 
 use crate::chaos::ChaosPanics;
 use crate::frame::{
     self, ErrorCode, Frame, FrameType, Header, ProtocolError, ResponseStatus, HEADER_LEN,
 };
 use crate::retry::BackoffConfig;
+use crate::stats::{LiveStats, RequestKind, RequestOutcome};
 
 /// All server counters are scheduling-stable per-run sums.
 fn count(name: &'static str, delta: u64) {
@@ -75,6 +77,13 @@ pub struct ServerConfig {
     pub jitter_seed: u64,
     /// Optional seeded worker-panic injection (the chaos harness).
     pub chaos_panics: Option<ChaosPanics>,
+    /// Optional rotating JSONL event log: one structured record per
+    /// completed `Request`/`Volume` frame (trace id, outcome, timings,
+    /// span forest, point events).
+    pub event_log: Option<Arc<EventLog>>,
+    /// Requests slower than this are flagged `"slow": true` in their
+    /// event-log record and counted under `server.requests_slow`.
+    pub slow_threshold: Duration,
 }
 
 impl Default for ServerConfig {
@@ -90,6 +99,8 @@ impl Default for ServerConfig {
             max_payload: frame::DEFAULT_MAX_PAYLOAD,
             jitter_seed: 0x01cd_5eed,
             chaos_panics: None,
+            event_log: None,
+            slow_threshold: Duration::from_secs(1),
         }
     }
 }
@@ -100,6 +111,7 @@ struct ServerState {
     drain_token: CancelToken,
     active_requests: AtomicUsize,
     connection_seq: AtomicUsize,
+    stats: LiveStats,
 }
 
 /// A clonable remote control for a running server: signal shutdown from
@@ -183,6 +195,7 @@ impl Server {
                 drain_token: CancelToken::new(),
                 active_requests: AtomicUsize::new(0),
                 connection_seq: AtomicUsize::new(0),
+                stats: LiveStats::new(),
             }),
         })
     }
@@ -290,6 +303,7 @@ fn error_frame(request_id: u64, code: ErrorCode, message: &str) -> Frame {
     Frame {
         frame_type: FrameType::Error,
         request_id,
+        trace_id: None,
         payload,
     }
 }
@@ -301,13 +315,22 @@ fn report_frame(request_id: u64, status: ResponseStatus, summary: &str) -> Frame
     Frame {
         frame_type: FrameType::Report,
         request_id,
+        trace_id: None,
         payload,
     }
 }
 
 /// How one attempt to read a frame under the poll loop ended.
 enum PollRead {
-    Frame(Frame),
+    Frame {
+        frame: Frame,
+        /// When the header was complete and decoding proper began —
+        /// the start of the request's `server.decode` trace span.
+        decode_start: Instant,
+        /// Header-complete to frame-validated (µs); includes reading
+        /// the payload off the socket.
+        decode_us: u64,
+    },
     /// Clean close at a frame boundary.
     Eof,
     /// No complete frame within the idle budget (nothing read: idle;
@@ -344,16 +367,47 @@ impl Connection {
         }
         loop {
             match self.read_frame_polled(&mut stream) {
-                PollRead::Frame(f) => {
+                PollRead::Frame {
+                    frame: f,
+                    decode_start,
+                    decode_us,
+                } => {
                     count("server.frames_rx", 1);
                     match f.frame_type {
                         FrameType::Ping => {
+                            let t0 = Instant::now();
                             if frame::write_frame(
                                 &mut stream,
                                 &Frame::bare(FrameType::Pong, f.request_id),
                             )
                             .is_err()
                             {
+                                return;
+                            }
+                            self.state
+                                .stats
+                                .record_ping(t0.elapsed().as_micros() as u64);
+                        }
+                        FrameType::Stats => {
+                            // Served regardless of drain state: an
+                            // operator watching a drain is the moment
+                            // stats matter most. The snapshot reads
+                            // atomics and clones histograms — service
+                            // never pauses.
+                            count("server.stats_requests", 1);
+                            let json = self.state.stats.snapshot_json(
+                                self.service.pending_jobs(),
+                                self.state.active_requests.load(Ordering::Acquire),
+                                self.state.draining.load(Ordering::Acquire),
+                            );
+                            count("server.frames_tx", 1);
+                            let reply = Frame {
+                                frame_type: FrameType::StatsReport,
+                                request_id: f.request_id,
+                                trace_id: f.trace_id,
+                                payload: json.into_bytes(),
+                            };
+                            if frame::write_frame(&mut stream, &reply).is_err() {
                                 return;
                             }
                         }
@@ -371,12 +425,12 @@ impl Connection {
                             return;
                         }
                         FrameType::Request => {
-                            if !self.handle_request(&mut stream, &f) {
+                            if !self.handle_request(&mut stream, &f, decode_start, decode_us) {
                                 return;
                             }
                         }
                         FrameType::Volume => {
-                            if !self.handle_volume(&mut stream, &f) {
+                            if !self.handle_volume(&mut stream, &f, decode_start, decode_us) {
                                 return;
                             }
                         }
@@ -466,6 +520,7 @@ impl Connection {
             }
             Fill::Io => return PollRead::Io,
         };
+        let decode_start = Instant::now();
         let header: Header = match frame::parse_header(&header, self.config.max_payload) {
             Ok(h) => h,
             Err(p) => return PollRead::Protocol(p),
@@ -485,7 +540,11 @@ impl Connection {
             Fill::Io => return PollRead::Io,
         }
         match frame::finish_frame(&header, payload) {
-            Ok(f) => PollRead::Frame(f),
+            Ok(frame) => PollRead::Frame {
+                frame,
+                decode_start,
+                decode_us: decode_start.elapsed().as_micros() as u64,
+            },
             Err(p) => PollRead::Protocol(p),
         }
     }
@@ -530,31 +589,143 @@ impl Connection {
         Fill::Done
     }
 
-    /// Runs one diagnosis request: parse, retry loop, stream, respond.
-    /// Returns whether the connection should keep serving.
-    fn handle_request(&mut self, stream: &mut TcpStream, request: &Frame) -> bool {
+    /// Runs one diagnosis request: parse, retry loop, stream, respond —
+    /// wrapped in the request's telemetry (trace, live stats, event-log
+    /// record). Returns whether the connection should keep serving.
+    fn handle_request(
+        &mut self,
+        stream: &mut TcpStream,
+        request: &Frame,
+        decode_start: Instant,
+        decode_us: u64,
+    ) -> bool {
+        let t0 = Instant::now();
         count("server.requests_received", 1);
+        count("server.requests_total", 1);
+        let trace = self.start_trace(request, decode_start, decode_us);
+        let (keep, outcome) = self.run_request(stream, request, &trace);
+        self.finish_request(
+            &trace,
+            request.request_id,
+            RequestKind::Request,
+            outcome,
+            t0,
+        );
+        keep
+    }
+
+    /// Builds the request's trace: adopts the client-supplied trace id
+    /// (or mints one) and injects the already-measured frame-decode span
+    /// as the forest's first root.
+    fn start_trace(&self, request: &Frame, decode_start: Instant, decode_us: u64) -> TraceContext {
+        let trace = TraceContext::new(request.trace_id.unwrap_or_else(icd_obs::mint_trace_id));
+        trace.record_span_external(
+            "server.decode",
+            decode_start,
+            Duration::from_micros(decode_us),
+        );
+        trace
+    }
+
+    /// Records the finished request into the live stats and, when an
+    /// event log is configured, writes its structured JSONL record.
+    fn finish_request(
+        &self,
+        trace: &TraceContext,
+        request_id: u64,
+        kind: RequestKind,
+        outcome: RequestOutcome,
+        t0: Instant,
+    ) {
+        let latency_us = t0.elapsed().as_micros() as u64;
+        self.state.stats.record_request(kind, outcome, latency_us);
+        let slow = latency_us >= self.config.slow_threshold.as_micros() as u64;
+        if slow {
+            count("server.requests_slow", 1);
+        }
+        let Some(log) = &self.config.event_log else {
+            return;
+        };
+        let kind_label = match kind {
+            RequestKind::Request => "request",
+            RequestKind::Volume => "volume",
+            RequestKind::Ping => "ping",
+        };
+        let outcome_label = match outcome {
+            RequestOutcome::Clean => "clean",
+            RequestOutcome::Degraded => "degraded",
+            RequestOutcome::Failed => "failed",
+            RequestOutcome::Rejected => "rejected",
+        };
+        let mut line = String::with_capacity(1024);
+        line.push_str(&format!(
+            "{{\"trace_id\":\"{:#018x}\",\"request_id\":{},\"kind\":\"{}\",\"outcome\":\"{}\",\"latency_us\":{},\"slow\":{},\"events\":[",
+            trace.trace_id(),
+            request_id,
+            kind_label,
+            outcome_label,
+            latency_us,
+            slow,
+        ));
+        for (i, ev) in trace.events().iter().enumerate() {
+            if i > 0 {
+                line.push(',');
+            }
+            line.push_str(&format!("{{\"at_us\":{},\"kind\":", ev.at_us));
+            icd_obs::json::write_string(&mut line, ev.kind);
+            line.push_str(",\"detail\":");
+            icd_obs::json::write_string(&mut line, &ev.detail);
+            line.push('}');
+        }
+        line.push_str("],\"spans\":");
+        line.push_str(icd_obs::forest_json(&trace.span_forest(), false).trim_end());
+        line.push('}');
+        if log.write_line(&line).is_err() {
+            count("server.event_log_errors", 1);
+        }
+    }
+
+    /// The body of one diagnosis request, executed with the trace
+    /// entered on the connection thread: parse, retry loop, stream,
+    /// respond. Returns `(keep_serving, outcome)`.
+    fn run_request(
+        &mut self,
+        stream: &mut TcpStream,
+        request: &Frame,
+        trace: &TraceContext,
+    ) -> (bool, RequestOutcome) {
+        let _entered = trace.enter();
+        let _root = icd_obs::span("server.request");
         let Some((deadline_ms, text)) = frame::parse_request_payload(&request.payload) else {
             count("server.requests_bad_payload", 1);
-            return frame::write_frame(
+            trace.event(
+                "error.bad_payload",
+                "request payload too short or not UTF-8",
+            );
+            let keep = frame::write_frame(
                 stream,
                 &error_frame(
                     request.request_id,
                     ErrorCode::BadPayload,
                     "request payload too short or not UTF-8",
-                ),
+                )
+                .with_trace_id(Some(trace.trace_id())),
             )
             .is_ok();
+            return (keep, RequestOutcome::Failed);
         };
         let datalog = match icd_faultsim::datalog_text::parse(text) {
             Ok(d) => d,
             Err(e) => {
                 count("server.requests_bad_payload", 1);
-                return frame::write_frame(
+                trace.event("error.bad_payload", e.to_string());
+                let keep = frame::write_frame(
                     stream,
-                    &error_frame(request.request_id, ErrorCode::BadPayload, &e.to_string()),
+                    &error_frame(request.request_id, ErrorCode::BadPayload, &e.to_string())
+                        .with_trace_id(Some(trace.trace_id())),
                 )
                 .is_ok();
+                return (keep, RequestOutcome::Failed);
             }
         };
         let deadline = if deadline_ms == 0 {
@@ -568,29 +739,50 @@ impl Connection {
         let id = request.request_id;
 
         self.state.active_requests.fetch_add(1, Ordering::AcqRel);
-        let result = self.diagnose_with_retry(stream, id, &datalog, &token);
+        let result = self.diagnose_with_retry(stream, id, trace, &datalog, &token);
         self.state.active_requests.fetch_sub(1, Ordering::AcqRel);
 
         match result {
             Ok(report) => {
-                let status = if report.is_degraded() {
+                let (status, outcome) = if report.is_degraded() {
                     count("server.requests_degraded", 1);
-                    ResponseStatus::Degraded
+                    trace.event("degraded", "report shipped with skipped work");
+                    (ResponseStatus::Degraded, RequestOutcome::Degraded)
                 } else {
                     count("server.requests_ok", 1);
-                    ResponseStatus::Ok
+                    (ResponseStatus::Ok, RequestOutcome::Clean)
                 };
                 let summary = summarize_report(self.service.context(), &report);
                 count("server.frames_tx", 1);
-                frame::write_frame(stream, &report_frame(id, status, &summary)).is_ok()
+                let keep = frame::write_frame(
+                    stream,
+                    &report_frame(id, status, &summary).with_trace_id(Some(trace.trace_id())),
+                )
+                .is_ok();
+                (keep, outcome)
             }
             Err((code, message)) => {
-                match code {
-                    ErrorCode::DeadlineExceeded => count("server.requests_deadline_exceeded", 1),
-                    ErrorCode::Busy => count("server.requests_rejected_busy", 1),
-                    _ => count("server.requests_failed", 1),
-                }
-                frame::write_frame(stream, &error_frame(id, code, &message)).is_ok()
+                let outcome = match code {
+                    ErrorCode::DeadlineExceeded => {
+                        count("server.requests_deadline_exceeded", 1);
+                        RequestOutcome::Failed
+                    }
+                    ErrorCode::Busy => {
+                        count("server.requests_rejected_busy", 1);
+                        RequestOutcome::Rejected
+                    }
+                    _ => {
+                        count("server.requests_failed", 1);
+                        RequestOutcome::Failed
+                    }
+                };
+                trace.event("error", message.clone());
+                let keep = frame::write_frame(
+                    stream,
+                    &error_frame(id, code, &message).with_trace_id(Some(trace.trace_id())),
+                )
+                .is_ok();
+                (keep, outcome)
             }
         }
     }
@@ -607,19 +799,49 @@ impl Connection {
     /// deadline fails the whole request. Progress/Suspects frames are
     /// streamed per device under the volume request id; clients collect
     /// until the final Report frame.
-    fn handle_volume(&mut self, stream: &mut TcpStream, request: &Frame) -> bool {
+    fn handle_volume(
+        &mut self,
+        stream: &mut TcpStream,
+        request: &Frame,
+        decode_start: Instant,
+        decode_us: u64,
+    ) -> bool {
+        let t0 = Instant::now();
         count("server.volume_requests", 1);
+        count("server.requests_total", 1);
+        let trace = self.start_trace(request, decode_start, decode_us);
+        let (keep, outcome) = self.run_volume(stream, request, &trace);
+        self.finish_request(&trace, request.request_id, RequestKind::Volume, outcome, t0);
+        keep
+    }
+
+    /// The body of one volume request, executed with the trace entered
+    /// on the connection thread. Returns `(keep_serving, outcome)`.
+    fn run_volume(
+        &mut self,
+        stream: &mut TcpStream,
+        request: &Frame,
+        trace: &TraceContext,
+    ) -> (bool, RequestOutcome) {
+        let _entered = trace.enter();
+        let _root = icd_obs::span("server.volume");
         let Some((deadline_ms, devices)) = frame::parse_volume_payload(&request.payload) else {
             count("server.requests_bad_payload", 1);
-            return frame::write_frame(
+            trace.event(
+                "error.bad_payload",
+                "volume payload malformed (length fields or UTF-8)",
+            );
+            let keep = frame::write_frame(
                 stream,
                 &error_frame(
                     request.request_id,
                     ErrorCode::BadPayload,
                     "volume payload malformed (length fields or UTF-8)",
-                ),
+                )
+                .with_trace_id(Some(trace.trace_id())),
             )
             .is_ok();
+            return (keep, RequestOutcome::Failed);
         };
         let mut skipped = 0usize;
         let mut parsed: Vec<(String, icd_faultsim::Datalog)> = Vec::with_capacity(devices.len());
@@ -646,7 +868,17 @@ impl Connection {
         let mut failed = 0usize;
         let mut fatal: Option<(ErrorCode, String)> = None;
         for (name, datalog) in &parsed {
-            match self.diagnose_with_retry(stream, id, datalog, &token) {
+            let device_t0 = Instant::now();
+            let result = self.diagnose_with_retry(stream, id, trace, datalog, &token);
+            trace.event(
+                "volume.device",
+                format!(
+                    "name={name} wall_us={} ok={}",
+                    device_t0.elapsed().as_micros(),
+                    u8::from(result.is_ok()),
+                ),
+            );
+            match result {
                 Ok(report) => reports.push((name.clone(), report)),
                 Err((ErrorCode::DeadlineExceeded, message)) => {
                     // The shared deadline is spent; nothing after this
@@ -665,7 +897,13 @@ impl Connection {
 
         if let Some((code, message)) = fatal {
             count("server.requests_failed", 1);
-            return frame::write_frame(stream, &error_frame(id, code, &message)).is_ok();
+            trace.event("error", message.clone());
+            let keep = frame::write_frame(
+                stream,
+                &error_frame(id, code, &message).with_trace_id(Some(trace.trace_id())),
+            )
+            .is_ok();
+            return (keep, RequestOutcome::Failed);
         }
         let ctx = self.service.context();
         let named: Vec<(String, &FlowReport)> =
@@ -680,15 +918,29 @@ impl Connection {
         );
         // Degraded mirrors `icdiag volume` exit code 3: part of the
         // failing population never made it into the aggregate.
-        let status = if volume_report.devices_failed > 0 || volume_report.devices_skipped > 0 {
-            count("server.requests_degraded", 1);
-            ResponseStatus::Degraded
-        } else {
-            count("server.requests_ok", 1);
-            ResponseStatus::Ok
-        };
+        let (status, outcome) =
+            if volume_report.devices_failed > 0 || volume_report.devices_skipped > 0 {
+                count("server.requests_degraded", 1);
+                trace.event(
+                    "degraded",
+                    format!(
+                        "devices failed={} skipped={}",
+                        volume_report.devices_failed, volume_report.devices_skipped
+                    ),
+                );
+                (ResponseStatus::Degraded, RequestOutcome::Degraded)
+            } else {
+                count("server.requests_ok", 1);
+                (ResponseStatus::Ok, RequestOutcome::Clean)
+            };
         count("server.frames_tx", 1);
-        frame::write_frame(stream, &report_frame(id, status, &volume_report.to_json())).is_ok()
+        let keep = frame::write_frame(
+            stream,
+            &report_frame(id, status, &volume_report.to_json())
+                .with_trace_id(Some(trace.trace_id())),
+        )
+        .is_ok();
+        (keep, outcome)
     }
 
     /// The transient-failure retry loop around one streamed diagnosis.
@@ -703,9 +955,11 @@ impl Connection {
         &mut self,
         stream: &mut TcpStream,
         id: u64,
+        trace: &TraceContext,
         datalog: &icd_faultsim::Datalog,
         token: &CancelToken,
     ) -> Result<FlowReport, (ErrorCode, String)> {
+        let trace_id = Some(trace.trace_id());
         let mut attempt = 0u32;
         loop {
             if token.is_cancelled() {
@@ -728,12 +982,14 @@ impl Connection {
                         Frame {
                             frame_type: FrameType::Suspects,
                             request_id: id,
+                            trace_id,
                             payload: body.into_bytes(),
                         }
                     }
                     StreamEvent::SuspectDone { slot, gate, ok } => Frame {
                         frame_type: FrameType::Progress,
                         request_id: id,
+                        trace_id,
                         payload: format!("slot={slot} gate={} ok={}", gate.index(), u8::from(ok))
                             .into_bytes(),
                     },
@@ -743,9 +999,9 @@ impl Connection {
                     stream_ok = false;
                 }
             };
-            let outcome = self
-                .service
-                .diagnose_streamed(datalog, token, &mut on_event);
+            let outcome =
+                self.service
+                    .diagnose_streamed_traced(datalog, token, Some(trace), &mut on_event);
             if !stream_ok {
                 // The client is gone; cancel our own work and stop.
                 token.cancel();
@@ -769,11 +1025,21 @@ impl Connection {
                     match self.config.backoff.delay(attempt, &mut self.jitter) {
                         Some(delay) => {
                             count("server.retries_panic", 1);
+                            trace.event(
+                                "retry.panic",
+                                format!("panicked suspect slots, attempt={attempt}"),
+                            );
                             thread::sleep(delay);
                             attempt += 1;
                             continue;
                         }
-                        None => return Ok(report),
+                        None => {
+                            trace.event(
+                                "degraded",
+                                "panicked suspect slots survived the retry budget",
+                            );
+                            return Ok(report);
+                        }
                     }
                 }
                 Err(ServiceError::Busy) => "queue full",
@@ -795,6 +1061,14 @@ impl Connection {
                             "server.retries_panic"
                         },
                         1,
+                    );
+                    trace.event(
+                        if transient == "queue full" {
+                            "retry.busy"
+                        } else {
+                            "retry.panic"
+                        },
+                        format!("{transient}, attempt={attempt}"),
                     );
                     thread::sleep(delay);
                     attempt += 1;

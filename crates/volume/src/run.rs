@@ -74,6 +74,11 @@ pub struct VolumeOutcome {
     pub stats: VolumeRunStats,
     /// Per-device failures `(name, error)`, in input order.
     pub failures: Vec<(String, String)>,
+    /// Per-device engine busy time `(name, busy_us)`, in input order.
+    /// Timing-class: scheduling-dependent CPU attribution for operator
+    /// summaries only — it must never enter the serialized report
+    /// (which stays byte-identical at any worker count).
+    pub device_latency: Vec<(String, u64)>,
 }
 
 /// Plans and executes volume-diagnosis runs over one design.
@@ -148,8 +153,10 @@ impl VolumeRun {
 
         let mut reports: Vec<(String, &FlowReport)> = Vec::new();
         let mut failures: Vec<(String, String)> = Vec::new();
+        let mut device_latency: Vec<(String, u64)> = Vec::with_capacity(batch.outcomes.len());
         for outcome in &batch.outcomes {
             let name = inputs[outcome.index].name.clone();
+            device_latency.push((name.clone(), outcome.busy_us));
             match &outcome.report {
                 Ok(report) => reports.push((name, report)),
                 Err(e) => failures.push((name, e.to_string())),
@@ -182,6 +189,7 @@ impl VolumeRun {
             report,
             stats,
             failures,
+            device_latency,
         })
     }
 
@@ -286,6 +294,13 @@ mod tests {
         );
         assert_eq!(outcome.report.devices_total, 8);
         assert!(outcome.report.devices_diagnosed > 0);
+        // Per-device latency rides along in input order, one entry per
+        // presented device, and diagnosed devices did measurable work.
+        assert_eq!(outcome.device_latency.len(), 8);
+        for (i, (name, _)) in outcome.device_latency.iter().enumerate() {
+            assert_eq!(name, &inputs[i].name);
+        }
+        assert!(outcome.device_latency.iter().any(|(_, us)| *us > 0));
     }
 
     #[test]

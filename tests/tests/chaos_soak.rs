@@ -20,6 +20,13 @@
 //! deadline with zero lost in-flight clean jobs, and the daemon's own
 //! counters must show the chaos actually exercised the retry and
 //! protocol-error paths.
+//!
+//! The storm doubles as the live-telemetry coherence check: a `Stats`
+//! frame answered *mid-storm* must parse with monotone latency
+//! percentiles; once the storm is quiescent the outcome counters must
+//! partition exactly (`total == clean + degraded + failed + rejected`);
+//! and the total must carry across the drain unchanged except for the
+//! tracked in-flight jobs.
 
 use std::net::SocketAddr;
 use std::sync::Arc;
@@ -95,6 +102,22 @@ fn soak_config() -> ServerConfig {
         }),
         ..ServerConfig::default()
     }
+}
+
+/// Fetches and parses one live `Stats` snapshot over the wire.
+fn stats_snapshot(addr: SocketAddr) -> icd_obs::json::Value {
+    let mut client = Client::connect(addr, Duration::from_secs(10)).expect("stats connect");
+    let json = client.stats().expect("stats answered");
+    icd_obs::json::parse(&json).expect("stats snapshot is valid JSON")
+}
+
+/// The `requests` counters of a parsed snapshot, by byte-stable name.
+fn request_counter(snapshot: &icd_obs::json::Value, name: &str) -> u64 {
+    snapshot
+        .get("requests")
+        .and_then(|r| r.get(name))
+        .and_then(icd_obs::json::Value::as_u64)
+        .unwrap_or_else(|| panic!("snapshot lacks requests.{name}"))
 }
 
 /// Reads response frames off a raw stream until a terminal frame, EOF,
@@ -214,6 +237,28 @@ fn daemon_survives_a_chaos_storm_and_drains_clean() {
             })
         })
         .collect();
+    // Mid-storm telemetry: the daemon must answer a Stats frame while
+    // the storm is in full swing, with parseable JSON and monotone
+    // latency percentiles. (Totals may momentarily run ahead of their
+    // outcome partition here; exact equality is asserted once the storm
+    // is quiescent.)
+    thread::sleep(Duration::from_millis(50));
+    let mid = stats_snapshot(addr);
+    for kind in ["request", "volume", "ping"] {
+        let window = mid
+            .get("latency")
+            .and_then(|l| l.get(kind))
+            .and_then(|k| k.get("window"))
+            .unwrap_or_else(|| panic!("mid-storm snapshot lacks latency.{kind}.window"));
+        let pct = |name: &str| window.get(name).and_then(icd_obs::json::Value::as_u64);
+        if let (Some(p50), Some(p95), Some(p99)) = (pct("p50_us"), pct("p95_us"), pct("p99_us")) {
+            assert!(
+                p50 <= p95 && p95 <= p99,
+                "mid-storm {kind} percentiles must be monotone: {p50} {p95} {p99}"
+            );
+        }
+    }
+
     let clean_served: usize = workers
         .into_iter()
         .map(|w| w.join().expect("storm thread"))
@@ -227,6 +272,35 @@ fn daemon_survives_a_chaos_storm_and_drains_clean() {
     let mut probe = Client::connect(addr, Duration::from_secs(10)).expect("post-storm connect");
     probe.ping().expect("post-storm pong");
     drop(probe);
+
+    // Quiescent telemetry: with the storm joined and nothing in flight,
+    // the outcome counters must partition the total exactly, and the
+    // window histograms must have actually sampled the storm.
+    let pre_drain = stats_snapshot(addr);
+    let pre_drain_total = request_counter(&pre_drain, "total");
+    assert_eq!(
+        pre_drain_total,
+        request_counter(&pre_drain, "clean")
+            + request_counter(&pre_drain, "degraded")
+            + request_counter(&pre_drain, "failed")
+            + request_counter(&pre_drain, "rejected"),
+        "outcome counters must partition requests.total"
+    );
+    assert!(
+        pre_drain_total >= clean_served as u64,
+        "requests.total {pre_drain_total} must cover the {clean_served} clean submissions"
+    );
+    let request_window_count = pre_drain
+        .get("latency")
+        .and_then(|l| l.get("request"))
+        .and_then(|r| r.get("window"))
+        .and_then(|w| w.get("count"))
+        .and_then(icd_obs::json::Value::as_u64)
+        .expect("request window count");
+    assert!(
+        request_window_count > 0,
+        "the 60s latency window must have sampled the storm"
+    );
 
     // --- Phase 2: drain with in-flight clean jobs. ---------------------
     let in_flight: Vec<_> = (0..3)
@@ -275,4 +349,13 @@ fn daemon_survives_a_chaos_storm_and_drains_clean() {
     );
     assert_eq!(counter("server.drain_clean"), 1);
     assert_eq!(counter("server.drain_forced"), 0);
+
+    // Telemetry totals carry across the drain: the post-drain process
+    // counter equals the quiescent wire snapshot plus exactly the three
+    // tracked in-flight jobs — nothing lost, nothing double-counted.
+    assert_eq!(
+        counter("server.requests_total"),
+        pre_drain_total + 3,
+        "drain must account for exactly the three in-flight jobs"
+    );
 }

@@ -130,6 +130,7 @@ fn corrupt_payload_is_answered_and_the_connection_keeps_serving() {
     let good = Frame {
         frame_type: FrameType::Request,
         request_id: 7,
+        trace_id: None,
         payload: frame::request_payload(0, &texts[0]),
     };
     let mut bytes = frame::encode(&good);
@@ -199,6 +200,7 @@ fn bad_magic_and_oversized_claims_close_after_a_typed_error() {
     let mut bytes = frame::encode(&Frame {
         frame_type: FrameType::Request,
         request_id: 2,
+        trace_id: None,
         payload: frame::request_payload(0, &texts[0]),
     });
     // Rewrite the length field to an absurd claim.
